@@ -1,0 +1,50 @@
+// Command fusionbench regenerates the paper's evaluation artifacts: every
+// table and figure of Section 5, printed as the same rows and series the
+// paper reports.
+//
+// Usage:
+//
+//	fusionbench                 # everything, in the paper's order
+//	fusionbench -exp fig6b      # one artifact
+//	fusionbench -list           # names of the regenerable artifacts
+//
+// Absolute numbers will differ from the paper (this simulator is not the
+// authors' macsim/GEMS testbed); see EXPERIMENTS.md for the side-by-side
+// shape comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fusion"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: "+strings.Join(fusion.ExperimentNames(), ", ")+", or all")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range fusion.ExperimentNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	r := fusion.NewExperiments()
+	var err error
+	if *jsonOut {
+		err = r.PrintJSON(os.Stdout, *exp)
+	} else {
+		err = r.Print(os.Stdout, *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,143 @@
+// Command fusionsim runs one benchmark on one of the four systems the
+// paper compares and reports cycles, energy, and traffic.
+//
+// Usage:
+//
+//	fusionsim -bench fft -system fusion
+//	fusionsim -bench hist -system scratch -phases
+//	fusionsim -bench adpcm -system fusion-dx -stats -energy
+//	fusionsim -bench disp -system fusion -large
+//
+// Systems: scratch, shared, fusion, fusion-dx.
+// Benchmarks: fft, disp, track, adpcm, susan, filt, hist.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fusion"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "fft", "benchmark: "+strings.Join(fusion.Benchmarks(), ", "))
+		benchFile = flag.String("benchfile", "", "run a benchmark loaded from this JSON file (see tracegen -save)")
+		sysName   = flag.String("system", "fusion", "system: scratch, shared, fusion, fusion-dx")
+		large     = flag.Bool("large", false, "AXC-Large configuration (8K L0X / 256K L1X, Section 5.5)")
+		wt        = flag.Bool("writethrough", false, "disable L0X write caching (Table 4)")
+		phases    = flag.Bool("phases", false, "print per-phase cycles and energy")
+		stats     = flag.Bool("stats", false, "dump all statistics counters")
+		energyOut = flag.Bool("energy", false, "dump the energy meter by component")
+		verify    = flag.Bool("verify", true, "check final memory state against sequential semantics")
+	)
+	flag.Parse()
+
+	var sys fusion.System
+	switch strings.ToLower(*sysName) {
+	case "scratch":
+		sys = fusion.ScratchSystem
+	case "shared":
+		sys = fusion.SharedSystem
+	case "fusion":
+		sys = fusion.FusionSystem
+	case "fusion-dx", "fusiondx", "dx":
+		sys = fusion.FusionDxSystem
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *sysName)
+		os.Exit(2)
+	}
+
+	var b *fusion.Benchmark
+	if *benchFile != "" {
+		f, err := os.Open(*benchFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		b, err = fusion.LoadBenchmarkJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		valid := false
+		for _, n := range fusion.Benchmarks() {
+			if n == *benchName {
+				valid = true
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (valid: %s)\n",
+				*benchName, strings.Join(fusion.Benchmarks(), ", "))
+			os.Exit(2)
+		}
+		b = fusion.LoadBenchmark(*benchName)
+	}
+	cfg := fusion.DefaultConfig(sys)
+	cfg.Large = *large
+	cfg.WriteThrough = *wt
+
+	res, err := fusion.Run(b, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulation failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark        %s\n", res.Benchmark)
+	fmt.Printf("system           %s\n", res.System)
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	if res.DMACycles > 0 {
+		fmt.Printf("dma cycles       %d (%.0f%% of total)\n", res.DMACycles,
+			100*float64(res.DMACycles)/float64(res.Cycles))
+		fmt.Printf("dma transfers    %d (%.1f kB)\n", res.DMATransfers,
+			float64(res.DMABytes)/1024)
+	}
+	if res.ForwardedBlocks > 0 {
+		fmt.Printf("forwarded blocks %d\n", res.ForwardedBlocks)
+	}
+	fmt.Printf("working set      %.1f kB\n", float64(res.WorkingSetBytes)/1024)
+	fmt.Printf("on-chip energy   %.2f uJ\n", res.OnChipPJ()/1e6)
+	fmt.Printf("total energy     %.2f uJ (incl. DRAM)\n", res.Energy.Total()/1e6)
+
+	if *verify {
+		want := fusion.ExpectedVersions(b)
+		bad := 0
+		for va, wv := range want {
+			if res.FinalVersions[va] != wv {
+				bad++
+			}
+		}
+		if bad > 0 {
+			fmt.Printf("VERIFY: FAILED — %d lines diverge from sequential semantics\n", bad)
+			os.Exit(1)
+		}
+		fmt.Printf("verify           ok (%d lines match sequential semantics)\n", len(want))
+	}
+
+	if *phases {
+		fmt.Println("\nper-phase:")
+		for _, ph := range res.Phases {
+			who := fmt.Sprintf("axc%d", ph.AXC)
+			if ph.AXC < 0 {
+				who = "host"
+			}
+			fmt.Printf("  %-16s %-5s %10d cycles %12.0f pJ", ph.Function, who, ph.Cycles, ph.EnergyPJ)
+			if ph.DMACycles > 0 {
+				fmt.Printf("  (%d in DMA)", ph.DMACycles)
+			}
+			fmt.Println()
+		}
+	}
+	if *energyOut {
+		fmt.Println("\nenergy by component:")
+		res.Energy.Dump(os.Stdout)
+	}
+	if *stats {
+		fmt.Println("\nstatistics:")
+		res.Stats.Dump(os.Stdout)
+	}
+}

@@ -1,0 +1,116 @@
+// Command tracegen generates and inspects the synthetic benchmark traces:
+// the calibrated stand-ins for the paper's SD-VBS/MachSuite dynamic traces
+// (see internal/workloads).
+//
+// Usage:
+//
+//	tracegen -bench fft                 # per-function summary
+//	tracegen -bench adpcm -dump         # full iteration trace as CSV
+//	tracegen -bench track -forwards     # the FUSION-Dx forwarding sets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fusion"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "fft", "benchmark: "+strings.Join(fusion.Benchmarks(), ", "))
+		dump      = flag.Bool("dump", false, "dump the full trace as CSV (phase,iter,kind,addr)")
+		forwards  = flag.Bool("forwards", false, "print the Dx forwarding sets")
+		save      = flag.String("save", "", "write the benchmark as JSON to this file")
+		random    = flag.Int64("random", 0, "generate a random benchmark from this seed instead")
+	)
+	flag.Parse()
+
+	if *random == 0 {
+		valid := false
+		for _, n := range fusion.Benchmarks() {
+			if n == *benchName {
+				valid = true
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *benchName)
+			os.Exit(2)
+		}
+	}
+	var b *fusion.Benchmark
+	if *random != 0 {
+		b = fusion.RandomBenchmark(*random)
+	} else {
+		b = fusion.LoadBenchmark(*benchName)
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := fusion.SaveBenchmark(f, b); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s to %s\n", b.Program.Name, *save)
+		return
+	}
+
+	if *dump {
+		fmt.Println("phase,function,axc,iteration,kind,addr")
+		for pi := range b.Program.Phases {
+			ph := &b.Program.Phases[pi]
+			for ii := range ph.Inv.Iterations {
+				it := &ph.Inv.Iterations[ii]
+				for _, a := range it.Loads {
+					fmt.Printf("%d,%s,%d,%d,LD,%#x\n", pi, ph.Inv.Function, ph.Inv.AXC, ii, uint64(a))
+				}
+				for _, a := range it.Stores {
+					fmt.Printf("%d,%s,%d,%d,ST,%#x\n", pi, ph.Inv.Function, ph.Inv.AXC, ii, uint64(a))
+				}
+			}
+		}
+		return
+	}
+
+	if *forwards {
+		fmt.Printf("%s: %d producer phases forward\n", b.Program.Name, len(b.Forwards))
+		for i := 0; i < len(b.Program.Phases); i++ {
+			f, ok := b.Forwards[i]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  phase %d (%s, axc%d) -> axc%d: %d lines\n",
+				i, b.Program.Phases[i].Inv.Function, b.Program.Phases[i].Inv.AXC,
+				f.Consumer, len(f.Lines))
+		}
+		return
+	}
+
+	lines, bytes := b.Program.WorkingSet()
+	fmt.Printf("benchmark    %s\n", b.Program.Name)
+	fmt.Printf("phases       %d (%d accelerators)\n", len(b.Program.Phases), b.Program.NumAXCs())
+	fmt.Printf("working set  %d lines / %.1f kB\n", lines, float64(bytes)/1024)
+	fmt.Printf("inputs       %d preloaded lines\n", len(b.InputLines))
+	shr := b.Program.SharedLines()
+	fmt.Printf("\n%-14s %6s %8s %8s %8s %8s %6s %6s\n",
+		"function", "axc", "iters", "loads", "stores", "intops", "LT", "%SHR")
+	seen := map[string]bool{}
+	for i := range b.Program.Phases {
+		ph := &b.Program.Phases[i]
+		if seen[ph.Inv.Function] {
+			continue
+		}
+		seen[ph.Inv.Function] = true
+		ii, fp, ld, st := ph.Inv.Ops()
+		fmt.Printf("%-14s %6d %8d %8d %8d %8d %6d %6.1f\n",
+			ph.Inv.Function, ph.Inv.AXC, len(ph.Inv.Iterations), ld, st, ii+fp,
+			b.LeaseTimes[ph.Inv.Function], shr[ph.Inv.Function])
+	}
+}

@@ -1,0 +1,55 @@
+// Designspace sweeps the accelerator-cache design space of Sections 5.3 and
+// 5.5: the Small (4 KB L0X / 64 KB L1X) versus AXC-Large (8 KB / 256 KB)
+// configurations and writeback versus write-through L0X policies, across
+// all seven benchmarks — the paper's Figure 7 and Table 4 combined into one
+// sweep.
+package main
+
+import (
+	"fmt"
+
+	"fusion"
+)
+
+func main() {
+	fmt.Println("Cache design space on FUSION (ratios vs Small/writeback baseline):")
+	fmt.Printf("\n%-7s | %12s %12s | %12s %12s\n",
+		"bench", "large cyc", "large en", "wthru cyc", "wthru en")
+
+	for _, name := range fusion.Benchmarks() {
+		b := fusion.LoadBenchmark(name)
+
+		base, err := fusion.Run(b, fusion.DefaultConfig(fusion.FusionSystem))
+		if err != nil {
+			panic(err)
+		}
+
+		largeCfg := fusion.DefaultConfig(fusion.FusionSystem)
+		largeCfg.Large = true
+		large, err := fusion.Run(b, largeCfg)
+		if err != nil {
+			panic(err)
+		}
+
+		wtCfg := fusion.DefaultConfig(fusion.FusionSystem)
+		wtCfg.WriteThrough = true
+		wt, err := fusion.Run(b, wtCfg)
+		if err != nil {
+			panic(err)
+		}
+
+		rc := func(r *fusion.Result) float64 { return float64(r.Cycles) / float64(base.Cycles) }
+		re := func(r *fusion.Result) float64 { return r.OnChipPJ() / base.OnChipPJ() }
+		fmt.Printf("%-7s | %11.3fx %11.3fx | %11.3fx %11.3fx\n",
+			name, rc(large), re(large), rc(wt), re(wt))
+	}
+
+	fmt.Println(`
+Lesson 7 (Figure 7): doubling the caches buys little — small-working-set
+benchmarks (adpcm, susan, filt) pay the 2x L1X access energy for nothing,
+and only benchmarks whose footprint newly fits (disp) see miss-rate gains,
+largely offset by the slower large L1X.
+
+Lesson 5 (Table 4): write-through floods the L0X<->L1X link; write caching
+is what lets fixed-function accelerators exploit their store locality.`)
+}

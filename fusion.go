@@ -1,0 +1,180 @@
+// Package fusion is a from-scratch reproduction of "Fusion: Design
+// Tradeoffs in Coherent Cache Hierarchies for Accelerators" (Kumar,
+// Shriraman, Vedula — ISCA 2015), built as a cycle-level simulator in pure
+// Go with no dependencies outside the standard library.
+//
+// The paper studies how to feed data to fixed-function accelerators carved
+// out of sequential programs, comparing four memory-system organizations
+// for an accelerator tile attached to a host multicore:
+//
+//   - SCRATCH:   per-accelerator scratchpads filled and drained by an
+//     oracle coherent DMA engine at the host LLC;
+//   - SHARED:    one shared cache per tile, participating in host MESI;
+//   - FUSION:    private per-accelerator L0X caches plus a shared L1X,
+//     kept coherent by ACC — a timestamp/lease self-invalidation
+//     protocol — with the L1X joining host MESI as an MEI agent;
+//   - FUSION-Dx: FUSION plus direct producer-to-consumer write forwarding
+//     between L0X caches.
+//
+// # Quick start
+//
+//	b := fusion.LoadBenchmark("adpcm")
+//	res, err := fusion.Run(b, fusion.DefaultConfig(fusion.FusionSystem))
+//	if err != nil { ... }
+//	fmt.Println(res.Cycles, res.Energy.Total())
+//
+// Every table and figure of the paper's evaluation can be regenerated with
+// an Experiments runner (or the fusionbench command):
+//
+//	exp := fusion.NewExperiments()
+//	exp.Print(os.Stdout, "all")
+//
+// # What is simulated
+//
+// The simulator models, from scratch: a deterministic cycle-level kernel;
+// a 3-hop directory MESI protocol over an 8-bank NUCA LLC backed by a
+// 4-channel open-page DRAM model; the ACC lease protocol with write
+// caching, self-invalidation, self-downgrade, MEI integration, and write
+// forwarding; address translation with the AX-TLB on the L1X miss path and
+// the AX-RMAP reverse map; an oracle windowed DMA engine; Aladdin-style
+// accelerator datapaths; a trace-driven out-of-order host core; and a
+// CACTI-flavoured energy model. The seven benchmarks (FFT, Disparity,
+// Tracking, ADPCM, Susan, Filter, Histogram) are regenerated synthetically
+// from the paper's published per-function characteristics; see
+// internal/workloads and DESIGN.md for the calibration details.
+package fusion
+
+import (
+	"io"
+
+	"fusion/internal/experiments"
+	"fusion/internal/mem"
+	"fusion/internal/ptrace"
+	"fusion/internal/systems"
+	"fusion/internal/trace"
+	"fusion/internal/workloads"
+)
+
+// System selects one of the four architectures under study.
+type System = systems.Kind
+
+// The four systems of the paper's evaluation.
+const (
+	ScratchSystem  System = systems.Scratch
+	SharedSystem   System = systems.Shared
+	FusionSystem   System = systems.Fusion
+	FusionDxSystem System = systems.FusionDx
+)
+
+// Config tunes a simulation run (cache sizing, write policy, cycle budget).
+type Config = systems.Config
+
+// DefaultConfig returns the paper's baseline settings for a system.
+func DefaultConfig(s System) Config { return systems.DefaultConfig(s) }
+
+// Result is one benchmark x system measurement: cycles, an energy meter,
+// raw statistics counters, per-phase breakdowns, and DMA/forwarding
+// traffic.
+type Result = systems.Result
+
+// Benchmark is a generated workload: the program trace, preloaded input
+// lines, per-function lease times and MLP, and the FUSION-Dx forwarding
+// sets. Construct custom ones from Program values, or load the paper's
+// seven via LoadBenchmark.
+type Benchmark = workloads.Benchmark
+
+// Program, Phase, Invocation, and Iteration describe workloads: a Program
+// is an ordered pipeline of phases migrating between accelerators and the
+// host, exactly as in the paper's Figure 1.
+type (
+	Program    = trace.Program
+	Phase      = trace.Phase
+	Invocation = trace.Invocation
+	Iteration  = trace.Iteration
+)
+
+// Phase kinds.
+const (
+	PhaseAccel = trace.PhaseAccel
+	PhaseHost  = trace.PhaseHost
+)
+
+// VAddr is a virtual address as used in workload traces.
+type VAddr = mem.VAddr
+
+// Benchmarks lists the seven benchmark names in the paper's order.
+func Benchmarks() []string { return workloads.Names() }
+
+// LoadBenchmark generates one of the paper's benchmarks by name ("fft",
+// "disp", "track", "adpcm", "susan", "filt", "hist"). It panics on an
+// unknown name; use Benchmarks for the valid set.
+func LoadBenchmark(name string) *Benchmark { return workloads.Get(name) }
+
+// Run executes a benchmark on the configured system and returns the
+// measurements.
+func Run(b *Benchmark, cfg Config) (*Result, error) { return systems.Run(b, cfg) }
+
+// RandomBenchmark generates a seeded random program for differential
+// testing; see workloads.RandomParams for knobs.
+func RandomBenchmark(seed int64) *Benchmark {
+	return workloads.Random(seed, workloads.DefaultRandomParams())
+}
+
+// SaveBenchmark serializes a benchmark (its full trace) as JSON.
+func SaveBenchmark(w io.Writer, b *Benchmark) error { return workloads.SaveJSON(w, b) }
+
+// LoadBenchmarkJSON reads a benchmark written by SaveBenchmark or produced
+// by an external trace extractor in the same schema. The benchmark is
+// validated on load.
+func LoadBenchmarkJSON(r io.Reader) (*Benchmark, error) { return workloads.LoadJSON(r) }
+
+// ValidateBenchmark checks a (typically hand-built) benchmark for the
+// structural problems that would otherwise surface as simulator panics.
+func ValidateBenchmark(b *Benchmark) []error { return workloads.Validate(b) }
+
+// ComputeForwards derives a benchmark's FUSION-Dx forwarding sets from its
+// program trace — the paper's "post process the trace to identify the
+// stores to be forwarded" (Section 3.2). LoadBenchmark does this
+// automatically; call it yourself after building a custom Benchmark.
+func ComputeForwards(b *Benchmark) { workloads.ComputeForwards(b) }
+
+// ExpectedVersions returns the golden final state of every cache line
+// under sequential program semantics — what any correct system must leave
+// in memory. Compare against Result.FinalVersions.
+func ExpectedVersions(b *Benchmark) map[VAddr]uint64 {
+	return systems.ExpectedVersions(b)
+}
+
+// Protocol tracing: set Config.Tracer to observe every coherence
+// transition the ACC protocol and the host directory take — lease grants,
+// write epochs, self-invalidations, GTIME stalls, host forwards (the
+// message sequences of the paper's Figures 4 and 5).
+type (
+	// ProtocolEvent is one protocol transition.
+	ProtocolEvent = ptrace.Event
+	// ProtocolTracer receives protocol events.
+	ProtocolTracer = ptrace.Tracer
+	// TraceCollector accumulates protocol events in memory.
+	TraceCollector = ptrace.Collector
+	// TraceWriter streams formatted protocol events to an io.Writer.
+	TraceWriter = ptrace.Writer
+)
+
+// Experiments regenerates the paper's tables and figures. Simulation runs
+// are memoized across experiments within one runner.
+type Experiments = experiments.Runner
+
+// NewExperiments returns an empty experiment runner.
+func NewExperiments() *Experiments { return experiments.NewRunner() }
+
+// ExperimentNames lists the regenerable artifacts in the paper's order.
+func ExperimentNames() []string {
+	return []string{"table1", "table3", "fig6a", "fig6b", "fig6c", "fig6d",
+		"table4", "table5", "fig7", "table6", "chart6a", "chart6b",
+		"ablate-lease", "ablate-dma", "ablate-tiles"}
+}
+
+// RunExperiment prints one named experiment (or "all") to w.
+func RunExperiment(w io.Writer, name string) error {
+	return experiments.NewRunner().Print(w, name)
+}

@@ -1,0 +1,105 @@
+package acc
+
+// Runtime invariant checking for the ACC protocol. CheckInvariants scans
+// the tile's caches and reports violations of the properties the protocol
+// is supposed to guarantee; systems can run it periodically ("paranoid
+// mode") so any state corruption is caught at the cycle it happens rather
+// than as a wrong result at the end.
+
+import (
+	"fmt"
+
+	"fusion/internal/cache"
+	"fusion/internal/mem"
+)
+
+// CheckInvariants returns a description of every protocol-invariant
+// violation currently present in the tile (empty means clean):
+//
+//  1. Single writer: at most one L0X holds an unexpired write epoch on a
+//     line.
+//  2. Lease containment: every live L0X lease is covered by an L1X line
+//     whose GTIME is no earlier than the lease's expiry — the L1X's
+//     promise to the host protocol depends on it.
+//  3. Dirty discipline: a dirty L0X line implies a write epoch was granted
+//     (WTime set).
+//  4. Reverse-map consistency: every valid L1X line is reachable through
+//     the AX-RMAP under its physical address, and vice versa.
+func (t *Tile) CheckInvariants(now uint64) []string {
+	var bad []string
+
+	// 1 + 3: scan the L0Xs.
+	writers := make(map[uint64][]AXCID) // line -> open write epochs
+	type leaseInfo struct {
+		axc    AXCID
+		expiry uint64
+		pid    mem.PID
+	}
+	var live []leaseInfo
+	linesOf := make(map[uint64]bool)
+	for _, l0 := range t.L0Xs {
+		l0 := l0
+		l0.arr.ForEach(func(l *cache.Line) {
+			if !l.Valid {
+				return
+			}
+			if l.WTime > now {
+				writers[l.Addr] = append(writers[l.Addr], l0.id)
+			}
+			if l.Dirty && l.WTime == 0 {
+				bad = append(bad, fmt.Sprintf(
+					"%s: dirty line %#x never held a write epoch", l0.name, l.Addr))
+			}
+			exp := l.LTime
+			if l.WTime > exp {
+				exp = l.WTime
+			}
+			if exp > now {
+				live = append(live, leaseInfo{l0.id, exp, l.PID})
+				linesOf[l.Addr] = true
+				// 2: the L1X must cover this lease.
+				x := t.L1X.arr.LookupPID(l.Addr, l.PID)
+				if x == nil {
+					bad = append(bad, fmt.Sprintf(
+						"%s: live lease on %#x (until %d) with no L1X line",
+						l0.name, l.Addr, exp))
+				} else if x.GTime < exp {
+					bad = append(bad, fmt.Sprintf(
+						"%s: lease on %#x until %d exceeds L1X GTIME %d",
+						l0.name, l.Addr, exp, x.GTime))
+				}
+			}
+		})
+	}
+	for addr, ws := range writers {
+		if len(ws) > 1 {
+			bad = append(bad, fmt.Sprintf(
+				"line %#x has %d simultaneous write epochs (%v)", addr, len(ws), ws))
+		}
+	}
+
+	// 4: L1X <-> RMAP bijection.
+	valid := 0
+	t.L1X.arr.ForEach(func(l *cache.Line) {
+		if !l.Valid {
+			return
+		}
+		valid++
+		ptr, ok := t.RMAP.Lookupless(l.PAddr)
+		if !ok {
+			bad = append(bad, fmt.Sprintf(
+				"l1x line v%#x (p%#x) missing from AX-RMAP", l.Addr, uint64(l.PAddr)))
+			return
+		}
+		if uint64(ptr.VAddr.LineAddr()) != l.Addr || ptr.PID != l.PID {
+			bad = append(bad, fmt.Sprintf(
+				"AX-RMAP points p%#x at v%#x, but the L1X line is v%#x",
+				uint64(l.PAddr), uint64(ptr.VAddr), l.Addr))
+		}
+	})
+	if rm := t.RMAP.Len(); rm != valid {
+		bad = append(bad, fmt.Sprintf(
+			"AX-RMAP tracks %d lines but the L1X holds %d", rm, valid))
+	}
+	return bad
+}

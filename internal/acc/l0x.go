@@ -1,0 +1,454 @@
+package acc
+
+import (
+	"fmt"
+
+	"fusion/internal/cache"
+	"fusion/internal/energy"
+	"fusion/internal/interconnect"
+	"fusion/internal/mem"
+	"fusion/internal/ptrace"
+	"fusion/internal/sim"
+	"fusion/internal/stats"
+)
+
+// L0XConfig sizes one private accelerator cache.
+type L0XConfig struct {
+	Cache      cache.Params // Table 2: 4 KB or 8 KB
+	MSHRs      int
+	HitLatency uint64
+	// LeaseTime is the epoch length requested per miss — the per-function
+	// LT column of Tables 1/3, set from the expected invocation latency.
+	LeaseTime uint64
+	// WriteThrough disables write caching: every store also pushes its line
+	// to the L1X immediately (the Table 4 comparison).
+	WriteThrough bool
+	// AccessPJ is the per-access energy; the ACC timestamp-check overhead
+	// must already be folded in by the caller.
+	AccessPJ float64
+}
+
+type l0txn struct {
+	addr    uint64
+	write   bool
+	waiters []l0waiter
+}
+
+type l0waiter struct {
+	kind mem.AccessKind
+	done func(now uint64)
+}
+
+// L0X is a private, write-caching, lease-based accelerator cache. It talks
+// only to its tile's shared L1X (and, under FUSION-Dx, directly to sibling
+// L0Xs over the forwarding link).
+type L0X struct {
+	id   AXCID
+	pid  mem.PID
+	name string
+	cfg  L0XConfig
+	arr  *cache.Array
+	mshr *cache.MSHR
+
+	eng   *sim.Engine
+	toL1X *interconnect.Link
+	fwdTo map[AXCID]*interconnect.Link
+	txns  map[uint64]*l0txn
+
+	// fwdTable maps line addresses to the consumer accelerator that should
+	// receive the dirty line directly (FUSION-Dx, Section 3.2). It is
+	// populated by trace post-processing before the producer runs.
+	fwdTable map[uint64]AXCID
+
+	meter  *energy.Meter
+	stats  *stats.Set
+	tracer ptrace.Tracer
+}
+
+// SetTracer attaches a protocol tracer (nil disables tracing).
+func (c *L0X) SetTracer(t ptrace.Tracer) { c.tracer = t }
+
+func (c *L0X) emit(k ptrace.Kind, addr uint64, detail string) {
+	if c.tracer != nil {
+		c.tracer.Emit(ptrace.Event{Cycle: c.eng.Now(), Source: c.name, Kind: k,
+			Addr: addr, Detail: detail})
+	}
+}
+
+// NewL0X builds a private cache for accelerator id.
+func NewL0X(eng *sim.Engine, id AXCID, pid mem.PID, cfg L0XConfig,
+	meter *energy.Meter, st *stats.Set) *L0X {
+	return &L0X{
+		id:       id,
+		pid:      pid,
+		name:     fmt.Sprintf("l0x.%d", id),
+		cfg:      cfg,
+		arr:      cache.NewArray(cfg.Cache),
+		mshr:     cache.NewMSHR(cfg.MSHRs),
+		eng:      eng,
+		fwdTo:    make(map[AXCID]*interconnect.Link),
+		txns:     make(map[uint64]*l0txn),
+		fwdTable: make(map[uint64]AXCID),
+		meter:    meter,
+		stats:    st,
+	}
+}
+
+// ConnectL1X attaches the uplink to the shared L1X.
+func (c *L0X) ConnectL1X(l *interconnect.Link) { c.toL1X = l }
+
+// ConnectPeer attaches the direct forwarding link to a sibling L0X (Dx).
+func (c *L0X) ConnectPeer(id AXCID, l *interconnect.Link) { c.fwdTo[id] = l }
+
+// SetLeaseTime adjusts the lease requested per miss (functions differ, LT
+// column of Table 3).
+func (c *L0X) SetLeaseTime(lt uint64) { c.cfg.LeaseTime = lt }
+
+// MarkForward registers that the line holding va should be pushed to
+// consumer when this producer is done with it.
+func (c *L0X) MarkForward(va mem.VAddr, consumer AXCID) {
+	c.fwdTable[uint64(va.LineAddr())] = consumer
+}
+
+// ClearForwards empties the forwarding table (between invocations).
+func (c *L0X) ClearForwards() { c.fwdTable = make(map[uint64]AXCID) }
+
+// ID returns the accelerator ID this cache serves.
+func (c *L0X) ID() AXCID { return c.id }
+
+func (c *L0X) access() {
+	if c.meter != nil {
+		c.meter.Add(energy.CatL0X, c.cfg.AccessPJ)
+	}
+	if c.stats != nil {
+		c.stats.Inc(c.name + ".accesses")
+	}
+}
+
+// Access performs one accelerator load or store on a virtual address. done
+// fires at retirement. Returns false when the MSHR is full (the accelerator
+// stalls and retries, which is how its MLP bounds memory pressure).
+func (c *L0X) Access(kind mem.AccessKind, va mem.VAddr, done func(now uint64)) bool {
+	a := uint64(va.LineAddr())
+	now := c.eng.Now()
+	c.access()
+
+	if l := c.arr.LookupPID(a, c.pid); l != nil {
+		readable := l.LTime > now || l.WTime > now
+		writable := l.WTime > now
+		switch {
+		case kind == mem.Load && readable:
+			c.hit(done)
+			return true
+		case kind == mem.Store && writable:
+			l.Ver++
+			if c.cfg.WriteThrough {
+				// Push the store straight through; the line stays clean.
+				c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(a), PID: c.pid,
+					Src: c.id, Ver: l.Ver, Lease: l.WTime, Through: true})
+				if c.stats != nil {
+					c.stats.Inc(c.name + ".write_through")
+				}
+			} else {
+				l.Dirty = true
+			}
+			c.hit(done)
+			return true
+		default:
+			// Lease expired (self-invalidated) or insufficient: miss path.
+			if l.LTime <= now && l.WTime <= now {
+				if c.stats != nil {
+					c.stats.Inc(c.name + ".self_invalidations")
+				}
+				c.emit(ptrace.SelfInvalidate, a, "")
+				c.dropLine(l) // expired; writeback if a dirty epoch lapsed
+			}
+		}
+	}
+
+	if t, ok := c.txns[a]; ok {
+		t.waiters = append(t.waiters, l0waiter{kind, done})
+		return true
+	}
+	if c.mshr.Full() {
+		if c.stats != nil {
+			c.stats.Inc(c.name + ".mshr_full")
+		}
+		return false
+	}
+	c.mshr.Allocate(a)
+	t := &l0txn{addr: a, write: kind == mem.Store}
+	t.waiters = append(t.waiters, l0waiter{kind, done})
+	c.txns[a] = t
+	if c.stats != nil {
+		c.stats.Inc(c.name + ".misses")
+	}
+	mt := MsgGetL
+	if t.write {
+		mt = MsgGetW
+	}
+	c.emit(ptrace.L0XMiss, a, mt.String())
+	c.toL1X.Send(&TileMsg{Type: mt, Addr: mem.VAddr(a), PID: c.pid, Src: c.id,
+		Lease: c.cfg.LeaseTime}) // duration; the L1X anchors it at grant time
+	return true
+}
+
+func (c *L0X) hit(done func(uint64)) {
+	if c.stats != nil {
+		c.stats.Inc(c.name + ".hits")
+	}
+	c.eng.Schedule(c.cfg.HitLatency, func(now uint64) { done(now) })
+}
+
+// Handle receives a message from the L1X or a sibling L0X.
+func (c *L0X) Handle(msg interconnect.Message) {
+	m, ok := msg.(*TileMsg)
+	if !ok {
+		panic(fmt.Sprintf("%s: foreign message %v", c.name, msg))
+	}
+	switch m.Type {
+	case MsgLease:
+		c.fill(m)
+	case MsgFwdData:
+		c.receiveForward(m)
+	default:
+		panic(fmt.Sprintf("%s: unexpected %s", c.name, m))
+	}
+}
+
+// fill installs a granted lease and replays waiters. A grant with no
+// transaction is possible under FUSION-Dx — a forward raced ahead of the
+// L1X's (stalled) grant and already satisfied the miss — and just refreshes
+// the lease.
+func (c *L0X) fill(m *TileMsg) {
+	a := uint64(m.Addr.LineAddr())
+	t := c.txns[a]
+	if t == nil {
+		if l := c.arr.LookupPID(a, c.pid); l != nil && m.Lease > l.LTime {
+			l.LTime = m.Lease
+		}
+		return
+	}
+	l := c.installLine(a, m.Lease, m.Write, m.Ver)
+	if l == nil {
+		// All ways busy; retry shortly without dropping the grant.
+		c.eng.Schedule(1, func(uint64) { c.fill(m) })
+		return
+	}
+	delete(c.txns, a)
+	c.mshr.Free(a)
+
+	for _, w := range t.waiters {
+		w := w
+		if w.kind == mem.Store {
+			if m.Write {
+				l.Ver++
+				if c.cfg.WriteThrough {
+					c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(a), PID: c.pid,
+						Src: c.id, Ver: l.Ver, Lease: l.WTime, Through: true})
+					if c.stats != nil {
+						c.stats.Inc(c.name + ".write_through")
+					}
+				} else {
+					l.Dirty = true
+				}
+				c.eng.Schedule(c.cfg.HitLatency, func(now uint64) { w.done(now) })
+			} else {
+				// A store merged behind a read-lease miss: upgrade now.
+				c.eng.Schedule(1, func(uint64) { c.retryAccess(w.kind, mem.VAddr(a), w.done) })
+			}
+			continue
+		}
+		c.eng.Schedule(c.cfg.HitLatency, func(now uint64) { w.done(now) })
+	}
+}
+
+func (c *L0X) retryAccess(kind mem.AccessKind, va mem.VAddr, done func(uint64)) {
+	if !c.Access(kind, va, done) {
+		c.eng.Schedule(2, func(uint64) { c.retryAccess(kind, va, done) })
+	}
+}
+
+// installLine places a leased line in the array, evicting if necessary.
+// Returns nil when every way in the set is pinned by pending transactions.
+func (c *L0X) installLine(a uint64, lease uint64, write bool, ver uint64) *cache.Line {
+	l := c.arr.LookupPID(a, c.pid)
+	if l == nil {
+		v := c.pickVictim(a)
+		if v == nil {
+			return nil
+		}
+		c.dropLine(v)
+		c.arr.Fill(v, a, c.pid)
+		l = v
+	}
+	c.access()
+	if lease <= c.eng.Now() {
+		lease = c.eng.Now() + 1 // grant arrived after its expiry; degenerate
+	}
+	l.Ver = ver
+	l.LTime = lease
+	if write {
+		l.WTime = lease
+		// Self-downgrade: the write epoch must end with a writeback by its
+		// expiry (the paper implements this with per-set writeback
+		// timestamps; an event is the simulation equivalent).
+		c.eng.ScheduleAt(lease, func(uint64) { c.selfDowngrade(a, lease) })
+	}
+	return l
+}
+
+// pickVictim chooses a fillable way, skipping lines tied to open txns.
+func (c *L0X) pickVictim(a uint64) *cache.Line {
+	for i := 0; i < c.arr.Params().Ways; i++ {
+		v := c.arr.Victim(a)
+		if !v.Valid {
+			return v
+		}
+		if _, busy := c.txns[v.Addr]; !busy {
+			return v
+		}
+		c.arr.Touch(v)
+	}
+	return nil
+}
+
+// dropLine evicts a line: dirty data is forwarded (Dx) or written back. A
+// clean line still holding a write epoch (write-through mode, or an epoch
+// granted but not yet written) must release the L1X lock on the way out or
+// stalled requesters would wait forever.
+func (c *L0X) dropLine(l *cache.Line) {
+	if !l.Valid {
+		return
+	}
+	if l.Dirty {
+		c.flushLine(l)
+	} else if l.WTime > c.eng.Now() {
+		c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(l.Addr), PID: c.pid,
+			Src: c.id, Ver: l.Ver, Lease: l.WTime})
+	}
+	*l = cache.Line{}
+}
+
+// flushLine emits the dirty payload of l: a direct forward when the line is
+// marked for a consumer and a forwarding link exists, otherwise a writeback
+// to the shared L1X. The line is marked clean.
+//
+// A line that itself arrived by forwarding (State==Shared marks the import)
+// always writes back: re-forwarding would chain the open write epoch across
+// hops and stall any L1X requester for the full lease (the L1X cannot close
+// the epoch until a writeback finally lands).
+func (c *L0X) flushLine(l *cache.Line) {
+	if consumer, ok := c.fwdTable[l.Addr]; ok && l.State != cache.Shared {
+		if link, up := c.fwdTo[consumer]; up {
+			c.emit(ptrace.DxForward, l.Addr, fmt.Sprintf("to axc%d lease=%d", consumer, maxU64(l.WTime, l.LTime)))
+			link.Send(&TileMsg{Type: MsgFwdData, Addr: mem.VAddr(l.Addr), PID: c.pid,
+				Src: c.id, Lease: maxU64(l.WTime, l.LTime), Dirty: true, Ver: l.Ver})
+			if c.stats != nil {
+				c.stats.Inc(c.name + ".fwd_out")
+			}
+			l.Dirty = false
+			return
+		}
+	}
+	c.emit(ptrace.Writeback, l.Addr, "")
+	c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(l.Addr), PID: c.pid,
+		Src: c.id, Ver: l.Ver, Lease: l.WTime})
+	if c.stats != nil {
+		c.stats.Inc(c.name + ".writebacks")
+	}
+	l.Dirty = false
+}
+
+// selfDowngrade fires when a write epoch expires: the line (if still
+// present and dirty) writes back and self-invalidates.
+func (c *L0X) selfDowngrade(a uint64, expiry uint64) {
+	l := c.arr.Peek(a)
+	if l == nil || !l.Valid || l.WTime != expiry {
+		return // already drained, evicted, or re-leased
+	}
+	if c.stats != nil {
+		c.stats.Inc(c.name + ".self_downgrades")
+	}
+	c.emit(ptrace.SelfDowngrade, a, "")
+	if l.Dirty {
+		c.flushLine(l)
+	} else if c.cfg.WriteThrough {
+		// Written-through epochs still need an explicit release so the L1X
+		// can unlock the line; the final WB doubles as the release.
+		c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(a), PID: c.pid,
+			Src: c.id, Ver: l.Ver, Lease: l.WTime})
+	}
+	*l = cache.Line{}
+}
+
+// receiveForward installs a line pushed by a producer L0X (FUSION-Dx). The
+// data arrives dirty, with the producer's remaining lease; this consumer
+// now owes the eventual writeback to the L1X.
+func (c *L0X) receiveForward(m *TileMsg) {
+	a := uint64(m.Addr.LineAddr())
+	l := c.installLine(a, m.Lease, true, m.Ver)
+	if l == nil {
+		c.eng.Schedule(1, func(uint64) { c.receiveForward(m) })
+		return
+	}
+	l.Dirty = true
+	l.State = cache.Shared // marks an imported line: never re-forward it
+	if c.stats != nil {
+		c.stats.Inc(c.name + ".fwd_in")
+	}
+	// A miss may already be outstanding for this line (the consumer raced
+	// ahead of the push). The forward satisfies it; the L1X's eventual
+	// grant, if any, arrives with no transaction and is ignored by fill.
+	if t, ok := c.txns[a]; ok {
+		delete(c.txns, a)
+		c.mshr.Free(a)
+		for _, w := range t.waiters {
+			w := w
+			if w.kind == mem.Store {
+				l.Ver++
+				c.eng.Schedule(c.cfg.HitLatency, func(now uint64) { w.done(now) })
+				continue
+			}
+			c.eng.Schedule(c.cfg.HitLatency, func(now uint64) { w.done(now) })
+		}
+	}
+}
+
+// Drain writes back (or forwards) every dirty line and releases epochs —
+// the accelerator calls this when an invocation completes, which is the
+// "self-eviction" moment of Figures 3 and 5.
+func (c *L0X) Drain() {
+	c.arr.ForEach(func(l *cache.Line) {
+		if !l.Valid {
+			return
+		}
+		if l.Dirty {
+			c.flushLine(l)
+			*l = cache.Line{}
+		} else if l.WTime > c.eng.Now() {
+			// Unwritten or written-through epoch: release the L1X lock.
+			c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(l.Addr), PID: c.pid,
+				Src: c.id, Ver: l.Ver, Lease: l.WTime})
+			*l = cache.Line{}
+		}
+	})
+}
+
+// InvalidateAll clears the cache without writebacks (tests only).
+func (c *L0X) InvalidateAll() { c.arr.InvalidateAll() }
+
+// Outstanding reports open transactions (drain checks).
+func (c *L0X) Outstanding() int { return len(c.txns) }
+
+// Peek exposes a line for tests.
+func (c *L0X) Peek(va mem.VAddr) *cache.Line {
+	return c.arr.Peek(uint64(va.LineAddr()))
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

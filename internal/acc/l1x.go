@@ -1,0 +1,626 @@
+package acc
+
+import (
+	"fmt"
+
+	"fusion/internal/cache"
+	"fusion/internal/energy"
+	"fusion/internal/interconnect"
+	"fusion/internal/mem"
+	"fusion/internal/mesi"
+	"fusion/internal/ptrace"
+	"fusion/internal/sim"
+	"fusion/internal/stats"
+)
+
+// L1XConfig sizes the shared tile cache.
+type L1XConfig struct {
+	Cache     cache.Params // Table 2: 64 KB (or 256 KB), 8-way
+	Banks     int          // Table 2: 16 banks
+	MSHRs     int
+	AccessLat uint64 // bank access latency
+	AccessPJ  float64
+	// LeaseSlack pads retries when waiting for epochs to lapse.
+	LeaseSlack uint64
+}
+
+// l1txn is one outstanding host-side (MESI) fetch.
+type l1txn struct {
+	va         uint64 // virtual line address
+	pa         mem.PAddr
+	pid        mem.PID
+	waiters    []*TileMsg // lease requests to replay once data arrives
+	arrived    bool
+	ver        uint64
+	acksNeeded int // -1 until the data response reports the count
+	acksGot    int
+}
+
+const (
+	holderNone     = -2
+	holderMultiple = -1
+)
+
+// L1X is the shared accelerator-tile cache: the ACC ordering point, the
+// tile's single MESI agent (MEI states), and the home of the AX-TLB and
+// AX-RMAP. It is indexed by PID-tagged virtual addresses; translation
+// happens only on its miss path (Section 3.2).
+type L1X struct {
+	name string
+	cfg  L1XConfig
+	arr  *cache.Array
+	mshr *cache.MSHR
+
+	eng    *sim.Engine
+	fabric *mesi.Fabric
+	agent  mesi.AgentID
+	tlb    Translator
+	rmap   ReverseMap
+
+	toL0X map[AXCID]*interconnect.Link
+
+	txns    map[uint64]*l1txn      // by virtual line address
+	byPA    map[mem.PAddr]uint64   // pending fetch: physical -> virtual
+	waiting map[uint64][]*TileMsg  // lease requests stalled on WLock
+	holder  map[uint64]int         // sole read-lease holder per line
+	evict   map[mem.PAddr]evictBuf // awaiting PutAck; can serve host Fwds
+
+	meter  *energy.Meter
+	stats  *stats.Set
+	tracer ptrace.Tracer
+}
+
+// SetTracer attaches a protocol tracer (nil disables tracing).
+func (x *L1X) SetTracer(t ptrace.Tracer) { x.tracer = t }
+
+func (x *L1X) emit(k ptrace.Kind, addr uint64, detail string) {
+	if x.tracer != nil {
+		x.tracer.Emit(ptrace.Event{Cycle: x.eng.Now(), Source: x.name, Kind: k,
+			Addr: addr, Detail: detail})
+	}
+}
+
+type evictBuf struct {
+	ver   uint64
+	dirty bool
+}
+
+// Translator is the AX-TLB interface (satisfied by *vm.TLB).
+type Translator interface {
+	Translate(pid mem.PID, va mem.VAddr) (mem.PAddr, uint64)
+}
+
+// ReverseMap is the AX-RMAP interface (satisfied by *vm.RMAP).
+type ReverseMap interface {
+	Insert(pa mem.PAddr, ptr ReversePointer) (prev ReversePointer, dup bool)
+	Lookup(pa mem.PAddr) (ReversePointer, bool)
+	Remove(pa mem.PAddr)
+}
+
+// ReversePointer locates an L1X line for a forwarded physical request.
+type ReversePointer struct {
+	VAddr mem.VAddr
+	PID   mem.PID
+}
+
+// NewL1X builds the shared tile cache and registers it as agent on the
+// fabric.
+func NewL1X(eng *sim.Engine, fabric *mesi.Fabric, agent mesi.AgentID,
+	cfg L1XConfig, tlb Translator, rmap ReverseMap,
+	meter *energy.Meter, st *stats.Set) *L1X {
+	x := &L1X{
+		name:    "l1x",
+		cfg:     cfg,
+		arr:     cache.NewArray(cfg.Cache),
+		mshr:    cache.NewMSHR(cfg.MSHRs),
+		eng:     eng,
+		fabric:  fabric,
+		agent:   agent,
+		tlb:     tlb,
+		rmap:    rmap,
+		toL0X:   make(map[AXCID]*interconnect.Link),
+		txns:    make(map[uint64]*l1txn),
+		byPA:    make(map[mem.PAddr]uint64),
+		waiting: make(map[uint64][]*TileMsg),
+		holder:  make(map[uint64]int),
+		evict:   make(map[mem.PAddr]evictBuf),
+		meter:   meter,
+		stats:   st,
+	}
+	if cfg.LeaseSlack == 0 {
+		x.cfg.LeaseSlack = 1
+	}
+	fabric.Register(agent, x.HandleMESI)
+	return x
+}
+
+// ConnectL0X attaches the downlink to one accelerator's private cache.
+func (x *L1X) ConnectL0X(id AXCID, l *interconnect.Link) { x.toL0X[id] = l }
+
+// Agent returns the tile's MESI agent ID.
+func (x *L1X) Agent() mesi.AgentID { return x.agent }
+
+func (x *L1X) access() {
+	if x.meter != nil {
+		x.meter.Add(energy.CatL1X, x.cfg.AccessPJ)
+	}
+	if x.stats != nil {
+		x.stats.Inc(x.name + ".accesses")
+	}
+}
+
+// HandleTile receives a message from an L0X, paying the bank latency.
+func (x *L1X) HandleTile(msg interconnect.Message) {
+	m, ok := msg.(*TileMsg)
+	if !ok {
+		panic(fmt.Sprintf("l1x: foreign message %v", msg))
+	}
+	x.eng.Schedule(x.cfg.AccessLat, func(uint64) { x.process(m) })
+}
+
+func (x *L1X) process(m *TileMsg) {
+	switch m.Type {
+	case MsgGetL, MsgGetW:
+		x.lease(m)
+	case MsgWB:
+		x.writeback(m)
+	default:
+		panic(fmt.Sprintf("l1x: unexpected tile %s", m))
+	}
+}
+
+// lease serves a read-lease or write-epoch request.
+func (x *L1X) lease(m *TileMsg) {
+	a := uint64(m.Addr.LineAddr())
+	x.access()
+
+	l := x.arr.LookupPID(a, m.PID)
+	if l == nil {
+		x.missFetch(a, m)
+		return
+	}
+	now := x.eng.Now()
+	if l.WLock {
+		// An outstanding write epoch: everyone stalls at the L1X until the
+		// writeback lands (Section 3.2, Figure 4).
+		x.waiting[a] = append(x.waiting[a], m)
+		if x.stats != nil {
+			x.stats.Inc(x.name + ".stall_wlock")
+		}
+		x.emit(ptrace.WLockStall, a, fmt.Sprintf("axc%d %s", m.Src, m.Type))
+		return
+	}
+	// Requests carry a lease duration; anchor it now so a request that
+	// stalled behind an epoch still gets a full-length lease.
+	expiry := now + m.Lease
+	if m.Type == MsgGetW {
+		soleOK := x.holder[a] == int(m.Src) || l.GTime <= now
+		if !soleOK {
+			// Another accelerator may still be reading under its lease;
+			// the write epoch cannot open until GTIME passes.
+			if x.stats != nil {
+				x.stats.Inc(x.name + ".stall_gtime")
+			}
+			x.emit(ptrace.GTimeStall, a, fmt.Sprintf("axc%d until %d", m.Src, l.GTime))
+			x.eng.ScheduleAt(l.GTime+x.cfg.LeaseSlack, func(uint64) { x.process(m) })
+			return
+		}
+		l.WLock = true
+		x.holder[a] = int(m.Src)
+		if expiry > l.GTime {
+			l.GTime = expiry
+		}
+		x.grant(m, l, true, expiry)
+		return
+	}
+	// Read lease. If every previously granted lease has lapsed (GTIME in
+	// the past), this requester becomes the sole holder — stale holdership
+	// from long-expired leases must not pin the line as "shared".
+	if h, ok := x.holder[a]; !ok || h == holderNone || l.GTime <= now {
+		x.holder[a] = int(m.Src)
+	} else if h != int(m.Src) {
+		x.holder[a] = holderMultiple
+	}
+	if expiry > l.GTime {
+		l.GTime = expiry
+	}
+	x.grant(m, l, false, expiry)
+}
+
+// grant sends a lease response back to the requesting L0X.
+func (x *L1X) grant(m *TileMsg, l *cache.Line, write bool, expiry uint64) {
+	link, ok := x.toL0X[m.Src]
+	if !ok {
+		panic(fmt.Sprintf("l1x: no downlink to axc %d", m.Src))
+	}
+	if x.stats != nil {
+		if write {
+			x.stats.Inc(x.name + ".grants_write")
+		} else {
+			x.stats.Inc(x.name + ".grants_read")
+		}
+	}
+	kind := ptrace.LeaseGrant
+	if write {
+		kind = ptrace.EpochGrant
+	}
+	x.emit(kind, uint64(m.Addr.LineAddr()), fmt.Sprintf("axc%d until %d", m.Src, expiry))
+	link.Send(&TileMsg{Type: MsgLease, Addr: m.Addr, PID: m.PID, Src: -1,
+		Lease: expiry, Write: write, Ver: l.Ver})
+}
+
+// writeback accepts dirty data (or an epoch release) from an L0X.
+func (x *L1X) writeback(m *TileMsg) {
+	a := uint64(m.Addr.LineAddr())
+	x.access()
+	l := x.arr.LookupPID(a, m.PID)
+	if l == nil {
+		// The line was reclaimed by a host forward while the L0X held it;
+		// the data must still reach the host side. Rare but legal.
+		if x.stats != nil {
+			x.stats.Inc(x.name + ".wb_orphan")
+		}
+		pa, _ := x.tlb.Translate(m.PID, m.Addr)
+		x.fabric.Send(&mesi.Msg{Type: mesi.MsgPutM, Addr: pa.LineAddr(),
+			Src: x.agent, Dst: mesi.DirID, Ver: m.Ver})
+		return
+	}
+	if m.Ver > l.Ver {
+		l.Ver = m.Ver
+		l.Dirty = true
+	}
+	// Any non-through writeback closes the epoch. The holder identity is
+	// deliberately not checked: under FUSION-Dx the lease migrates to the
+	// consumer L0X without informing the L1X (Section 3.2).
+	if l.WLock && !m.Through {
+		l.WLock = false
+		x.holder[a] = holderNone
+	}
+	if x.stats != nil {
+		x.stats.Inc(x.name + ".writebacks_in")
+	}
+	if !m.Through {
+		x.wake(a)
+	}
+}
+
+// wake replays stalled lease requests for a line after an epoch closes.
+func (x *L1X) wake(a uint64) {
+	q := x.waiting[a]
+	if len(q) == 0 {
+		return
+	}
+	delete(x.waiting, a)
+	for _, m := range q {
+		m := m
+		x.eng.Schedule(1, func(uint64) { x.process(m) })
+	}
+}
+
+// missFetch starts (or joins) a host-side fetch. The tile always requests
+// exclusive (GetM): the L1X caches every block in E/M regardless of the
+// accelerator operation (Section 3.2).
+func (x *L1X) missFetch(a uint64, m *TileMsg) {
+	if t, ok := x.txns[a]; ok {
+		t.waiters = append(t.waiters, m)
+		return
+	}
+	if x.mshr.Full() {
+		// Retry the request later rather than dropping it.
+		x.eng.Schedule(4, func(uint64) { x.process(m) })
+		if x.stats != nil {
+			x.stats.Inc(x.name + ".mshr_full")
+		}
+		return
+	}
+	// AX-TLB sits here, on the miss path (Lesson 8).
+	pa, walk := x.tlb.Translate(m.PID, mem.VAddr(a))
+	pa = pa.LineAddr()
+
+	// Synonym check (appendix): if the tile already caches this physical
+	// line under a different virtual address, evict the duplicate locally —
+	// the tile still owns the line, so no host transaction is needed — and
+	// rehome the data under the new alias.
+	if ptr, ok := x.rmap.Lookup(pa); ok {
+		if x.resolveSynonym(a, m, pa, ptr) {
+			return
+		}
+	}
+
+	x.mshr.Allocate(a)
+	if x.stats != nil {
+		x.stats.Inc(x.name + ".misses")
+	}
+	t := &l1txn{va: a, pa: pa, pid: m.PID, waiters: []*TileMsg{m}, acksNeeded: -1}
+	x.txns[a] = t
+	x.byPA[pa] = a
+	x.emit(ptrace.L1XFetch, a, fmt.Sprintf("pa=%#x", uint64(pa)))
+	x.eng.Schedule(walk+1, func(uint64) {
+		x.fabric.Send(&mesi.Msg{Type: mesi.MsgGetM, Addr: pa, Src: x.agent,
+			Dst: mesi.DirID})
+	})
+}
+
+// resolveSynonym rehomes a physical line cached under another virtual alias.
+// It returns true when the request was handled (served or rescheduled).
+func (x *L1X) resolveSynonym(a uint64, m *TileMsg, pa mem.PAddr, ptr ReversePointer) bool {
+	oldVA := uint64(ptr.VAddr.LineAddr())
+	if oldVA == a && ptr.PID == m.PID {
+		return false // same line; a plain miss race, fall through to fetch
+	}
+	old := x.arr.LookupPID(oldVA, ptr.PID)
+	if old == nil {
+		return false
+	}
+	if old.WLock {
+		// A write epoch is open under the old alias; retry after it drains.
+		x.waiting[oldVA] = append(x.waiting[oldVA], m)
+		return true
+	}
+	if x.stats != nil {
+		x.stats.Inc(x.name + ".synonym_evictions")
+	}
+	ver, dirty, gtime := old.Ver, old.Dirty, old.GTime
+	x.rmap.Remove(pa)
+	delete(x.holder, oldVA)
+	*old = cache.Line{}
+
+	l := x.install(a, m.PID, pa, ver)
+	if l == nil {
+		x.eng.Schedule(2, func(uint64) { x.process(m) })
+		return true
+	}
+	l.Dirty = dirty
+	if gtime > l.GTime {
+		l.GTime = gtime // stale leases on the old alias must still be honored
+	}
+	x.eng.Schedule(1, func(uint64) { x.process(m) })
+	return true
+}
+
+// HandleMESI is the tile's endpoint on the host fabric.
+func (x *L1X) HandleMESI(m *mesi.Msg) {
+	switch m.Type {
+	case mesi.MsgData, mesi.MsgDataE, mesi.MsgDataM:
+		x.fillFromHost(m)
+	case mesi.MsgFwdGetS, mesi.MsgFwdGetM:
+		x.hostForward(m)
+	case mesi.MsgInv:
+		// The tile is never a MESI sharer, but a DMA-write invalidation can
+		// target it in mixed configurations; ack and drop defensively.
+		x.fabric.Send(&mesi.Msg{Type: mesi.MsgInvAck, Addr: m.Addr,
+			Src: x.agent, Dst: m.Requester})
+	case mesi.MsgPutAck:
+		delete(x.evict, m.Addr.LineAddr())
+	case mesi.MsgInvAck:
+		// GetM with requester-collected acks: the tile counts them like any
+		// other requester. Tracked on the txn below.
+		x.invAck(m)
+	default:
+		panic(fmt.Sprintf("l1x: unexpected host %s", m))
+	}
+}
+
+// invAck notes one invalidation ack for a pending exclusive fetch.
+func (x *L1X) invAck(m *mesi.Msg) {
+	va, ok := x.byPA[m.Addr.LineAddr()]
+	if !ok {
+		panic(fmt.Sprintf("l1x: InvAck with no fetch: %s", m))
+	}
+	t := x.txns[va]
+	t.acksGot++
+	x.maybeFill(t)
+}
+
+// fillFromHost completes a fetch once data (and acks) arrive.
+func (x *L1X) fillFromHost(m *mesi.Msg) {
+	pa := m.Addr.LineAddr()
+	va, ok := x.byPA[pa]
+	if !ok {
+		panic(fmt.Sprintf("l1x: data with no fetch: %s", m))
+	}
+	t := x.txns[va]
+	t.arrived = true
+	t.ver = m.Ver
+	if t.acksNeeded == -1 {
+		t.acksNeeded = m.AckCount
+	}
+	x.maybeFill(t)
+}
+
+func (x *L1X) maybeFill(t *l1txn) {
+	if !t.arrived || t.acksGot < t.acksNeeded {
+		return
+	}
+	l := x.install(t.va, t.pid, t.pa, t.ver)
+	if l == nil {
+		x.eng.Schedule(2, func(uint64) { x.maybeFill(t) })
+		return
+	}
+	delete(x.txns, t.va)
+	delete(x.byPA, t.pa)
+	x.mshr.Free(t.va)
+	x.fabric.Send(&mesi.Msg{Type: mesi.MsgUnblock, Addr: t.pa, Src: x.agent,
+		Dst: mesi.DirID, Excl: true})
+	for _, w := range t.waiters {
+		w := w
+		x.eng.Schedule(1, func(uint64) { x.process(w) })
+	}
+}
+
+// install places a host-fetched line in the array.
+func (x *L1X) install(va uint64, pid mem.PID, pa mem.PAddr, ver uint64) *cache.Line {
+	v := x.pickVictim(va)
+	if v == nil {
+		return nil
+	}
+	x.evictLine(v)
+	x.arr.Fill(v, va, pid)
+	x.access()
+	v.State = cache.Exclusive
+	v.PAddr = pa
+	v.Ver = ver
+	if prev, dup := x.rmap.Insert(pa, ReversePointer{VAddr: mem.VAddr(va), PID: pid}); dup {
+		// Synonym: only one virtual alias may live in the tile (appendix).
+		if old := x.arr.Peek(uint64(prev.VAddr.LineAddr())); old != nil && old.PAddr == pa {
+			x.evictNoNotice(old)
+		}
+		if x.stats != nil {
+			x.stats.Inc(x.name + ".synonym_evictions")
+		}
+	}
+	return v
+}
+
+// pickVictim avoids lines with live leases, open write epochs, or pending
+// transactions — evicting a leased line would break the GTIME contract.
+func (x *L1X) pickVictim(va uint64) *cache.Line {
+	now := x.eng.Now()
+	for i := 0; i < x.arr.Params().Ways; i++ {
+		v := x.arr.Victim(va)
+		if !v.Valid {
+			return v
+		}
+		_, busy := x.txns[v.Addr]
+		if !busy && !v.WLock && v.GTime <= now {
+			return v
+		}
+		x.arr.Touch(v)
+	}
+	return nil
+}
+
+// evictLine pushes a victim back to the host: PutM when dirty, otherwise an
+// explicit eviction notice (the tile never drops silently — the directory
+// keeps perfect information, Section 3.2).
+func (x *L1X) evictLine(v *cache.Line) {
+	if !v.Valid {
+		return
+	}
+	if x.stats != nil {
+		x.stats.Inc(x.name + ".evictions")
+	}
+	x.rmap.Remove(v.PAddr)
+	delete(x.holder, v.Addr)
+	if v.Dirty {
+		x.evict[v.PAddr] = evictBuf{ver: v.Ver, dirty: true}
+		x.fabric.Send(&mesi.Msg{Type: mesi.MsgPutM, Addr: v.PAddr, Src: x.agent,
+			Dst: mesi.DirID, Ver: v.Ver})
+	} else {
+		x.evict[v.PAddr] = evictBuf{ver: v.Ver}
+		x.fabric.Send(&mesi.Msg{Type: mesi.MsgPutE, Addr: v.PAddr, Src: x.agent,
+			Dst: mesi.DirID})
+	}
+	*v = cache.Line{}
+}
+
+// evictNoNotice drops a synonym duplicate, writing back dirty data.
+func (x *L1X) evictNoNotice(v *cache.Line) {
+	if v.Dirty {
+		x.fabric.Send(&mesi.Msg{Type: mesi.MsgPutM, Addr: v.PAddr, Src: x.agent,
+			Dst: mesi.DirID, Ver: v.Ver})
+	}
+	x.rmap.Remove(v.PAddr)
+	*v = cache.Line{}
+}
+
+// hostForward answers a MESI Fwd from the host directory. The AX-RMAP
+// resolves the physical address to the virtually-indexed line; the response
+// stalls in the writeback buffer until GTIME expires and any write epoch
+// has drained (Figure 4, right).
+func (x *L1X) hostForward(m *mesi.Msg) {
+	pa := m.Addr.LineAddr()
+	if x.stats != nil {
+		x.stats.Inc(x.name + ".host_fwds")
+	}
+	x.emit(ptrace.HostFwdIn, uint64(pa), m.Type.String())
+	ptr, ok := x.rmap.Lookup(pa)
+	if !ok {
+		if buf, ev := x.evict[pa]; ev {
+			// Eviction raced with the forward: serve from the buffer.
+			x.respondHost(m, buf.ver, buf.dirty)
+			delete(x.evict, pa)
+			return
+		}
+		panic(fmt.Sprintf("l1x: host fwd for unmapped line %s", m))
+	}
+	x.tryRelinquish(m, ptr, true)
+}
+
+// tryRelinquish answers a host forward once the line's leases have lapsed.
+// Retries reuse the already-resolved pointer (no extra RMAP lookups).
+func (x *L1X) tryRelinquish(m *mesi.Msg, ptr ReversePointer, first bool) {
+	pa := m.Addr.LineAddr()
+	va := uint64(ptr.VAddr.LineAddr())
+	l := x.arr.LookupPID(va, ptr.PID)
+	if l == nil {
+		if buf, ev := x.evict[pa]; ev {
+			x.respondHost(m, buf.ver, buf.dirty)
+			delete(x.evict, pa)
+			return
+		}
+		panic(fmt.Sprintf("l1x: rmap points at absent line %s", m))
+	}
+	now := x.eng.Now()
+	if l.GTime > now || l.WLock {
+		// L0X leases outstanding: park the response until they lapse. The
+		// L1X alone absorbs the stall; no message ever disturbs an L0X
+		// (Figure 4, right: the writeback buffer).
+		if first {
+			if x.stats != nil {
+				x.stats.Inc(x.name + ".fwd_stalled")
+			}
+			x.emit(ptrace.FwdParked, va, fmt.Sprintf("until GTIME %d", l.GTime))
+		}
+		wake := l.GTime + x.cfg.LeaseSlack
+		if wake <= now {
+			wake = now + x.cfg.LeaseSlack
+		}
+		x.eng.ScheduleAt(wake, func(uint64) { x.tryRelinquish(m, ptr, false) })
+		return
+	}
+	x.access()
+	x.respondHost(m, l.Ver, l.Dirty)
+	x.rmap.Remove(pa)
+	delete(x.holder, va)
+	*l = cache.Line{}
+}
+
+// respondHost relinquishes a line to the host requester: data directly to
+// the requester, an eviction notice (OwnerAck, dropped) to the directory.
+func (x *L1X) respondHost(m *mesi.Msg, ver uint64, dirty bool) {
+	x.emit(ptrace.Relinquish, uint64(m.Addr.LineAddr()),
+		fmt.Sprintf("to agent%d dirty=%v", m.Requester, dirty))
+	dt := mesi.MsgData
+	if m.Type == mesi.MsgFwdGetM {
+		dt = mesi.MsgDataM
+	}
+	x.fabric.Send(&mesi.Msg{Type: dt, Addr: m.Addr, Src: x.agent,
+		Dst: m.Requester, Ver: ver})
+	x.fabric.Send(&mesi.Msg{Type: mesi.MsgOwnerAck, Addr: m.Addr, Src: x.agent,
+		Dst: mesi.DirID, Dirty: dirty, Dropped: true, Ver: ver})
+}
+
+// FlushAll writes every dirty line back to the host and invalidates the
+// tile (end of workload).
+func (x *L1X) FlushAll() {
+	x.arr.ForEach(func(l *cache.Line) {
+		if l.Valid {
+			cp := *l
+			x.evictLine(&cp)
+			*l = cache.Line{}
+		}
+	})
+}
+
+// Outstanding reports in-flight host fetches plus eviction buffers.
+func (x *L1X) Outstanding() int { return len(x.txns) + len(x.evict) }
+
+// Peek exposes a line for tests.
+func (x *L1X) Peek(va mem.VAddr, pid mem.PID) *cache.Line {
+	l := x.arr.Peek(uint64(va.LineAddr()))
+	if l != nil && l.PID != pid {
+		return nil
+	}
+	return l
+}

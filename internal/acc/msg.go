@@ -1,0 +1,95 @@
+// Package acc implements the paper's primary contribution: the ACC
+// (ACcelerator Coherence) protocol and the FUSION accelerator-tile cache
+// hierarchy — per-accelerator private L0X caches kept coherent with a
+// shared, banked L1X through timestamp leases (Section 3).
+//
+// ACC is a self-invalidation protocol in the lineage of Library Cache
+// Coherence and GPU temporal coherence [22, 31, 32]:
+//
+//   - An L0X line carries LTIME, the absolute cycle its read lease expires;
+//     a line whose lease has passed is invalid — no invalidation messages
+//     ever travel to an L0X.
+//   - A write needs a write epoch: the L1X implicitly locks the line until
+//     the epoch expires and the writeback arrives; other requesters stall
+//     at the L1X, never at the L0X.
+//   - The L1X line's GTIME records the latest lease granted to any L0X, so
+//     the L1X alone can answer host MESI forwards: it stalls the response
+//     in a writeback buffer until GTIME passes, then relinquishes with an
+//     eviction notice (the tile maps onto a 3-state MEI protocol and is
+//     never a MESI sharer).
+//
+// Two write optimizations distinguish ACC from its ancestors (Section 3.2):
+// write caching (dirty lines live in the L0X and write back once — compare
+// Table 4's write-through bandwidth) and write forwarding (FUSION-Dx: a
+// producer L0X pushes a dirty line straight to the consumer L0X over a
+// cheap 0.1 pJ/B link, skipping the L1X round trip).
+package acc
+
+import (
+	"fmt"
+
+	"fusion/internal/mem"
+)
+
+// AXCID identifies an accelerator (and its private L0X) within a tile.
+type AXCID int
+
+// TileMsgType enumerates L0X<->L1X and L0X<->L0X messages.
+type TileMsgType uint8
+
+const (
+	// L0X -> L1X requests.
+	MsgGetL TileMsgType = iota // read-lease request (carries desired expiry)
+	MsgGetW                    // write-epoch request
+	MsgWB                      // writeback: dirty data returning to the L1X
+	// L1X -> L0X responses.
+	MsgLease // data + granted lease (read or write per Write flag)
+	// L0X -> L0X (FUSION-Dx only).
+	MsgFwdData // pushed dirty line with the remaining lease lifetime
+)
+
+var tileMsgNames = map[TileMsgType]string{
+	MsgGetL: "GetL", MsgGetW: "GetW", MsgWB: "WB",
+	MsgLease: "Lease", MsgFwdData: "FwdData",
+}
+
+func (t TileMsgType) String() string {
+	if s, ok := tileMsgNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TileMsgType(%d)", uint8(t))
+}
+
+// TileMsg is one message inside the accelerator tile. Addresses are virtual:
+// the tile translates only on the L1X miss path.
+type TileMsg struct {
+	Type TileMsgType
+	Addr mem.VAddr // line-aligned virtual address
+	PID  mem.PID
+	Src  AXCID // issuing accelerator (or -1 from the L1X)
+	// Lease is a duration on GetL/GetW requests (the L1X converts it to an
+	// absolute expiry at grant time, so a request stalled behind a write
+	// epoch still receives a usable lease) and an absolute expiry cycle on
+	// MsgLease grants and MsgFwdData pushes.
+	Lease uint64
+	Write bool   // on MsgLease: this grants a write epoch
+	Dirty bool   // on MsgFwdData: line carries modified data (always true)
+	Ver   uint64 // modeled payload version for data-carrying messages
+	// Through marks a write-through store's WB: it updates the L1X data but
+	// leaves the write epoch open (the final drain WB closes it).
+	Through bool
+}
+
+// Bytes implements interconnect.Message: requests are single control flits;
+// lease responses, writebacks, and forwards carry a line.
+func (m *TileMsg) Bytes() int {
+	switch m.Type {
+	case MsgWB, MsgLease, MsgFwdData:
+		return 8 + mem.LineBytes
+	}
+	return 8
+}
+
+func (m *TileMsg) String() string {
+	return fmt.Sprintf("%s %s axc%d lease=%d v%d", m.Type, m.Addr, m.Src, m.Lease, m.Ver)
+}

@@ -1,0 +1,291 @@
+// Package accel models fixed-function accelerator datapaths in the style of
+// Aladdin (Section 4, "Modelling accelerator cores"): execution walks the
+// constrained dependence structure of the offloaded function cycle by
+// cycle, firing operations as their inputs and datapath resources allow,
+// with an aggressive non-blocking memory interface.
+//
+// The dependence structure is the iteration pipeline of package trace:
+// loads of an iteration are mutually independent; compute waits on the
+// iteration's loads; stores wait on its compute; up to PipelineDepth
+// iterations overlap. Memory-level parallelism is bounded by MLP
+// outstanding requests — the knob that reproduces Table 1's per-function
+// MLP spread (1.0–5.7).
+package accel
+
+import (
+	"fusion/internal/energy"
+	"fusion/internal/mem"
+	"fusion/internal/sim"
+	"fusion/internal/stats"
+	"fusion/internal/trace"
+)
+
+// MemPort is the accelerator's view of its memory system: an L0X cache
+// (FUSION), the shared L1X (SHARED), or a scratchpad (SCRATCH). Access
+// returns false when the port cannot accept the request this cycle.
+type MemPort interface {
+	Access(kind mem.AccessKind, va mem.VAddr, done func(now uint64)) bool
+}
+
+// Config sets the datapath resources of one fixed-function accelerator.
+type Config struct {
+	IntALUs       int // integer ops retired per cycle
+	FPUs          int // floating-point ops retired per cycle
+	MemPorts      int // memory ops issued per cycle
+	MLP           int // max outstanding memory requests
+	PipelineDepth int // iterations in flight
+}
+
+// DefaultConfig is an aggressive fixed-function datapath: the paper assumes
+// "an aggressive non-blocking interface to memory" (Section 4), which the
+// deep iteration pipeline provides; the per-function MLP cap then bounds
+// how much of it memory can actually absorb.
+func DefaultConfig() Config {
+	return Config{IntALUs: 4, FPUs: 2, MemPorts: 4, MLP: 6, PipelineDepth: 16}
+}
+
+// iterState tracks one in-flight iteration.
+type iterState struct {
+	idx          int
+	loadsIssued  int
+	loadsDone    int
+	computeLeft  int // cycles of compute remaining once loads complete
+	storesIssued int
+	storesDone   int
+}
+
+// Accelerator executes invocations against a MemPort. It is a sim.Ticker.
+type Accelerator struct {
+	name string
+	cfg  Config
+	eng  *sim.Engine
+
+	inv    *trace.Invocation
+	port   MemPort
+	onDone func(now uint64)
+
+	inflight []*iterState
+	nextIter int
+	// outstanding tracks in-flight memory requests at cache-line
+	// granularity: several word accesses to one line count as a single
+	// outstanding request (they merge in the cache's MSHR), matching how
+	// the paper's Table 1 MLP is measured.
+	outstanding map[uint64]int
+
+	startCycle uint64
+
+	model energy.Model
+	meter *energy.Meter
+	stats *stats.Set
+
+	// accumulated measurements
+	busyCycles uint64
+	mlpSamples uint64
+	mlpSum     uint64
+}
+
+// New builds an accelerator and registers it with the engine.
+func New(eng *sim.Engine, name string, cfg Config,
+	model energy.Model, meter *energy.Meter, st *stats.Set) *Accelerator {
+	a := &Accelerator{name: name, cfg: cfg, eng: eng, model: model, meter: meter, stats: st}
+	eng.Register(a)
+	return a
+}
+
+// Name implements sim.Ticker.
+func (a *Accelerator) Name() string { return a.name }
+
+// Busy reports whether an invocation is running.
+func (a *Accelerator) Busy() bool { return a.inv != nil }
+
+// Start launches an invocation. onDone fires the cycle the last operation
+// retires. The accelerator must be idle.
+func (a *Accelerator) Start(inv *trace.Invocation, port MemPort, onDone func(now uint64)) {
+	if a.inv != nil {
+		panic(a.name + ": Start while busy")
+	}
+	a.inv = inv
+	a.port = port
+	a.onDone = onDone
+	a.nextIter = 0
+	a.inflight = a.inflight[:0]
+	a.outstanding = make(map[uint64]int)
+	a.startCycle = a.eng.Now()
+	if a.stats != nil {
+		a.stats.Inc(a.name + ".invocations")
+	}
+}
+
+// computeCycles returns how many cycles the compute phase of it occupies,
+// given the datapath widths, and accounts its energy.
+func (a *Accelerator) computeCycles(it *trace.Iteration) int {
+	ci := (it.IntOps + a.cfg.IntALUs - 1) / a.cfg.IntALUs
+	cf := 0
+	if it.FPOps > 0 {
+		cf = (it.FPOps + a.cfg.FPUs - 1) / a.cfg.FPUs
+	}
+	c := ci
+	if cf > c {
+		c = cf
+	}
+	if c == 0 {
+		c = 1
+	}
+	return c
+}
+
+// Tick advances the pipeline one cycle.
+func (a *Accelerator) Tick(now uint64) {
+	if a.inv == nil {
+		return
+	}
+	a.busyCycles++
+	// MLP is averaged over cycles with memory outstanding (the standard
+	// definition; idle-memory compute cycles do not dilute it).
+	if n := len(a.outstanding); n > 0 {
+		a.mlpSamples++
+		a.mlpSum += uint64(n)
+	}
+
+	// Admit new iterations into the pipeline. A Serial invocation admits
+	// the next iteration only once every in-flight iteration's compute has
+	// finished (its stores may still be draining).
+	for len(a.inflight) < a.cfg.PipelineDepth && a.nextIter < len(a.inv.Iterations) {
+		if a.inv.Serial && !a.computeDrained() {
+			break
+		}
+		it := &a.inv.Iterations[a.nextIter]
+		st := &iterState{idx: a.nextIter, computeLeft: a.computeCycles(it)}
+		if a.meter != nil {
+			a.meter.Add(energy.CatCompute,
+				float64(it.IntOps)*a.model.IntOp+float64(it.FPOps)*a.model.FPOp)
+		}
+		if a.stats != nil {
+			a.stats.Add(a.name+".int_ops", int64(it.IntOps))
+			a.stats.Add(a.name+".fp_ops", int64(it.FPOps))
+		}
+		a.inflight = append(a.inflight, st)
+		a.nextIter++
+	}
+
+	memIssued := 0
+
+	// Issue loads (oldest iteration first), then advance compute, then
+	// issue stores of iterations whose compute is done.
+	for _, st := range a.inflight {
+		it := &a.inv.Iterations[st.idx]
+		for st.loadsIssued < len(it.Loads) && memIssued < a.cfg.MemPorts {
+			addr := it.Loads[st.loadsIssued]
+			line := uint64(addr) >> 6
+			if _, merged := a.outstanding[line]; !merged && len(a.outstanding) >= a.cfg.MLP {
+				break // a fresh line would exceed the MLP cap
+			}
+			stRef := st
+			ok := a.port.Access(mem.Load, addr, func(uint64) {
+				stRef.loadsDone++
+				a.release(line)
+			})
+			if !ok {
+				break // port back-pressure; retry next cycle
+			}
+			a.outstanding[line]++
+			st.loadsIssued++
+			memIssued++
+			if a.stats != nil {
+				a.stats.Inc(a.name + ".loads")
+			}
+		}
+	}
+
+	for _, st := range a.inflight {
+		it := &a.inv.Iterations[st.idx]
+		if st.loadsDone == len(it.Loads) && st.computeLeft > 0 {
+			st.computeLeft--
+		}
+	}
+
+	for _, st := range a.inflight {
+		it := &a.inv.Iterations[st.idx]
+		if st.loadsDone < len(it.Loads) || st.computeLeft > 0 {
+			continue
+		}
+		for st.storesIssued < len(it.Stores) && memIssued < a.cfg.MemPorts {
+			addr := it.Stores[st.storesIssued]
+			line := uint64(addr) >> 6
+			if _, merged := a.outstanding[line]; !merged && len(a.outstanding) >= a.cfg.MLP {
+				break
+			}
+			stRef := st
+			ok := a.port.Access(mem.Store, addr, func(uint64) {
+				stRef.storesDone++
+				a.release(line)
+			})
+			if !ok {
+				break
+			}
+			a.outstanding[line]++
+			st.storesIssued++
+			memIssued++
+			if a.stats != nil {
+				a.stats.Inc(a.name + ".stores")
+			}
+		}
+	}
+
+	// Retire completed iterations from the head of the pipeline (in order).
+	for len(a.inflight) > 0 {
+		st := a.inflight[0]
+		it := &a.inv.Iterations[st.idx]
+		if st.loadsDone == len(it.Loads) && st.computeLeft == 0 &&
+			st.storesDone == len(it.Stores) {
+			a.inflight = a.inflight[1:]
+			continue
+		}
+		break
+	}
+
+	if len(a.inflight) == 0 && a.nextIter == len(a.inv.Iterations) && len(a.outstanding) == 0 {
+		done := a.onDone
+		if a.stats != nil {
+			a.stats.Add(a.name+".cycles", int64(now-a.startCycle))
+			// Emergent MLP in thousandths — the measured counterpart of
+			// Table 1's MLP column (cumulative over invocations).
+			a.stats.Put(a.name+".mlp_milli", int64(a.AvgMLP()*1000))
+		}
+		a.inv, a.port, a.onDone = nil, nil, nil
+		if done != nil {
+			done(now)
+		}
+	}
+}
+
+// computeDrained reports whether every in-flight iteration has finished its
+// loads and compute (Serial admission gate).
+func (a *Accelerator) computeDrained() bool {
+	for _, st := range a.inflight {
+		it := &a.inv.Iterations[st.idx]
+		if st.loadsDone < len(it.Loads) || st.computeLeft > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// release retires one access against its line's outstanding count.
+func (a *Accelerator) release(line uint64) {
+	a.outstanding[line]--
+	if a.outstanding[line] <= 0 {
+		delete(a.outstanding, line)
+	}
+}
+
+// AvgMLP returns the observed mean outstanding memory requests while busy.
+func (a *Accelerator) AvgMLP() float64 {
+	if a.mlpSamples == 0 {
+		return 0
+	}
+	return float64(a.mlpSum) / float64(a.mlpSamples)
+}
+
+// BusyCycles returns the cycles spent executing invocations.
+func (a *Accelerator) BusyCycles() uint64 { return a.busyCycles }

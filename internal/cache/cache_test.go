@@ -1,0 +1,225 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fusion/internal/mem"
+)
+
+func small() *Array {
+	// 4 sets x 2 ways x 64B = 512B
+	return NewArray(Params{SizeBytes: 512, Ways: 2, LineBytes: 64})
+}
+
+func TestParamsSets(t *testing.T) {
+	p := Params{SizeBytes: 4096, Ways: 4, LineBytes: 64}
+	if p.Sets() != 16 {
+		t.Fatalf("Sets = %d, want 16", p.Sets())
+	}
+}
+
+func TestNewArrayPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-power-of-two line size")
+		}
+	}()
+	NewArray(Params{SizeBytes: 512, Ways: 2, LineBytes: 48})
+}
+
+func TestLookupMissThenFillHit(t *testing.T) {
+	a := small()
+	if a.Lookup(0x1000) != nil {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	v := a.Victim(0x1000)
+	a.Fill(v, 0x1000, 0)
+	l := a.Lookup(0x1000)
+	if l == nil || l.Addr != 0x1000 || !l.Valid {
+		t.Fatal("fill not visible to lookup")
+	}
+	// Any address within the line hits.
+	if a.Lookup(0x103f) == nil {
+		t.Fatal("sub-line address missed")
+	}
+	if a.Lookup(0x1040) != nil {
+		t.Fatal("next line should miss")
+	}
+}
+
+func TestPIDTagging(t *testing.T) {
+	a := small()
+	v := a.Victim(0x2000)
+	a.Fill(v, 0x2000, mem.PID(7))
+	if a.LookupPID(0x2000, 7) == nil {
+		t.Fatal("PID-tagged lookup missed own line")
+	}
+	if a.LookupPID(0x2000, 8) != nil {
+		t.Fatal("PID-tagged lookup hit another process's line")
+	}
+	if a.Lookup(0x2000) == nil {
+		t.Fatal("untagged lookup should still match")
+	}
+}
+
+func TestLRUVictimSelection(t *testing.T) {
+	a := small()
+	// Two lines mapping to the same set (4 sets, stride 4*64=256).
+	a.Fill(a.Victim(0x0000), 0x0000, 0)
+	a.Fill(a.Victim(0x0100), 0x0100, 0)
+	// Touch the first so the second becomes LRU.
+	a.Lookup(0x0000)
+	v := a.Victim(0x0200)
+	if !v.Valid || v.Addr != 0x0100 {
+		t.Fatalf("victim = %+v, want line 0x100", v)
+	}
+}
+
+func TestVictimPrefersInvalid(t *testing.T) {
+	a := small()
+	a.Fill(a.Victim(0x0000), 0x0000, 0)
+	v := a.Victim(0x0100)
+	if v.Valid {
+		t.Fatal("victim should be the invalid way")
+	}
+}
+
+func TestPeekDoesNotTouchLRU(t *testing.T) {
+	a := small()
+	a.Fill(a.Victim(0x0000), 0x0000, 0)
+	a.Fill(a.Victim(0x0100), 0x0100, 0)
+	a.Peek(0x0000) // must NOT refresh
+	v := a.Victim(0x0200)
+	if v.Addr != 0x0000 {
+		t.Fatalf("Peek changed LRU: victim %#x, want 0x0", v.Addr)
+	}
+}
+
+func TestFillResetsMetadata(t *testing.T) {
+	a := small()
+	v := a.Victim(0x0000)
+	a.Fill(v, 0x0000, 0)
+	v.Dirty = true
+	v.State = Modified
+	v.LTime = 99
+	a.Fill(v, 0x0100, 3)
+	if v.Dirty || v.State != Invalid || v.LTime != 0 || v.PID != 3 || v.Addr != 0x100 {
+		t.Fatalf("Fill left stale metadata: %+v", v)
+	}
+}
+
+func TestForEachAndCounts(t *testing.T) {
+	a := small()
+	a.Fill(a.Victim(0x0000), 0x0000, 0)
+	a.Fill(a.Victim(0x1000), 0x1000, 0)
+	if a.CountValid() != 2 {
+		t.Fatalf("CountValid = %d, want 2", a.CountValid())
+	}
+	n := 0
+	a.ForEach(func(l *Line) { n++ })
+	if n != 8 {
+		t.Fatalf("ForEach visited %d, want 8", n)
+	}
+	a.InvalidateAll()
+	if a.CountValid() != 0 {
+		t.Fatal("InvalidateAll left valid lines")
+	}
+}
+
+func TestSetIndexDistribution(t *testing.T) {
+	a := small()
+	seen := map[int]bool{}
+	for addr := uint64(0); addr < 4*64; addr += 64 {
+		seen[a.SetIndex(addr)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("consecutive lines hit %d sets, want 4", len(seen))
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" ||
+		Exclusive.String() != "E" || Modified.String() != "M" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+// Property: after any sequence of fills, no two valid lines in a set share
+// (Addr, PID), and every valid line's address maps to its own set.
+func TestNoAliasingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewArray(Params{SizeBytes: 2048, Ways: 4, LineBytes: 64})
+		for i := 0; i < 500; i++ {
+			addr := uint64(rng.Intn(64)) * 64
+			pid := mem.PID(rng.Intn(3))
+			if a.LookupPID(addr, pid) == nil {
+				a.Fill(a.Victim(addr), addr, pid)
+			}
+		}
+		ok := true
+		type key struct {
+			addr uint64
+			pid  mem.PID
+		}
+		perSet := map[int]map[key]int{}
+		idx := 0
+		a.ForEach(func(l *Line) {
+			set := idx / 4
+			idx++
+			if !l.Valid {
+				return
+			}
+			if a.SetIndex(l.Addr) != set {
+				ok = false
+			}
+			if perSet[set] == nil {
+				perSet[set] = map[key]int{}
+			}
+			perSet[set][key{l.Addr, l.PID}]++
+			if perSet[set][key{l.Addr, l.PID}] > 1 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LRU never evicts the most recently touched line of a full set.
+func TestLRUNeverEvictsMRUProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewArray(Params{SizeBytes: 512, Ways: 4, LineBytes: 64}) // 2 sets
+		// Fill set 0 completely: addresses 0,128,256,384 map to set 0.
+		for i := 0; i < 4; i++ {
+			addr := uint64(i) * 128
+			a.Fill(a.Victim(addr), addr, 0)
+		}
+		for i := 0; i < 100; i++ {
+			touch := uint64(rng.Intn(4)) * 128
+			a.Lookup(touch)
+			v := a.Victim(uint64(rng.Intn(4)) * 128)
+			if v.Addr == touch {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	a := NewArray(Params{SizeBytes: 65536, Ways: 8, LineBytes: 64})
+	a.Fill(a.Victim(0x4000), 0x4000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Lookup(0x4000)
+	}
+}

@@ -1,0 +1,73 @@
+package cache
+
+// MSHR models a miss-status holding register file: one entry per outstanding
+// line-granularity miss, with secondary misses to the same line merged onto
+// the primary entry's waiter list. Every cache controller in the simulator
+// (host L1, L1X, L0X) allocates from one of these; a full MSHR back-pressures
+// the requester, which is how the accelerator MLP limits of Table 1 manifest
+// in the memory system.
+type MSHR struct {
+	capacity int
+	order    []uint64 // allocation order, for deterministic iteration
+	entries  map[uint64]*MSHREntry
+}
+
+// MSHREntry tracks one outstanding miss.
+type MSHREntry struct {
+	Addr    uint64 // line-aligned address
+	Waiters []any  // protocol-specific contexts resumed on fill
+}
+
+// NewMSHR returns an MSHR file with the given number of entries.
+func NewMSHR(capacity int) *MSHR {
+	return &MSHR{capacity: capacity, entries: make(map[uint64]*MSHREntry)}
+}
+
+// Lookup returns the entry for addr, or nil.
+func (m *MSHR) Lookup(addr uint64) *MSHREntry {
+	return m.entries[addr]
+}
+
+// Allocate creates an entry for addr. It returns (entry, true) on a fresh
+// allocation, (existing, false) if addr already has an entry (secondary
+// miss: caller should append a waiter), and (nil, false) if the file is full
+// and addr is not present.
+func (m *MSHR) Allocate(addr uint64) (*MSHREntry, bool) {
+	if e, ok := m.entries[addr]; ok {
+		return e, false
+	}
+	if len(m.entries) >= m.capacity {
+		return nil, false
+	}
+	e := &MSHREntry{Addr: addr}
+	m.entries[addr] = e
+	m.order = append(m.order, addr)
+	return e, true
+}
+
+// Free releases the entry for addr and returns its waiters (nil if absent).
+func (m *MSHR) Free(addr uint64) []any {
+	e, ok := m.entries[addr]
+	if !ok {
+		return nil
+	}
+	delete(m.entries, addr)
+	for i, a := range m.order {
+		if a == addr {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return e.Waiters
+}
+
+// Full reports whether a fresh allocation would fail.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+
+// Len returns the number of outstanding entries.
+func (m *MSHR) Len() int { return len(m.entries) }
+
+// Outstanding returns the outstanding line addresses in allocation order.
+func (m *MSHR) Outstanding() []uint64 {
+	return append([]uint64(nil), m.order...)
+}

@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMSHRAllocateFresh(t *testing.T) {
+	m := NewMSHR(4)
+	e, fresh := m.Allocate(0x40)
+	if !fresh || e == nil || e.Addr != 0x40 {
+		t.Fatalf("fresh allocate = (%v,%v)", e, fresh)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestMSHRSecondaryMissMerges(t *testing.T) {
+	m := NewMSHR(4)
+	e1, _ := m.Allocate(0x40)
+	e1.Waiters = append(e1.Waiters, "first")
+	e2, fresh := m.Allocate(0x40)
+	if fresh {
+		t.Fatal("second allocate to same line reported fresh")
+	}
+	if e2 != e1 {
+		t.Fatal("secondary miss got a different entry")
+	}
+	e2.Waiters = append(e2.Waiters, "second")
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d after merge, want 1", m.Len())
+	}
+	w := m.Free(0x40)
+	if len(w) != 2 || w[0] != "first" || w[1] != "second" {
+		t.Fatalf("waiters = %v", w)
+	}
+}
+
+func TestMSHRCapacity(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(0x00)
+	m.Allocate(0x40)
+	if !m.Full() {
+		t.Fatal("MSHR should be full")
+	}
+	e, fresh := m.Allocate(0x80)
+	if e != nil || fresh {
+		t.Fatal("allocation beyond capacity succeeded")
+	}
+	// Existing line still reachable when full.
+	e, fresh = m.Allocate(0x00)
+	if e == nil || fresh {
+		t.Fatal("secondary miss rejected while full")
+	}
+	m.Free(0x00)
+	if m.Full() {
+		t.Fatal("still full after Free")
+	}
+}
+
+func TestMSHRFreeUnknown(t *testing.T) {
+	m := NewMSHR(2)
+	if w := m.Free(0x999); w != nil {
+		t.Fatal("Free of unknown address returned waiters")
+	}
+}
+
+func TestMSHROutstandingOrder(t *testing.T) {
+	m := NewMSHR(8)
+	addrs := []uint64{0x80, 0x00, 0x40}
+	for _, a := range addrs {
+		m.Allocate(a)
+	}
+	out := m.Outstanding()
+	for i := range addrs {
+		if out[i] != addrs[i] {
+			t.Fatalf("Outstanding = %v, want %v", out, addrs)
+		}
+	}
+	m.Free(0x00)
+	out = m.Outstanding()
+	if len(out) != 2 || out[0] != 0x80 || out[1] != 0x40 {
+		t.Fatalf("Outstanding after free = %v", out)
+	}
+}
+
+// Property: Len never exceeds capacity and Lookup agrees with Allocate
+// bookkeeping under arbitrary alloc/free interleavings.
+func TestMSHRInvariantProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewMSHR(4)
+		live := map[uint64]bool{}
+		for _, op := range ops {
+			addr := uint64(op%16) * 64
+			if op&0x8000 != 0 {
+				m.Free(addr)
+				delete(live, addr)
+			} else {
+				if e, fresh := m.Allocate(addr); e != nil && fresh {
+					live[addr] = true
+				}
+			}
+			if m.Len() > 4 {
+				return false
+			}
+			for a := range live {
+				if m.Lookup(a) == nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

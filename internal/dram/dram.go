@@ -1,0 +1,159 @@
+// Package dram models the main memory of Table 2: four channels, open-page
+// row-buffer policy, a 32-entry command queue per channel, and ~200-cycle
+// access latency.
+//
+// The model is deliberately simple — the paper's evaluation is dominated by
+// on-chip effects, and DRAM matters only as a high, roughly constant cost
+// behind LLC misses — but it keeps the two behaviours that can shift
+// results: row-buffer locality (streaming accelerators see row hits) and
+// queueing under burst traffic (DMA windows).
+package dram
+
+import (
+	"fusion/internal/energy"
+	"fusion/internal/mem"
+	"fusion/internal/sim"
+	"fusion/internal/stats"
+)
+
+// Config holds the memory-system parameters.
+type Config struct {
+	Channels    int
+	QueueDepth  int    // command-queue entries per channel (Table 2: 32)
+	RowBytes    int    // open-page row size
+	RowHitLat   uint64 // cycles: CAS on an open row
+	RowMissLat  uint64 // cycles: precharge + activate + CAS
+	BurstCycles uint64 // channel occupancy per 64B transfer
+}
+
+// DefaultConfig matches Table 2 (average latency ≈ 200 cycles).
+func DefaultConfig() Config {
+	return Config{
+		Channels:    4,
+		QueueDepth:  32,
+		RowBytes:    2048,
+		RowHitLat:   140,
+		RowMissLat:  230,
+		BurstCycles: 4,
+	}
+}
+
+// Request is one line-granularity memory command.
+type Request struct {
+	Addr  mem.PAddr
+	Write bool
+	// Done runs when the command completes (data returned / write retired).
+	Done func(now uint64)
+}
+
+type channel struct {
+	queue     []Request
+	openRow   uint64
+	rowValid  bool
+	busyUntil uint64
+}
+
+// DRAM is the memory controller plus channels. It is a sim.Ticker.
+type DRAM struct {
+	cfg      Config
+	eng      *sim.Engine
+	meter    *energy.Meter
+	model    energy.Model
+	stats    *stats.Set
+	channels []channel
+}
+
+// New builds a DRAM and registers it with the engine.
+func New(eng *sim.Engine, cfg Config, model energy.Model, meter *energy.Meter, st *stats.Set) *DRAM {
+	d := &DRAM{
+		cfg:      cfg,
+		eng:      eng,
+		meter:    meter,
+		model:    model,
+		stats:    st,
+		channels: make([]channel, cfg.Channels),
+	}
+	eng.Register(d)
+	return d
+}
+
+// Name implements sim.Ticker.
+func (d *DRAM) Name() string { return "dram" }
+
+// channelOf maps a line address to its channel (line interleaving).
+func (d *DRAM) channelOf(a mem.PAddr) int {
+	return int(a.LineID() % uint64(d.cfg.Channels))
+}
+
+// rowOf returns the row number within the channel.
+func (d *DRAM) rowOf(a mem.PAddr) uint64 {
+	return uint64(a) / uint64(d.cfg.RowBytes)
+}
+
+// Submit enqueues a request. It returns false when the target channel's
+// command queue is full; the caller must retry later (back-pressure).
+func (d *DRAM) Submit(r Request) bool {
+	ch := &d.channels[d.channelOf(r.Addr)]
+	if len(ch.queue) >= d.cfg.QueueDepth {
+		if d.stats != nil {
+			d.stats.Inc("dram.queue_full")
+		}
+		return false
+	}
+	ch.queue = append(ch.queue, r)
+	if d.stats != nil {
+		d.stats.Inc("dram.submitted")
+	}
+	return true
+}
+
+// Tick issues at most one command per channel per cycle.
+func (d *DRAM) Tick(now uint64) {
+	for i := range d.channels {
+		ch := &d.channels[i]
+		if len(ch.queue) == 0 || now < ch.busyUntil {
+			continue
+		}
+		req := ch.queue[0]
+		ch.queue = ch.queue[1:]
+
+		row := d.rowOf(req.Addr)
+		lat := d.cfg.RowMissLat
+		if ch.rowValid && ch.openRow == row {
+			lat = d.cfg.RowHitLat
+			if d.stats != nil {
+				d.stats.Inc("dram.row_hit")
+			}
+		} else if d.stats != nil {
+			d.stats.Inc("dram.row_miss")
+		}
+		ch.openRow = row
+		ch.rowValid = true
+		ch.busyUntil = now + d.cfg.BurstCycles
+
+		if d.meter != nil {
+			d.meter.Add(energy.CatDRAM, d.model.DRAMAccess)
+			d.meter.Add(energy.CatLinkMem, d.model.LinkL2DRAM*float64(mem.LineBytes))
+		}
+		if d.stats != nil {
+			if req.Write {
+				d.stats.Inc("dram.writes")
+			} else {
+				d.stats.Inc("dram.reads")
+			}
+		}
+		done := req.Done
+		if done != nil {
+			d.eng.ScheduleAt(now+lat, done)
+		}
+	}
+}
+
+// QueueOccupancy returns the total queued commands across channels.
+func (d *DRAM) QueueOccupancy() int {
+	n := 0
+	for i := range d.channels {
+		n += len(d.channels[i].queue)
+	}
+	return n
+}

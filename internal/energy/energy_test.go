@@ -1,0 +1,116 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelRatios(t *testing.T) {
+	m := Default()
+	// Lesson 3: L0X is 1.5x more energy efficient than the banked L1X.
+	if r := m.L1XAccessSmall / m.L0XAccessSmall; math.Abs(r-1.5) > 0.01 {
+		t.Errorf("L1X/L0X ratio = %.2f, want 1.5", r)
+	}
+	// Section 5.5: large L1X costs 2x the small L1X.
+	if r := m.L1XAccessLarge / m.L1XAccessSmall; math.Abs(r-2.0) > 0.01 {
+		t.Errorf("L1X large/small ratio = %.2f, want 2.0", r)
+	}
+	// Table 2 / Section 5.4 link energies.
+	if m.LinkL0XL1X != 0.4 || m.LinkL1XL2 != 6.0 || m.LinkL0XL0X != 0.1 {
+		t.Errorf("link energies = %v/%v/%v, want 0.4/6.0/0.1",
+			m.LinkL0XL1X, m.LinkL1XL2, m.LinkL0XL0X)
+	}
+	// Section 4: 15% timestamp tag-check overhead.
+	if m.TimestampOverhead != 0.15 {
+		t.Errorf("timestamp overhead = %v, want 0.15", m.TimestampOverhead)
+	}
+	// Op energies: a couple of pJ per int op (ALU + operand delivery); FP
+	// costs several times more.
+	if m.IntOp < 0.5 || m.IntOp > 5 || m.FPOp <= m.IntOp {
+		t.Errorf("op energies int=%v fp=%v", m.IntOp, m.FPOp)
+	}
+	// Scratchpad (no tags) must be cheaper than the same-size L0X cache.
+	if m.ScratchSmall >= m.L0XAccessSmall {
+		t.Error("scratchpad should be cheaper than L0X cache")
+	}
+	// Hierarchy must be monotone: L0X < L1X < L2 < DRAM.
+	if !(m.L0XAccessSmall < m.L1XAccessSmall && m.L1XAccessSmall < m.L2Access && m.L2Access < m.DRAMAccess) {
+		t.Error("per-access energy not monotone up the hierarchy")
+	}
+}
+
+func TestWithTimestamp(t *testing.T) {
+	m := Default()
+	got := m.WithTimestamp(100)
+	if math.Abs(got-115) > 1e-9 {
+		t.Fatalf("WithTimestamp(100) = %v, want 115", got)
+	}
+}
+
+func TestMeterAddGetTotal(t *testing.T) {
+	mt := NewMeter()
+	mt.Add(CatL0X, 10)
+	mt.Add(CatL0X, 5)
+	mt.Add(CatL1X, 2)
+	if mt.Get(CatL0X) != 15 {
+		t.Fatalf("Get(l0x) = %v, want 15", mt.Get(CatL0X))
+	}
+	if mt.Total() != 17 {
+		t.Fatalf("Total = %v, want 17", mt.Total())
+	}
+}
+
+func TestMeterMerge(t *testing.T) {
+	a, b := NewMeter(), NewMeter()
+	a.Add(CatL2, 1)
+	b.Add(CatL2, 2)
+	b.Add(CatDRAM, 3)
+	a.Merge(b)
+	if a.Get(CatL2) != 3 || a.Get(CatDRAM) != 3 {
+		t.Fatalf("merge wrong: l2=%v dram=%v", a.Get(CatL2), a.Get(CatDRAM))
+	}
+}
+
+func TestMeterCategoriesOrderAndReset(t *testing.T) {
+	mt := NewMeter()
+	mt.Add("z", 1)
+	mt.Add("a", 1)
+	mt.Add("z", 1)
+	cats := mt.Categories()
+	if len(cats) != 2 || cats[0] != "z" || cats[1] != "a" {
+		t.Fatalf("Categories = %v", cats)
+	}
+	mt.Reset()
+	if mt.Total() != 0 || len(mt.Categories()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestMeterDump(t *testing.T) {
+	mt := NewMeter()
+	mt.Add(CatCompute, 42)
+	var sb strings.Builder
+	mt.Dump(&sb)
+	if !strings.Contains(sb.String(), "compute") || !strings.Contains(sb.String(), "TOTAL") {
+		t.Fatalf("dump missing fields:\n%s", sb.String())
+	}
+}
+
+// Property: Total always equals the sum of per-category Gets.
+func TestMeterTotalProperty(t *testing.T) {
+	f := func(adds []uint8) bool {
+		mt := NewMeter()
+		var want float64
+		cats := []string{CatL0X, CatL1X, CatL2, CatDRAM}
+		for i, v := range adds {
+			mt.Add(cats[i%len(cats)], float64(v))
+			want += float64(v)
+		}
+		return math.Abs(mt.Total()-want) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

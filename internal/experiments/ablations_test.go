@@ -1,0 +1,81 @@
+package experiments
+
+import "testing"
+
+// Short leases must increase L1X grant traffic; very long leases must not
+// break anything and should not increase it.
+func TestAblateLeaseShape(t *testing.T) {
+	rows, err := sharedRunner.AblateLease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBench := map[string]map[float64]LeaseRow{}
+	for _, r := range rows {
+		if byBench[r.Benchmark] == nil {
+			byBench[r.Benchmark] = map[float64]LeaseRow{}
+		}
+		byBench[r.Benchmark][r.Scale] = r
+	}
+	for b, m := range byBench {
+		if m[0.25].Grants <= m[1.0].Grants {
+			t.Errorf("%s: 0.25x leases granted %d <= baseline %d; short leases must re-lease more",
+				b, m[0.25].Grants, m[1.0].Grants)
+		}
+		if float64(m[4.0].Grants) > 1.02*float64(m[1.0].Grants) {
+			t.Errorf("%s: 4x leases granted %d ≫ baseline %d", b, m[4.0].Grants, m[1.0].Grants)
+		}
+		if m[1.0].CycleNorm != 1.0 || m[1.0].EnergyNorm != 1.0 {
+			t.Errorf("%s: baseline not normalized to itself", b)
+		}
+	}
+}
+
+// Deeper DMA monotonically speeds SCRATCH (and erodes FUSION's advantage).
+func TestAblateDMADepthShape(t *testing.T) {
+	rows, err := sharedRunner.AblateDMADepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := map[string]uint64{}
+	for _, r := range rows {
+		if p, ok := prev[r.Benchmark]; ok && r.Cycles > p+p/20 {
+			t.Errorf("%s depth %d: %d cycles, regressed vs shallower %d",
+				r.Benchmark, r.Depth, r.Cycles, p)
+		}
+		prev[r.Benchmark] = r.Cycles
+		if r.FusionAdvantage <= 0 {
+			t.Errorf("%s depth %d: nonpositive advantage", r.Benchmark, r.Depth)
+		}
+	}
+	// Even an 8-deep zero-gap oracle does not erase FUSION's FFT win (the
+	// re-transfer elimination is structural, not a latency artifact).
+	for _, r := range rows {
+		if r.Benchmark == "fft" && r.Depth == 8 && r.FusionAdvantage < 1.5 {
+			t.Errorf("fft with idealized DMA: advantage %.2fx; re-transfer elimination should survive",
+				r.FusionAdvantage)
+		}
+	}
+}
+
+// Splitting across tiles is always worse on sharing-heavy benchmarks, and
+// the extra cost shows up as tile<->L2 messages.
+func TestAblateTilesShape(t *testing.T) {
+	rows, err := sharedRunner.AblateTiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := map[string]TilesRow{}
+	for _, r := range rows {
+		if r.Tiles == 1 {
+			one[r.Benchmark] = r
+			continue
+		}
+		if r.EnergyNorm <= 1.0 {
+			t.Errorf("%s: 2 tiles cost %.3fx energy; splitting should lose", r.Benchmark, r.EnergyNorm)
+		}
+		if r.HostMsgs <= one[r.Benchmark].HostMsgs {
+			t.Errorf("%s: 2 tiles sent %d host messages <= collocated %d",
+				r.Benchmark, r.HostMsgs, one[r.Benchmark].HostMsgs)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Data returns the named experiment's typed rows for programmatic use.
+// Table 3 returns a struct with both its row list and the per-benchmark
+// cache/compute ratios.
+func (r *Runner) Data(name string) (any, error) {
+	switch name {
+	case "table1":
+		return r.Table1()
+	case "table3":
+		rows, ratios, err := r.Table3()
+		if err != nil {
+			return nil, err
+		}
+		return struct {
+			Rows   []Table3Row
+			Ratios []Table3Ratio
+		}{rows, ratios}, nil
+	case "fig6a":
+		return r.Figure6a()
+	case "fig6b":
+		return r.Figure6b()
+	case "fig6c":
+		return r.Figure6c()
+	case "fig6d":
+		return r.Figure6d()
+	case "table4":
+		return r.Table4()
+	case "table5":
+		return r.Table5()
+	case "fig7":
+		return r.Figure7()
+	case "table6":
+		return r.Table6()
+	case "chart6a":
+		return r.Figure6a()
+	case "chart6b":
+		return r.Figure6b()
+	case "ablate-lease":
+		return r.AblateLease()
+	case "ablate-dma":
+		return r.AblateDMADepth()
+	case "ablate-tiles":
+		return r.AblateTiles()
+	}
+	return nil, fmt.Errorf("unknown experiment %q", name)
+}
+
+// PrintJSON writes the named experiment (or, for "all", an object keyed by
+// experiment name) as indented JSON.
+func (r *Runner) PrintJSON(w io.Writer, name string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if name != "all" {
+		data, err := r.Data(name)
+		if err != nil {
+			return err
+		}
+		return enc.Encode(data)
+	}
+	out := make(map[string]any)
+	for _, e := range r.All() {
+		data, err := r.Data(e.Name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		out[e.Name] = data
+	}
+	return enc.Encode(out)
+}

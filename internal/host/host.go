@@ -1,0 +1,261 @@
+// Package host models the host out-of-order core of Table 2: 4-wide, a
+// 96-entry ROB, 32-entry load and store queues, 6 integer ALUs and 2 FPUs,
+// fed by the 64 KB L1D (a mesi.Client).
+//
+// The core is trace-driven, like the paper's macsim-based host model: it
+// executes the iteration-structured trace of a host phase (e.g. step3() of
+// Figure 1), dispatching into the ROB, issuing memory operations through
+// the L1 as capacity allows, and committing in order. Its role in the
+// evaluation is to produce and consume the data that migrates to and from
+// the accelerator tile, as the MESI requester the tile interacts with.
+package host
+
+import (
+	"fusion/internal/mem"
+	"fusion/internal/mesi"
+	"fusion/internal/sim"
+	"fusion/internal/stats"
+	"fusion/internal/trace"
+)
+
+// Config sets the core's resources (defaults follow Table 2).
+type Config struct {
+	Width   int // fetch/dispatch/commit width
+	ROB     int
+	LQ, SQ  int
+	IntALUs int
+	FPUs    int
+}
+
+// DefaultConfig matches Table 2.
+func DefaultConfig() Config {
+	return Config{Width: 4, ROB: 96, LQ: 32, SQ: 32, IntALUs: 6, FPUs: 2}
+}
+
+type opKind uint8
+
+const (
+	opInt opKind = iota
+	opFP
+	opLoad
+	opStore
+)
+
+type opState uint8
+
+const (
+	opWaiting opState = iota // dependencies not satisfied
+	opReady                  // may issue
+	opIssued                 // in flight
+	opDone
+)
+
+type hostOp struct {
+	kind  opKind
+	addr  mem.VAddr
+	iter  int
+	state opState
+}
+
+// Core is the host OOO processor. It is a sim.Ticker.
+type Core struct {
+	name string
+	cfg  Config
+	eng  *sim.Engine
+	l1   *mesi.Client
+
+	inv       *trace.Invocation
+	translate func(va mem.VAddr) mem.PAddr
+	onDone    func(now uint64)
+
+	ops      []hostOp // full instruction stream in program order
+	head     int      // commit pointer
+	dispatch int      // next op to enter the ROB
+	inROB    int
+	inLQ     int
+	inSQ     int
+
+	// iterLoads tracks outstanding loads per iteration for dependence.
+	loadsLeft   []int
+	computeLeft []int
+
+	stats *stats.Set
+	busy  uint64
+}
+
+// New builds a core over its L1 client and registers it with the engine.
+func New(eng *sim.Engine, name string, cfg Config, l1 *mesi.Client, st *stats.Set) *Core {
+	c := &Core{name: name, cfg: cfg, eng: eng, l1: l1, stats: st}
+	eng.Register(c)
+	return c
+}
+
+// Name implements sim.Ticker.
+func (c *Core) Name() string { return c.name }
+
+// Busy reports whether a phase is executing.
+func (c *Core) Busy() bool { return c.inv != nil }
+
+// Start begins executing a host phase. translate maps the program's virtual
+// addresses to physical ones (the host L1 is physically addressed). onDone
+// fires when the last instruction commits.
+func (c *Core) Start(inv *trace.Invocation, translate func(mem.VAddr) mem.PAddr, onDone func(now uint64)) {
+	if c.inv != nil {
+		panic(c.name + ": Start while busy")
+	}
+	c.inv = inv
+	c.translate = translate
+	c.onDone = onDone
+	c.ops = c.ops[:0]
+	c.loadsLeft = make([]int, len(inv.Iterations))
+	c.computeLeft = make([]int, len(inv.Iterations))
+	for i := range inv.Iterations {
+		it := &inv.Iterations[i]
+		for _, a := range it.Loads {
+			c.ops = append(c.ops, hostOp{kind: opLoad, addr: a, iter: i})
+		}
+		for k := 0; k < it.IntOps; k++ {
+			c.ops = append(c.ops, hostOp{kind: opInt, iter: i})
+		}
+		for k := 0; k < it.FPOps; k++ {
+			c.ops = append(c.ops, hostOp{kind: opFP, iter: i})
+		}
+		for _, a := range it.Stores {
+			c.ops = append(c.ops, hostOp{kind: opStore, addr: a, iter: i})
+		}
+		c.loadsLeft[i] = len(it.Loads)
+		c.computeLeft[i] = it.IntOps + it.FPOps
+	}
+	c.head, c.dispatch, c.inROB, c.inLQ, c.inSQ = 0, 0, 0, 0, 0
+	if c.stats != nil {
+		c.stats.Inc(c.name + ".phases")
+	}
+}
+
+// ready reports whether op's dependencies are satisfied: loads are always
+// ready; compute waits on its iteration's loads; stores wait on loads and
+// compute.
+func (c *Core) ready(op *hostOp) bool {
+	switch op.kind {
+	case opLoad:
+		return true
+	case opInt, opFP:
+		return c.loadsLeft[op.iter] == 0
+	default:
+		return c.loadsLeft[op.iter] == 0 && c.computeLeft[op.iter] == 0
+	}
+}
+
+// Tick advances the pipeline.
+func (c *Core) Tick(now uint64) {
+	if c.inv == nil {
+		return
+	}
+	c.busy++
+
+	// Dispatch into the ROB.
+	for n := 0; n < c.cfg.Width && c.dispatch < len(c.ops) && c.inROB < c.cfg.ROB; n++ {
+		c.dispatch++
+		c.inROB++
+	}
+
+	// Issue: walk the ROB window oldest-first, respecting per-cycle
+	// functional-unit and queue limits.
+	alu, fpu, memOps := c.cfg.IntALUs, c.cfg.FPUs, c.cfg.Width
+	for i := c.head; i < c.dispatch; i++ {
+		if alu == 0 && fpu == 0 && memOps == 0 {
+			break
+		}
+		op := &c.ops[i]
+		if op.state != opWaiting || !c.ready(op) {
+			continue
+		}
+		switch op.kind {
+		case opInt:
+			if alu == 0 {
+				continue
+			}
+			alu--
+			op.state = opIssued
+			iter := op.iter
+			opRef := op
+			c.eng.Schedule(1, func(uint64) {
+				opRef.state = opDone
+				c.computeLeft[iter]--
+			})
+		case opFP:
+			if fpu == 0 {
+				continue
+			}
+			fpu--
+			op.state = opIssued
+			iter := op.iter
+			opRef := op
+			c.eng.Schedule(3, func(uint64) {
+				opRef.state = opDone
+				c.computeLeft[iter]--
+			})
+		case opLoad:
+			if memOps == 0 || c.inLQ >= c.cfg.LQ {
+				continue
+			}
+			pa := c.translate(op.addr)
+			opRef := op
+			iter := op.iter
+			if !c.l1.Access(mem.Load, pa, func(uint64) {
+				opRef.state = opDone
+				c.loadsLeft[iter]--
+				c.inLQ--
+			}) {
+				continue // L1 MSHR full; retry next cycle
+			}
+			memOps--
+			c.inLQ++
+			op.state = opIssued
+			if c.stats != nil {
+				c.stats.Inc(c.name + ".loads")
+			}
+		case opStore:
+			if memOps == 0 || c.inSQ >= c.cfg.SQ {
+				continue
+			}
+			pa := c.translate(op.addr)
+			opRef := op
+			if !c.l1.Access(mem.Store, pa, func(uint64) {
+				opRef.state = opDone
+				c.inSQ--
+			}) {
+				continue
+			}
+			memOps--
+			c.inSQ++
+			op.state = opIssued
+			if c.stats != nil {
+				c.stats.Inc(c.name + ".stores")
+			}
+		}
+	}
+
+	// Commit in order.
+	for n := 0; n < c.cfg.Width && c.head < c.dispatch; n++ {
+		if c.ops[c.head].state != opDone {
+			break
+		}
+		c.head++
+		c.inROB--
+		if c.stats != nil {
+			c.stats.Inc(c.name + ".committed")
+		}
+	}
+
+	if c.head == len(c.ops) {
+		done := c.onDone
+		c.inv, c.translate, c.onDone = nil, nil, nil
+		if done != nil {
+			done(now)
+		}
+	}
+}
+
+// BusyCycles returns cycles spent executing host phases.
+func (c *Core) BusyCycles() uint64 { return c.busy }

@@ -1,0 +1,159 @@
+// Package interconnect models the on-chip links of the Fusion system: the
+// accelerator<->L1X connections inside a tile, the tile<->host-L2 link, the
+// direct L0X<->L0X forwarding path of FUSION-Dx, and the ring that joins the
+// LLC's NUCA banks.
+//
+// Links impose latency, serialize messages onto a finite flit bandwidth, and
+// attribute energy per byte to an energy.Meter category. Message and flit
+// counts feed Figure 6c (link traffic breakdown) and Table 4 (write-through
+// vs writeback bandwidth in 8-byte flits).
+package interconnect
+
+import (
+	"fusion/internal/energy"
+	"fusion/internal/sim"
+	"fusion/internal/stats"
+)
+
+// FlitBytes is the flit width used throughout the paper (Table 4).
+const FlitBytes = 8
+
+// ControlBytes is the size of a control (request/ack) message: an address,
+// a type, and a lease timestamp fit in one flit.
+const ControlBytes = 8
+
+// DataBytes is the size of a data-carrying message: one flit of header plus
+// a 64-byte cache line.
+const DataBytes = 8 + 64
+
+// Message is anything that can travel over a Link.
+type Message interface {
+	// Bytes is the on-wire size, used for flit counting and link energy.
+	Bytes() int
+}
+
+// Flits returns the number of 8-byte flits needed for n bytes.
+func Flits(n int) int {
+	return (n + FlitBytes - 1) / FlitBytes
+}
+
+// Link is a unidirectional point-to-point connection. Messages arrive at the
+// receiver `latency` cycles after Send, in send order; a finite bandwidth
+// (flits per cycle) serializes back-to-back messages.
+type Link struct {
+	name      string
+	eng       *sim.Engine
+	latency   uint64
+	bwFlits   uint64 // flits per cycle; 0 means infinite
+	pJPerByte float64
+	meter     *energy.Meter
+	meterCat  string
+	stats     *stats.Set
+	deliver   func(Message)
+
+	nextFree uint64 // first cycle the head of the link is free
+}
+
+// Config holds Link construction parameters.
+type Config struct {
+	Name          string
+	Latency       uint64
+	FlitsPerCycle uint64 // 0 = unlimited
+	PJPerByte     float64
+	Meter         *energy.Meter
+	MeterCategory string
+	Stats         *stats.Set
+	// Deliver is invoked at the receiver when a message arrives.
+	Deliver func(Message)
+}
+
+// NewLink builds a link on the given engine.
+func NewLink(eng *sim.Engine, cfg Config) *Link {
+	if cfg.Deliver == nil {
+		panic("interconnect: link needs a Deliver callback")
+	}
+	return &Link{
+		name:      cfg.Name,
+		eng:       eng,
+		latency:   cfg.Latency,
+		bwFlits:   cfg.FlitsPerCycle,
+		pJPerByte: cfg.PJPerByte,
+		meter:     cfg.Meter,
+		meterCat:  cfg.MeterCategory,
+		stats:     cfg.Stats,
+		deliver:   cfg.Deliver,
+	}
+}
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// Send queues m for delivery. Energy and traffic are accounted immediately;
+// delivery happens after the link latency plus any serialization delay.
+func (l *Link) Send(m Message) {
+	bytes := m.Bytes()
+	flits := uint64(Flits(bytes))
+
+	if l.stats != nil {
+		l.stats.Inc(l.name + ".msgs")
+		l.stats.Add(l.name+".bytes", int64(bytes))
+		l.stats.Add(l.name+".flits", int64(flits))
+		if bytes <= ControlBytes {
+			l.stats.Inc(l.name + ".ctrl")
+		} else {
+			l.stats.Inc(l.name + ".data")
+		}
+	}
+	if l.meter != nil {
+		l.meter.Add(l.meterCat, l.pJPerByte*float64(bytes))
+	}
+
+	now := l.eng.Now()
+	start := now
+	if l.bwFlits > 0 {
+		if l.nextFree > start {
+			start = l.nextFree
+		}
+		occupancy := (flits + l.bwFlits - 1) / l.bwFlits
+		if occupancy == 0 {
+			occupancy = 1
+		}
+		l.nextFree = start + occupancy
+	}
+	arrive := start + l.latency
+	if arrive <= now {
+		arrive = now + 1 // a link always takes at least one cycle
+	}
+	l.eng.ScheduleAt(arrive, func(uint64) { l.deliver(m) })
+}
+
+// Ring computes NUCA ring-hop latencies between the LLC banks. The paper's
+// LLC is an 8-tile NUCA on a ring with ~20-cycle average access (Table 2).
+type Ring struct {
+	Stops      int
+	PerHop     uint64 // cycles per ring hop
+	BankAccess uint64 // cycles inside the bank itself
+}
+
+// Latency returns the cycles from stop a to stop b plus the bank access
+// time, taking the shorter ring direction.
+func (r Ring) Latency(a, b int) uint64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if other := r.Stops - d; other < d {
+		d = other
+	}
+	return uint64(d)*r.PerHop + r.BankAccess
+}
+
+// AvgLatency returns the average access latency from stop 0 over all banks,
+// used to check the configuration against the paper's 20-cycle figure.
+func (r Ring) AvgLatency() float64 {
+	var total uint64
+	for b := 0; b < r.Stops; b++ {
+		total += r.Latency(0, b)
+	}
+	return float64(total) / float64(r.Stops)
+}

@@ -1,0 +1,88 @@
+// Package mem defines the address types and cache-line geometry shared by
+// every level of the simulated memory hierarchy.
+//
+// The accelerator tile operates on virtual addresses (VAddr); the host tile
+// and everything below the shared L2 operates on physical addresses (PAddr).
+// Translation between the two happens exactly once, at the AX-TLB on the
+// shared L1X miss path (see internal/vm), mirroring the paper's design.
+package mem
+
+import "fmt"
+
+// VAddr is a virtual address as issued by an accelerator or the host program.
+type VAddr uint64
+
+// PAddr is a physical address as used by the host MESI hierarchy and DRAM.
+type PAddr uint64
+
+// Cache-line and page geometry. The paper (and GEMS defaults) use 64-byte
+// lines; pages are 4 KiB.
+const (
+	LineBytes = 64
+	LineShift = 6
+	PageBytes = 4096
+	PageShift = 12
+)
+
+// LineAddr returns a with the line-offset bits cleared.
+func (a VAddr) LineAddr() VAddr { return a &^ (LineBytes - 1) }
+
+// LineAddr returns a with the line-offset bits cleared.
+func (a PAddr) LineAddr() PAddr { return a &^ (LineBytes - 1) }
+
+// LineID returns the line number (address >> LineShift).
+func (a VAddr) LineID() uint64 { return uint64(a) >> LineShift }
+
+// LineID returns the line number (address >> LineShift).
+func (a PAddr) LineID() uint64 { return uint64(a) >> LineShift }
+
+// PageAddr returns a with the page-offset bits cleared.
+func (a VAddr) PageAddr() VAddr { return a &^ (PageBytes - 1) }
+
+// PageAddr returns a with the page-offset bits cleared.
+func (a PAddr) PageAddr() PAddr { return a &^ (PageBytes - 1) }
+
+// PageOffset returns the offset of a within its page.
+func (a VAddr) PageOffset() uint64 { return uint64(a) & (PageBytes - 1) }
+
+// PageOffset returns the offset of a within its page.
+func (a PAddr) PageOffset() uint64 { return uint64(a) & (PageBytes - 1) }
+
+// PageNumber returns the virtual page number.
+func (a VAddr) PageNumber() uint64 { return uint64(a) >> PageShift }
+
+// PageNumber returns the physical page (frame) number.
+func (a PAddr) PageNumber() uint64 { return uint64(a) >> PageShift }
+
+func (a VAddr) String() string { return fmt.Sprintf("v%#x", uint64(a)) }
+func (a PAddr) String() string { return fmt.Sprintf("p%#x", uint64(a)) }
+
+// AccessKind distinguishes reads from writes at every hierarchy level.
+type AccessKind uint8
+
+const (
+	Load AccessKind = iota
+	Store
+)
+
+func (k AccessKind) String() string {
+	if k == Store {
+		return "ST"
+	}
+	return "LD"
+}
+
+// PID identifies the owning process of an accelerator-tile cache line. The
+// L0X and L1X tags carry a PID so accelerators executing functions from
+// different processes can share a tile (Section 3.2).
+type PID uint16
+
+// LinesIn returns the number of cache lines spanned by [addr, addr+size).
+func LinesIn(addr uint64, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	first := addr >> LineShift
+	last := (addr + size - 1) >> LineShift
+	return last - first + 1
+}

@@ -1,0 +1,112 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAddr(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want uint64
+	}{
+		{0, 0}, {1, 0}, {63, 0}, {64, 64}, {65, 64}, {127, 64}, {128, 128},
+		{0xdeadbeef, 0xdeadbec0}, // 0xdeadbeef &^ 63
+	}
+	for _, c := range cases {
+		if got := VAddr(c.in).LineAddr(); uint64(got) != c.want {
+			t.Errorf("VAddr(%#x).LineAddr() = %#x, want %#x", c.in, uint64(got), c.want)
+		}
+		if got := PAddr(c.in).LineAddr(); uint64(got) != c.want {
+			t.Errorf("PAddr(%#x).LineAddr() = %#x, want %#x", c.in, uint64(got), c.want)
+		}
+	}
+}
+
+func TestLineID(t *testing.T) {
+	if VAddr(0).LineID() != 0 || VAddr(64).LineID() != 1 || VAddr(640).LineID() != 10 {
+		t.Fatal("LineID arithmetic wrong")
+	}
+}
+
+func TestPageAddrAndOffset(t *testing.T) {
+	a := VAddr(0x12345)
+	if a.PageAddr() != 0x12000 {
+		t.Fatalf("PageAddr = %#x, want 0x12000", uint64(a.PageAddr()))
+	}
+	if a.PageOffset() != 0x345 {
+		t.Fatalf("PageOffset = %#x, want 0x345", a.PageOffset())
+	}
+	if a.PageNumber() != 0x12 {
+		t.Fatalf("PageNumber = %#x, want 0x12", a.PageNumber())
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if Load.String() != "LD" || Store.String() != "ST" {
+		t.Fatal("AccessKind strings wrong")
+	}
+}
+
+func TestLinesIn(t *testing.T) {
+	cases := []struct {
+		addr, size, want uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 2},
+		{63, 2, 2},
+		{63, 1, 1},
+		{64, 128, 2},
+		{100, 64, 2},
+	}
+	for _, c := range cases {
+		if got := LinesIn(c.addr, c.size); got != c.want {
+			t.Errorf("LinesIn(%d,%d) = %d, want %d", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+// Property: line alignment is idempotent, never increases the address, and
+// the result differs from the input by less than one line.
+func TestLineAlignProperty(t *testing.T) {
+	f := func(a uint64) bool {
+		la := VAddr(a).LineAddr()
+		return la.LineAddr() == la && uint64(la) <= a && a-uint64(la) < LineBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: page number and offset recompose to the original address.
+func TestPageDecomposeProperty(t *testing.T) {
+	f := func(a uint64) bool {
+		v := VAddr(a)
+		return v.PageNumber()<<PageShift|v.PageOffset() == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrStrings(t *testing.T) {
+	if VAddr(0x40).String() != "v0x40" {
+		t.Fatalf("VAddr string = %q", VAddr(0x40).String())
+	}
+	if PAddr(0x40).String() != "p0x40" {
+		t.Fatalf("PAddr string = %q", PAddr(0x40).String())
+	}
+}
+
+func TestPAddrPageHelpers(t *testing.T) {
+	a := PAddr(0x12345)
+	if a.PageAddr() != 0x12000 || a.PageOffset() != 0x345 || a.PageNumber() != 0x12 {
+		t.Fatalf("PAddr page helpers wrong: %v %v %v",
+			a.PageAddr(), a.PageOffset(), a.PageNumber())
+	}
+	if a.LineID() != 0x12345>>6 {
+		t.Fatalf("LineID = %v", a.LineID())
+	}
+}

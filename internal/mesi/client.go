@@ -1,0 +1,405 @@
+package mesi
+
+import (
+	"fmt"
+
+	"fusion/internal/cache"
+	"fusion/internal/energy"
+	"fusion/internal/mem"
+	"fusion/internal/stats"
+)
+
+// txn tracks one outstanding miss transaction at a client.
+type txn struct {
+	addr        uint64
+	write       bool // GetM (vs GetS)
+	dataArrived bool
+	dataState   cache.State
+	ver         uint64
+	acksNeeded  int // -1 until the Data response reports the count
+	acksGot     int
+	waiters     []waiter
+}
+
+type waiter struct {
+	kind mem.AccessKind
+	done func(now uint64)
+}
+
+// evicting tracks a dirty or exclusive line between PutM/PutE and PutAck; the
+// client can still answer forwarded requests from this buffer, which resolves
+// the eviction/forward race without extra directory states.
+type evicting struct {
+	ver   uint64
+	dirty bool
+}
+
+// Client is a MESI L1 cache controller: the host core's L1D. It exposes a
+// processor-side Access API and speaks the directory protocol on the fabric.
+type Client struct {
+	id     AgentID
+	name   string
+	fabric *Fabric
+	arr    *cache.Array
+	mshr   *cache.MSHR
+
+	hitLatency uint64
+
+	txns     map[uint64]*txn
+	evicting map[uint64]*evicting
+
+	model     energy.Model
+	meter     *energy.Meter
+	energyCat string
+	accessPJ  float64
+	stats     *stats.Set
+}
+
+// ClientConfig sizes a client cache.
+type ClientConfig struct {
+	Name       string
+	Cache      cache.Params // Table 2 host L1: 64 KB, 4-way
+	MSHRs      int
+	HitLatency uint64 // Table 2: 3 cycles
+	// EnergyCategory and AccessPJ define where and how much each array
+	// access costs.
+	EnergyCategory string
+	AccessPJ       float64
+}
+
+// DefaultHostL1Config matches Table 2.
+func DefaultHostL1Config(model energy.Model) ClientConfig {
+	return ClientConfig{
+		Name:           "hostl1",
+		Cache:          cache.Params{SizeBytes: 64 << 10, Ways: 4, LineBytes: mem.LineBytes},
+		MSHRs:          16,
+		HitLatency:     3,
+		EnergyCategory: energy.CatHostL1,
+		AccessPJ:       model.HostL1Access,
+	}
+}
+
+// NewClient builds a client and registers it as agent id on the fabric.
+func NewClient(f *Fabric, id AgentID, cfg ClientConfig,
+	model energy.Model, meter *energy.Meter, st *stats.Set) *Client {
+	c := &Client{
+		id:         id,
+		name:       cfg.Name,
+		fabric:     f,
+		arr:        cache.NewArray(cfg.Cache),
+		mshr:       cache.NewMSHR(cfg.MSHRs),
+		hitLatency: cfg.HitLatency,
+		txns:       make(map[uint64]*txn),
+		evicting:   make(map[uint64]*evicting),
+		model:      model,
+		meter:      meter,
+		energyCat:  cfg.EnergyCategory,
+		accessPJ:   cfg.AccessPJ,
+		stats:      st,
+	}
+	f.Register(id, c.Handle)
+	return c
+}
+
+// ID returns the client's agent ID.
+func (c *Client) ID() AgentID { return c.id }
+
+func (c *Client) access() {
+	if c.meter != nil {
+		c.meter.Add(c.energyCat, c.accessPJ)
+	}
+	if c.stats != nil {
+		c.stats.Inc(c.name + ".accesses")
+	}
+}
+
+// Access performs a processor load or store. done fires when the access
+// retires. It returns false when the MSHR is full and the access must be
+// retried (back-pressure into the core's load/store queue).
+func (c *Client) Access(kind mem.AccessKind, addr mem.PAddr, done func(now uint64)) bool {
+	a := uint64(addr.LineAddr())
+	c.access()
+
+	if l := c.arr.Lookup(a); l != nil {
+		switch {
+		case kind == mem.Load:
+			c.hit(done)
+			return true
+		case l.State == cache.Modified:
+			l.Ver++
+			c.hit(done)
+			return true
+		case l.State == cache.Exclusive:
+			l.State = cache.Modified // silent E->M upgrade
+			l.Dirty = true
+			l.Ver++
+			c.hit(done)
+			return true
+		default:
+			// Store to a Shared line: S->M upgrade via GetM.
+		}
+	}
+
+	// Miss (or upgrade). Merge into an existing transaction when possible.
+	if t, ok := c.txns[a]; ok {
+		if kind == mem.Store && !t.write {
+			// A store behind a pending GetS: replay after the fill; the
+			// replay will find S/E and upgrade.
+		}
+		t.waiters = append(t.waiters, waiter{kind, done})
+		if c.stats != nil {
+			c.stats.Inc(c.name + ".mshr_merge")
+		}
+		return true
+	}
+	if c.mshr.Full() {
+		if c.stats != nil {
+			c.stats.Inc(c.name + ".mshr_full")
+		}
+		return false
+	}
+	c.mshr.Allocate(a)
+	t := &txn{addr: a, write: kind == mem.Store, acksNeeded: -1}
+	t.waiters = append(t.waiters, waiter{kind, done})
+	c.txns[a] = t
+	if c.stats != nil {
+		c.stats.Inc(c.name + ".misses")
+	}
+	mt := MsgGetS
+	if t.write {
+		mt = MsgGetM
+	}
+	c.fabric.Send(&Msg{Type: mt, Addr: mem.PAddr(a), Src: c.id, Dst: DirID})
+	return true
+}
+
+func (c *Client) hit(done func(uint64)) {
+	if c.stats != nil {
+		c.stats.Inc(c.name + ".hits")
+	}
+	c.fabric.Engine().Schedule(c.hitLatency, func(now uint64) { done(now) })
+}
+
+// Handle is the fabric endpoint for protocol messages.
+func (c *Client) Handle(m *Msg) {
+	a := uint64(m.Addr.LineAddr())
+	switch m.Type {
+	case MsgData, MsgDataE, MsgDataM:
+		t := c.txns[a]
+		if t == nil {
+			panic(fmt.Sprintf("%s: data with no txn: %s", c.name, m))
+		}
+		t.dataArrived = true
+		t.ver = m.Ver
+		switch m.Type {
+		case MsgDataE:
+			t.dataState = cache.Exclusive
+		case MsgDataM:
+			t.dataState = cache.Modified
+		default:
+			t.dataState = cache.Shared
+		}
+		if m.AckCount > 0 || t.acksNeeded == -1 {
+			t.acksNeeded = m.AckCount
+		}
+		c.maybeComplete(t)
+
+	case MsgInvAck:
+		t := c.txns[a]
+		if t == nil {
+			panic(fmt.Sprintf("%s: InvAck with no txn: %s", c.name, m))
+		}
+		t.acksGot++
+		c.maybeComplete(t)
+
+	case MsgInv:
+		// Invalidate a shared copy (it may already be gone: S lines drop
+		// silently). Ack whoever the directory says is waiting.
+		if l := c.arr.Peek(a); l != nil {
+			*l = cache.Line{}
+			c.access()
+		}
+		if ev, ok := c.evicting[a]; ok {
+			// Eviction raced with an invalidation; the buffered data is
+			// superseded, drop it. The in-flight PutM will be stale-acked.
+			_ = ev
+			delete(c.evicting, a)
+		}
+		if c.stats != nil {
+			c.stats.Inc(c.name + ".invalidations")
+		}
+		c.fabric.Send(&Msg{Type: MsgInvAck, Addr: m.Addr, Src: c.id, Dst: m.Requester})
+
+	case MsgFwdGetS:
+		c.handleFwd(m, a, false)
+
+	case MsgFwdGetM:
+		c.handleFwd(m, a, true)
+
+	case MsgPutAck:
+		delete(c.evicting, a)
+
+	default:
+		panic(fmt.Sprintf("%s: unexpected %s", c.name, m))
+	}
+}
+
+// handleFwd answers a forwarded request as the current owner.
+func (c *Client) handleFwd(m *Msg, a uint64, exclusive bool) {
+	if c.stats != nil {
+		c.stats.Inc(c.name + ".fwd_served")
+	}
+	var ver uint64
+	var dirty bool
+	dropped := false
+
+	if l := c.arr.Peek(a); l != nil && (l.State == cache.Modified || l.State == cache.Exclusive) {
+		ver = l.Ver
+		dirty = l.State == cache.Modified
+		c.access()
+		if exclusive {
+			*l = cache.Line{}
+			dropped = true
+		} else {
+			l.State = cache.Shared
+			l.Dirty = false
+		}
+	} else if ev, ok := c.evicting[a]; ok {
+		// Serve from the eviction buffer; the line is gone either way.
+		ver = ev.ver
+		dirty = ev.dirty
+		dropped = true
+		delete(c.evicting, a)
+	} else {
+		panic(fmt.Sprintf("%s: Fwd for line %#x not owned", c.name, a))
+	}
+
+	dt := MsgData
+	if exclusive {
+		dt = MsgDataM
+	}
+	c.fabric.Send(&Msg{Type: dt, Addr: m.Addr, Src: c.id, Dst: m.Requester, Ver: ver})
+	c.fabric.Send(&Msg{Type: MsgOwnerAck, Addr: m.Addr, Src: c.id, Dst: DirID,
+		Dirty: dirty, Dropped: dropped, Ver: ver})
+}
+
+// maybeComplete fills the line and replays waiters once data and all
+// invalidation acks have arrived.
+func (c *Client) maybeComplete(t *txn) {
+	if !t.dataArrived || t.acksNeeded < 0 || t.acksGot < t.acksNeeded {
+		return
+	}
+	a := t.addr
+
+	// An upgrade (store to a line held in S) must reuse the existing way;
+	// filling a second way would alias the line within the set.
+	v := c.arr.Peek(a)
+	if v == nil {
+		v = c.pickVictim(a)
+		if v == nil {
+			// Every way in the set is tied up by pending transactions; retry.
+			c.fabric.Engine().Schedule(1, func(uint64) { c.maybeComplete(t) })
+			return
+		}
+		c.evict(v)
+		c.arr.Fill(v, a, 0)
+	}
+	c.access()
+	v.Ver = t.ver
+	state := t.dataState
+	if t.write {
+		state = cache.Modified
+	}
+	v.State = state
+	v.Dirty = state == cache.Modified
+
+	delete(c.txns, a)
+	c.mshr.Free(a)
+	c.fabric.Send(&Msg{Type: MsgUnblock, Addr: mem.PAddr(a), Src: c.id, Dst: DirID,
+		Excl: state == cache.Exclusive || state == cache.Modified})
+
+	// Replay waiters: stores on a non-M fill re-enter Access and upgrade.
+	waiters := t.waiters
+	lat := c.hitLatency
+	for _, w := range waiters {
+		w := w
+		if w.kind == mem.Store && state != cache.Modified {
+			c.fabric.Engine().Schedule(1, func(uint64) {
+				c.retryAccess(w.kind, mem.PAddr(a), w.done)
+			})
+			continue
+		}
+		if w.kind == mem.Store {
+			v.Ver++
+		}
+		c.fabric.Engine().Schedule(lat, func(now uint64) { w.done(now) })
+	}
+}
+
+// retryAccess re-issues an access until the MSHR accepts it.
+func (c *Client) retryAccess(kind mem.AccessKind, addr mem.PAddr, done func(uint64)) {
+	if !c.Access(kind, addr, done) {
+		c.fabric.Engine().Schedule(2, func(uint64) { c.retryAccess(kind, addr, done) })
+	}
+}
+
+// pickVictim finds a fillable way for addr, skipping lines with outstanding
+// transactions (an upgrading S line must not be displaced mid-transaction).
+func (c *Client) pickVictim(a uint64) *cache.Line {
+	for i := 0; i < c.arr.Params().Ways; i++ {
+		v := c.arr.Victim(a)
+		if !v.Valid {
+			return v
+		}
+		if _, busy := c.txns[v.Addr]; !busy {
+			return v
+		}
+		c.arr.Touch(v) // rotate past the busy line
+	}
+	return nil
+}
+
+// evict writes back or drops a victim line.
+func (c *Client) evict(v *cache.Line) {
+	if !v.Valid {
+		return
+	}
+	switch v.State {
+	case cache.Modified:
+		c.evicting[v.Addr] = &evicting{ver: v.Ver, dirty: true}
+		c.fabric.Send(&Msg{Type: MsgPutM, Addr: mem.PAddr(v.Addr), Src: c.id,
+			Dst: DirID, Ver: v.Ver})
+		if c.stats != nil {
+			c.stats.Inc(c.name + ".writebacks")
+		}
+	case cache.Exclusive:
+		c.evicting[v.Addr] = &evicting{ver: v.Ver, dirty: false}
+		c.fabric.Send(&Msg{Type: MsgPutE, Addr: mem.PAddr(v.Addr), Src: c.id, Dst: DirID})
+	default:
+		// Shared lines drop silently.
+		if c.stats != nil {
+			c.stats.Inc(c.name + ".silent_drops")
+		}
+	}
+	*v = cache.Line{}
+}
+
+// FlushAll writes back every dirty line and invalidates the cache, e.g. at
+// the end of a program phase. Writebacks are fire-and-forget.
+func (c *Client) FlushAll() {
+	c.arr.ForEach(func(l *cache.Line) {
+		if l.Valid {
+			cp := *l
+			c.evict(&cp)
+			*l = cache.Line{}
+		}
+	})
+}
+
+// Outstanding reports in-flight transactions (for drain checks in tests).
+func (c *Client) Outstanding() int { return len(c.txns) + len(c.evicting) }
+
+// Peek exposes line state for tests.
+func (c *Client) Peek(addr mem.PAddr) *cache.Line {
+	return c.arr.Peek(uint64(addr.LineAddr()))
+}

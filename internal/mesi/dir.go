@@ -1,0 +1,537 @@
+package mesi
+
+import (
+	"fmt"
+
+	"fusion/internal/cache"
+	"fusion/internal/dram"
+	"fusion/internal/energy"
+	"fusion/internal/interconnect"
+	"fusion/internal/mem"
+	"fusion/internal/ptrace"
+	"fusion/internal/stats"
+)
+
+// sharerSet is a bitmask over AgentIDs (at most 32 agents).
+type sharerSet uint32
+
+func (s sharerSet) has(id AgentID) bool { return s&(1<<id) != 0 }
+func (s *sharerSet) add(id AgentID)     { *s |= 1 << id }
+func (s *sharerSet) remove(id AgentID)  { *s &^= 1 << id }
+func (s sharerSet) count() int {
+	n := 0
+	for s != 0 {
+		s &= s - 1
+		n++
+	}
+	return n
+}
+func (s sharerSet) forEach(fn func(AgentID)) {
+	for id := AgentID(0); id < 32; id++ {
+		if s.has(id) {
+			fn(id)
+		}
+	}
+}
+
+// dirState is the directory's view of a line.
+type dirState uint8
+
+const (
+	dirI dirState = iota // no cached copies
+	dirS                 // one or more clean sharers
+	dirE                 // one owner holds E or M
+)
+
+// dirEntry is the directory record for one line. The directory is blocking:
+// one transaction per line at a time; requests arriving while busy queue in
+// FIFO order.
+type dirEntry struct {
+	state   dirState
+	owner   AgentID
+	sharers sharerSet
+
+	busy         bool
+	waitUnblock  bool
+	waitOwnerAck bool
+	waitInvAcks  int
+	// pendingDMA holds a directory-collected DMA transaction to finish once
+	// invalidations complete.
+	pendingDMA *Msg
+	queue      []*Msg
+}
+
+// Directory is the shared L2: a NUCA LLC data array plus the MESI directory,
+// backed by DRAM. It registers as agent DirID on the fabric.
+type Directory struct {
+	fabric *Fabric
+	llc    *cache.Array
+	dram   *dram.DRAM
+	ring   interconnect.Ring
+
+	// ver is the golden backing store: the latest version written back for
+	// every line. It stands in for both LLC data and DRAM contents.
+	ver map[uint64]uint64
+
+	entries map[uint64]*dirEntry
+
+	model energy.Model
+	meter *energy.Meter
+	stats *stats.Set
+
+	// TileAgent, when nonzero, marks which agent is the accelerator tile so
+	// forwarded-request counts (Section 3.2: "up to ~800 forwarded requests")
+	// can be reported separately.
+	TileAgent AgentID
+
+	tracer ptrace.Tracer
+}
+
+// SetTracer attaches a protocol tracer (nil disables tracing).
+func (dir *Directory) SetTracer(t ptrace.Tracer) { dir.tracer = t }
+
+func (dir *Directory) emit(k ptrace.Kind, addr mem.PAddr, detail string) {
+	if dir.tracer != nil {
+		dir.tracer.Emit(ptrace.Event{Cycle: dir.fabric.Now(), Source: "dir",
+			Kind: k, Addr: uint64(addr), Detail: detail})
+	}
+}
+
+// DirConfig sizes the shared L2.
+type DirConfig struct {
+	LLC  cache.Params      // Table 2: 4 MB, 16-way
+	Ring interconnect.Ring // Table 2: 8-tile NUCA ring, ~20-cycle average
+}
+
+// DefaultDirConfig matches Table 2.
+func DefaultDirConfig() DirConfig {
+	return DirConfig{
+		LLC:  cache.Params{SizeBytes: 4 << 20, Ways: 16, LineBytes: mem.LineBytes},
+		Ring: interconnect.Ring{Stops: 8, PerHop: 4, BankAccess: 6},
+	}
+}
+
+// NewDirectory builds the L2 controller and registers it on the fabric.
+func NewDirectory(f *Fabric, cfg DirConfig, d *dram.DRAM,
+	model energy.Model, meter *energy.Meter, st *stats.Set) *Directory {
+	dir := &Directory{
+		fabric:  f,
+		llc:     cache.NewArray(cfg.LLC),
+		dram:    d,
+		ring:    cfg.Ring,
+		ver:     make(map[uint64]uint64),
+		entries: make(map[uint64]*dirEntry),
+		model:   model,
+		meter:   meter,
+		stats:   st,
+	}
+	f.Register(DirID, dir.Handle)
+	return dir
+}
+
+// Preload installs version v for a line directly in the backing store and
+// LLC, modeling data the host wrote before offload began.
+func (dir *Directory) Preload(addr mem.PAddr, v uint64) {
+	a := uint64(addr.LineAddr())
+	dir.ver[a] = v
+	if dir.llc.Peek(a) == nil {
+		dir.llc.Fill(dir.llc.Victim(a), a, 0)
+	}
+}
+
+// Version returns the backing-store version of a line (0 if never written).
+func (dir *Directory) Version(addr mem.PAddr) uint64 {
+	return dir.ver[uint64(addr.LineAddr())]
+}
+
+// entry fetches or creates the directory record for a line address.
+func (dir *Directory) entry(a uint64) *dirEntry {
+	e, ok := dir.entries[a]
+	if !ok {
+		e = &dirEntry{}
+		dir.entries[a] = e
+	}
+	return e
+}
+
+func (dir *Directory) bank(a uint64) int {
+	return int((a >> mem.LineShift) % uint64(dir.ring.Stops))
+}
+
+// Handle is the fabric endpoint: routes message types to handlers. Requests
+// pay the NUCA ring latency to their bank before processing.
+func (dir *Directory) Handle(m *Msg) {
+	switch m.Type {
+	case MsgGetS, MsgGetM, MsgPutM, MsgPutE, MsgDMARead, MsgDMAWrite:
+		lat := dir.ring.Latency(0, dir.bank(uint64(m.Addr)))
+		dir.fabric.Engine().Schedule(lat, func(uint64) { dir.request(m) })
+	case MsgOwnerAck:
+		dir.ownerAck(m)
+	case MsgUnblock:
+		dir.unblock(m)
+	case MsgInvAck:
+		dir.invAck(m)
+	default:
+		panic(fmt.Sprintf("mesi dir: unexpected %s", m))
+	}
+}
+
+// request admits a request to the blocking directory.
+func (dir *Directory) request(m *Msg) {
+	a := uint64(m.Addr.LineAddr())
+	e := dir.entry(a)
+	if e.busy {
+		e.queue = append(e.queue, m)
+		if dir.stats != nil {
+			dir.stats.Inc("dir.queued")
+		}
+		return
+	}
+	dir.start(e, m)
+}
+
+// start runs one transaction. The entry is not busy.
+func (dir *Directory) start(e *dirEntry, m *Msg) {
+	a := uint64(m.Addr.LineAddr())
+	if dir.stats != nil {
+		dir.stats.Inc("dir." + m.Type.String())
+	}
+	if dir.tracer != nil {
+		var k ptrace.Kind
+		switch m.Type {
+		case MsgGetS:
+			k = ptrace.DirRead
+		case MsgGetM:
+			k = ptrace.DirWrite
+		case MsgPutM, MsgPutE:
+			k = ptrace.DirPut
+		case MsgDMARead:
+			k = ptrace.DirDMARead
+		case MsgDMAWrite:
+			k = ptrace.DirDMAWrite
+		}
+		dir.emit(k, m.Addr, fmt.Sprintf("from agent%d", m.Src))
+	}
+	dir.accessL2() // directory tag/state access
+
+	switch m.Type {
+	case MsgGetS:
+		dir.handleGetS(e, m, a)
+	case MsgGetM:
+		dir.handleGetM(e, m, a)
+	case MsgPutM:
+		dir.handlePutM(e, m, a)
+	case MsgPutE:
+		dir.handlePutE(e, m, a)
+	case MsgDMARead:
+		dir.handleDMARead(e, m, a)
+	case MsgDMAWrite:
+		dir.handleDMAWrite(e, m, a)
+	default:
+		panic(fmt.Sprintf("mesi dir: start %s", m))
+	}
+}
+
+func (dir *Directory) handleGetS(e *dirEntry, m *Msg, a uint64) {
+	switch e.state {
+	case dirI:
+		e.busy, e.waitUnblock = true, true
+		dir.readData(a, func(ver uint64) {
+			dir.send(&Msg{Type: MsgDataE, Addr: m.Addr, Src: DirID, Dst: m.Src, Ver: ver})
+			e.state, e.owner = dirE, m.Src
+		})
+	case dirS:
+		e.busy, e.waitUnblock = true, true
+		dir.readData(a, func(ver uint64) {
+			dir.send(&Msg{Type: MsgData, Addr: m.Addr, Src: DirID, Dst: m.Src, Ver: ver})
+			e.sharers.add(m.Src)
+		})
+	case dirE:
+		e.busy, e.waitUnblock, e.waitOwnerAck = true, true, true
+		dir.forward(MsgFwdGetS, e.owner, m)
+		// State settles when OwnerAck arrives (owner may drop or keep S).
+		e.sharers.add(m.Src)
+	}
+}
+
+func (dir *Directory) handleGetM(e *dirEntry, m *Msg, a uint64) {
+	switch e.state {
+	case dirI:
+		e.busy, e.waitUnblock = true, true
+		dir.readData(a, func(ver uint64) {
+			dir.send(&Msg{Type: MsgDataM, Addr: m.Addr, Src: DirID, Dst: m.Src, Ver: ver})
+			e.state, e.owner, e.sharers = dirE, m.Src, 0
+		})
+	case dirS:
+		e.busy, e.waitUnblock = true, true
+		others := e.sharers
+		others.remove(m.Src)
+		n := others.count()
+		dir.readData(a, func(ver uint64) {
+			dir.send(&Msg{Type: MsgData, Addr: m.Addr, Src: DirID, Dst: m.Src,
+				AckCount: n, Ver: ver})
+			others.forEach(func(s AgentID) {
+				dir.send(&Msg{Type: MsgInv, Addr: m.Addr, Src: DirID, Dst: s,
+					Requester: m.Src})
+			})
+			e.state, e.owner, e.sharers = dirE, m.Src, 0
+		})
+	case dirE:
+		if e.owner == m.Src {
+			// Cannot happen in MESI: E->M upgrades are silent, and an M
+			// owner never requests. Guard anyway.
+			panic("mesi dir: GetM from current owner")
+		}
+		e.busy, e.waitUnblock, e.waitOwnerAck = true, true, true
+		dir.forward(MsgFwdGetM, e.owner, m)
+		e.state, e.owner, e.sharers = dirE, m.Src, 0
+	}
+}
+
+func (dir *Directory) handlePutM(e *dirEntry, m *Msg, a uint64) {
+	stale := !(e.state == dirE && e.owner == m.Src)
+	if stale {
+		if dir.stats != nil {
+			dir.stats.Inc("dir.put_stale")
+		}
+	} else {
+		e.state, e.owner = dirI, 0
+	}
+	// Accept the data only if it is not older than what we already hold
+	// (a stale PutM races with a completed forward).
+	if m.Ver >= dir.ver[a] {
+		dir.ver[a] = m.Ver
+		dir.fillLLC(a, true)
+	}
+	dir.send(&Msg{Type: MsgPutAck, Addr: m.Addr, Src: DirID, Dst: m.Src})
+	// Puts complete synchronously and never mark the line busy; when this
+	// one was popped from the queue, the requests behind it must continue
+	// draining or they would sit on a non-busy line forever.
+	dir.finish(e)
+}
+
+func (dir *Directory) handlePutE(e *dirEntry, m *Msg, a uint64) {
+	if e.state == dirE && e.owner == m.Src {
+		e.state, e.owner = dirI, 0
+	} else if dir.stats != nil {
+		dir.stats.Inc("dir.put_stale")
+	}
+	dir.send(&Msg{Type: MsgPutAck, Addr: m.Addr, Src: DirID, Dst: m.Src})
+	dir.finish(e) // see handlePutM: keep draining the queue
+}
+
+func (dir *Directory) handleDMARead(e *dirEntry, m *Msg, a uint64) {
+	switch e.state {
+	case dirI, dirS:
+		e.busy = true // block the line only for the duration of the fetch
+		dir.readData(a, func(ver uint64) {
+			dir.send(&Msg{Type: MsgDMAReadResp, Addr: m.Addr, Src: DirID,
+				Dst: m.Src, Ver: ver})
+			dir.finish(e)
+		})
+	case dirE:
+		// Owner supplies data straight to the DMA engine; the directory
+		// waits only for the owner's ack (the DMA never unblocks).
+		e.busy, e.waitOwnerAck = true, true
+		dir.forward(MsgFwdGetS, e.owner, m)
+		e.sharers.add(e.owner) // provisional; OwnerAck fixes it up
+	}
+}
+
+func (dir *Directory) handleDMAWrite(e *dirEntry, m *Msg, a uint64) {
+	// Invalidate every cached copy, then commit the DMA data.
+	var targets sharerSet
+	switch e.state {
+	case dirS:
+		targets = e.sharers
+	case dirE:
+		targets.add(e.owner)
+	}
+	n := targets.count()
+	e.state, e.owner, e.sharers = dirI, 0, 0
+	if n == 0 {
+		dir.commitDMAWrite(e, m, a)
+		return
+	}
+	e.busy = true
+	e.waitInvAcks = n
+	e.pendingDMA = m
+	targets.forEach(func(s AgentID) {
+		dir.send(&Msg{Type: MsgInv, Addr: m.Addr, Src: DirID, Dst: s,
+			Requester: DirID})
+	})
+}
+
+func (dir *Directory) commitDMAWrite(e *dirEntry, m *Msg, a uint64) {
+	if m.Delta {
+		dir.ver[a] += m.Ver
+	} else if m.Ver >= dir.ver[a] {
+		dir.ver[a] = m.Ver
+	}
+	dir.fillLLC(a, true)
+	dir.send(&Msg{Type: MsgDMAWriteAck, Addr: m.Addr, Src: DirID, Dst: m.Src})
+	dir.finish(e)
+}
+
+// ownerAck arrives from the previous owner after a Fwd.
+func (dir *Directory) ownerAck(m *Msg) {
+	a := uint64(m.Addr.LineAddr())
+	e := dir.entry(a)
+	if !e.waitOwnerAck {
+		panic(fmt.Sprintf("mesi dir: unexpected OwnerAck %s", m))
+	}
+	e.waitOwnerAck = false
+	if m.Dirty {
+		if m.Ver >= dir.ver[a] {
+			dir.ver[a] = m.Ver
+		}
+		dir.fillLLC(a, true)
+	}
+	if m.Dropped {
+		e.sharers.remove(m.Src)
+		if e.state == dirE && e.owner == m.Src {
+			// FwdGetS target dropped instead of keeping S (the accelerator
+			// tile always does). Ownership question resolves below.
+			e.state = dirS
+		}
+	} else if e.state == dirE && e.owner != m.Src {
+		// FwdGetM path already reassigned the owner; nothing to do.
+	} else if e.state == dirE {
+		// FwdGetS with owner keeping a shared copy.
+		e.state = dirS
+		e.sharers.add(m.Src)
+	}
+	if e.state == dirS && e.sharers.count() == 0 {
+		e.state = dirI
+	}
+	dir.maybeFinish(e)
+}
+
+// unblock completes a requester-collected transaction.
+func (dir *Directory) unblock(m *Msg) {
+	a := uint64(m.Addr.LineAddr())
+	e := dir.entry(a)
+	if !e.waitUnblock {
+		panic(fmt.Sprintf("mesi dir: unexpected Unblock %s", m))
+	}
+	e.waitUnblock = false
+	dir.maybeFinish(e)
+}
+
+// invAck is a directory-collected invalidation ack (DMA writes only).
+func (dir *Directory) invAck(m *Msg) {
+	a := uint64(m.Addr.LineAddr())
+	e := dir.entry(a)
+	if e.waitInvAcks <= 0 {
+		panic(fmt.Sprintf("mesi dir: unexpected InvAck %s", m))
+	}
+	e.waitInvAcks--
+	if e.waitInvAcks == 0 && e.pendingDMA != nil {
+		m2 := e.pendingDMA
+		e.pendingDMA = nil
+		dir.commitDMAWrite(e, m2, a)
+	}
+}
+
+func (dir *Directory) maybeFinish(e *dirEntry) {
+	if e.busy && !e.waitUnblock && !e.waitOwnerAck && e.waitInvAcks == 0 && e.pendingDMA == nil {
+		dir.finish(e)
+	}
+}
+
+// finish releases the line and admits the next queued request.
+func (dir *Directory) finish(e *dirEntry) {
+	e.busy = false
+	if len(e.queue) == 0 {
+		return
+	}
+	next := e.queue[0]
+	e.queue = e.queue[1:]
+	dir.start(e, next)
+}
+
+// forward sends a Fwd to the current owner on behalf of requester req.
+func (dir *Directory) forward(t MsgType, owner AgentID, req *Msg) {
+	if dir.stats != nil {
+		dir.stats.Inc("dir.fwd")
+		if owner == dir.TileAgent && dir.TileAgent != 0 {
+			dir.stats.Inc("dir.fwd_to_tile")
+		}
+	}
+	dir.emit(ptrace.DirForward, req.Addr,
+		fmt.Sprintf("%s to agent%d for agent%d", t, owner, req.Src))
+	dir.send(&Msg{Type: t, Addr: req.Addr, Src: DirID, Dst: owner, Requester: req.Src})
+}
+
+func (dir *Directory) send(m *Msg) { dir.fabric.Send(m) }
+
+// accessL2 accounts one L2 bank access.
+func (dir *Directory) accessL2() {
+	if dir.meter != nil {
+		dir.meter.Add(energy.CatL2, dir.model.L2Access)
+	}
+	if dir.stats != nil {
+		dir.stats.Inc("l2.accesses")
+	}
+}
+
+// readData obtains the line's data: LLC hit continues after a cycle; a miss
+// fetches from DRAM (retrying submission under back-pressure) and fills.
+func (dir *Directory) readData(a uint64, cont func(ver uint64)) {
+	dir.accessL2()
+	if dir.llc.Lookup(a) != nil {
+		if dir.stats != nil {
+			dir.stats.Inc("l2.hits")
+		}
+		dir.fabric.Engine().Schedule(1, func(uint64) { cont(dir.ver[a]) })
+		return
+	}
+	if dir.stats != nil {
+		dir.stats.Inc("l2.misses")
+	}
+	dir.fetchDRAM(a, cont)
+}
+
+func (dir *Directory) fetchDRAM(a uint64, cont func(ver uint64)) {
+	ok := dir.dram.Submit(dram.Request{
+		Addr: mem.PAddr(a),
+		Done: func(uint64) {
+			dir.fillLLC(a, false)
+			cont(dir.ver[a])
+		},
+	})
+	if !ok {
+		dir.fabric.Engine().Schedule(4, func(uint64) { dir.fetchDRAM(a, cont) })
+	}
+}
+
+// fillLLC installs a line in the LLC data array, writing back a dirty victim
+// to DRAM (data itself already lives in the golden store).
+func (dir *Directory) fillLLC(a uint64, dirty bool) {
+	if l := dir.llc.Peek(a); l != nil {
+		l.Dirty = l.Dirty || dirty
+		dir.accessL2() // write hit
+		return
+	}
+	v := dir.llc.Victim(a)
+	if v.Valid && v.Dirty {
+		dir.dram.Submit(dram.Request{Addr: mem.PAddr(v.Addr), Write: true})
+	}
+	dir.llc.Fill(v, a, 0)
+	v.Dirty = dirty
+	dir.accessL2()
+}
+
+// Sharers reports the directory's view of a line (for tests).
+func (dir *Directory) Sharers(addr mem.PAddr) (state string, owner AgentID, n int) {
+	e := dir.entry(uint64(addr.LineAddr()))
+	switch e.state {
+	case dirI:
+		state = "I"
+	case dirS:
+		state = "S"
+	case dirE:
+		state = "E"
+	}
+	return state, e.owner, e.sharers.count()
+}

@@ -1,0 +1,128 @@
+package mesi
+
+import (
+	"fmt"
+
+	"fusion/internal/energy"
+	"fusion/internal/interconnect"
+	"fusion/internal/sim"
+	"fusion/internal/stats"
+)
+
+// Endpoint receives messages addressed to one agent.
+type Endpoint func(*Msg)
+
+// Route describes the wire between a pair of agents.
+type Route struct {
+	Latency   uint64
+	PJPerByte float64
+	// FlitsPerCycle bounds the route's bandwidth; back-to-back messages
+	// serialize (a 72-byte data message occupies 9 cycles at 1 flit/cycle).
+	// Zero means unlimited.
+	FlitsPerCycle uint64
+	// Category is the energy.Meter bucket this route's traffic lands in.
+	Category string
+	// StatName, when non-empty, counts msgs/bytes/flits under this name.
+	StatName string
+}
+
+// Fabric is the host-side message network: a full crossbar with per-pair
+// routes. Delivery preserves per-pair FIFO order (all messages on a route
+// share one latency and the engine's event queue is stable).
+type Fabric struct {
+	eng       *sim.Engine
+	meter     *energy.Meter
+	stats     *stats.Set
+	endpoints map[AgentID]Endpoint
+	routes    map[[2]AgentID]Route
+	nextFree  map[[2]AgentID]uint64 // bandwidth serialization per route
+	// DefaultRoute applies to pairs without an explicit route.
+	DefaultRoute Route
+}
+
+// NewFabric builds an empty fabric.
+func NewFabric(eng *sim.Engine, meter *energy.Meter, st *stats.Set) *Fabric {
+	return &Fabric{
+		eng:          eng,
+		meter:        meter,
+		stats:        st,
+		endpoints:    make(map[AgentID]Endpoint),
+		routes:       make(map[[2]AgentID]Route),
+		nextFree:     make(map[[2]AgentID]uint64),
+		DefaultRoute: Route{Latency: 8, PJPerByte: 6.0, Category: energy.CatLinkHost},
+	}
+}
+
+// Register attaches an endpoint for agent id.
+func (f *Fabric) Register(id AgentID, ep Endpoint) {
+	if _, dup := f.endpoints[id]; dup {
+		panic(fmt.Sprintf("mesi: agent %d registered twice", id))
+	}
+	f.endpoints[id] = ep
+}
+
+// SetRoute installs a route for src->dst (directional).
+func (f *Fabric) SetRoute(src, dst AgentID, r Route) {
+	f.routes[[2]AgentID{src, dst}] = r
+}
+
+// SetRoutePair installs the same route in both directions.
+func (f *Fabric) SetRoutePair(a, b AgentID, r Route) {
+	f.SetRoute(a, b, r)
+	f.SetRoute(b, a, r)
+}
+
+// Send accounts energy/traffic for m and schedules its delivery.
+func (f *Fabric) Send(m *Msg) {
+	route, ok := f.routes[[2]AgentID{m.Src, m.Dst}]
+	if !ok {
+		route = f.DefaultRoute
+	}
+	bytes := m.Bytes()
+	if f.meter != nil && route.Category != "" {
+		f.meter.Add(route.Category, route.PJPerByte*float64(bytes))
+	}
+	if f.stats != nil {
+		name := route.StatName
+		if name == "" {
+			name = "fabric"
+		}
+		f.stats.Inc(name + ".msgs")
+		f.stats.Add(name+".bytes", int64(bytes))
+		f.stats.Add(name+".flits", int64(interconnect.Flits(bytes)))
+		if bytes <= interconnect.ControlBytes {
+			f.stats.Inc(name + ".ctrl")
+		} else {
+			f.stats.Inc(name + ".data")
+		}
+	}
+	ep, ok := f.endpoints[m.Dst]
+	if !ok {
+		panic(fmt.Sprintf("mesi: no endpoint for agent %d (msg %s)", m.Dst, m))
+	}
+	now := f.eng.Now()
+	start := now
+	if route.FlitsPerCycle > 0 {
+		key := [2]AgentID{m.Src, m.Dst}
+		if nf := f.nextFree[key]; nf > start {
+			start = nf
+		}
+		flits := uint64(interconnect.Flits(bytes))
+		occupancy := (flits + route.FlitsPerCycle - 1) / route.FlitsPerCycle
+		if occupancy == 0 {
+			occupancy = 1
+		}
+		f.nextFree[key] = start + occupancy
+	}
+	arrive := start + route.Latency
+	if arrive <= now {
+		arrive = now + 1
+	}
+	f.eng.ScheduleAt(arrive, func(uint64) { ep(m) })
+}
+
+// Now exposes the engine clock to protocol controllers.
+func (f *Fabric) Now() uint64 { return f.eng.Now() }
+
+// Engine returns the underlying simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }

@@ -1,0 +1,109 @@
+package mesi
+
+// Runtime invariant checking for the host MESI protocol, mirroring the ACC
+// checker in internal/acc: CheckInvariants cross-examines the directory's
+// view against the actual cache contents of a set of clients.
+
+import (
+	"fmt"
+
+	"fusion/internal/cache"
+	"fusion/internal/mem"
+)
+
+// CheckInvariants compares the directory's records with the clients'
+// caches and returns every inconsistency found (empty means clean). Lines
+// with in-flight transactions (busy at the directory, outstanding at a
+// client, or in an eviction buffer) are skipped — transient states are
+// allowed to disagree.
+//
+// Checked invariants on quiescent lines:
+//
+//  1. Single owner: at most one client holds a line in E or M.
+//  2. Owner tracking: a client in E/M is the directory's recorded owner.
+//  3. Exclusivity: no client holds S while another holds E/M.
+//  4. Sharer soundness: a client holding S appears in the directory's
+//     sharer set (the converse does not hold — S lines drop silently).
+func CheckInvariants(dir *Directory, clients []*Client) []string {
+	var bad []string
+
+	type holder struct {
+		id    AgentID
+		state cache.State
+	}
+	holders := make(map[uint64][]holder)
+	skip := make(map[uint64]bool)
+
+	for _, c := range clients {
+		c := c
+		for a := range c.txns {
+			skip[a] = true
+		}
+		for a := range c.evicting {
+			skip[a] = true
+		}
+		c.arr.ForEach(func(l *cache.Line) {
+			if l.Valid {
+				holders[l.Addr] = append(holders[l.Addr], holder{c.id, l.State})
+			}
+		})
+	}
+	for a, e := range dir.entries {
+		if e.busy || len(e.queue) > 0 {
+			skip[a] = true
+		}
+	}
+
+	for addr, hs := range holders {
+		if skip[addr] {
+			continue
+		}
+		e := dir.entries[addr]
+		var owners, sharers []holder
+		for _, h := range hs {
+			switch h.state {
+			case cache.Exclusive, cache.Modified:
+				owners = append(owners, h)
+			case cache.Shared:
+				sharers = append(sharers, h)
+			}
+		}
+		if len(owners) > 1 {
+			bad = append(bad, fmt.Sprintf("line %#x has %d owners", addr, len(owners)))
+		}
+		if len(owners) == 1 && len(sharers) > 0 {
+			bad = append(bad, fmt.Sprintf(
+				"line %#x owned by agent %d while %d sharers hold S",
+				addr, owners[0].id, len(sharers)))
+		}
+		if len(owners) == 1 {
+			if e == nil || e.state != dirE || e.owner != owners[0].id {
+				bad = append(bad, fmt.Sprintf(
+					"line %#x: agent %d holds %v but the directory disagrees",
+					addr, owners[0].id, owners[0].state))
+			}
+		}
+		for _, sh := range sharers {
+			if e == nil || e.state != dirS || !e.sharers.has(sh.id) {
+				bad = append(bad, fmt.Sprintf(
+					"line %#x: agent %d holds S but is not a recorded sharer",
+					addr, sh.id))
+			}
+		}
+	}
+	return bad
+}
+
+// Quiesced reports whether the directory has no busy or queued lines (used
+// by tests to decide when a full invariant sweep is meaningful).
+func (dir *Directory) Quiesced() bool {
+	for _, e := range dir.entries {
+		if e.busy || len(e.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LineAddrFor exposes line alignment for test helpers.
+func LineAddrFor(a mem.PAddr) uint64 { return uint64(a.LineAddr()) }

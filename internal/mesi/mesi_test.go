@@ -1,0 +1,401 @@
+package mesi
+
+import (
+	"math/rand"
+	"testing"
+
+	"fusion/internal/cache"
+	"fusion/internal/dram"
+	"fusion/internal/energy"
+	"fusion/internal/mem"
+	"fusion/internal/sim"
+	"fusion/internal/stats"
+)
+
+type harness struct {
+	eng     *sim.Engine
+	fab     *Fabric
+	dir     *Directory
+	st      *stats.Set
+	mt      *energy.Meter
+	clients []*Client
+}
+
+func newHarness(t *testing.T, nClients int) *harness {
+	t.Helper()
+	eng := sim.NewEngine()
+	st := stats.NewSet()
+	mt := energy.NewMeter()
+	model := energy.Default()
+	fab := NewFabric(eng, mt, st)
+	d := dram.New(eng, dram.DefaultConfig(), model, mt, st)
+	dir := NewDirectory(fab, DefaultDirConfig(), d, model, mt, st)
+	h := &harness{eng: eng, fab: fab, dir: dir, st: st, mt: mt}
+	for i := 0; i < nClients; i++ {
+		cfg := DefaultHostL1Config(model)
+		cfg.Name = "l1." + string(rune('a'+i))
+		h.clients = append(h.clients, NewClient(fab, AgentID(1+i), cfg, model, mt, st))
+	}
+	return h
+}
+
+func (h *harness) run(t *testing.T, max uint64, pred func() bool) {
+	t.Helper()
+	if _, done := h.eng.Run(max, pred); !done {
+		t.Fatalf("simulation did not converge within %d cycles", max)
+	}
+}
+
+// do performs one access and waits for it to retire.
+func (h *harness) do(t *testing.T, c *Client, kind mem.AccessKind, addr mem.PAddr) {
+	t.Helper()
+	fired := false
+	if !c.Access(kind, addr, func(uint64) { fired = true }) {
+		t.Fatal("MSHR full on idle cache")
+	}
+	h.run(t, 100000, func() bool { return fired })
+}
+
+func TestColdLoadFillsExclusive(t *testing.T) {
+	h := newHarness(t, 1)
+	c := h.clients[0]
+	h.do(t, c, mem.Load, 0x1000)
+	l := c.Peek(0x1000)
+	if l == nil || l.State != cache.Exclusive {
+		t.Fatalf("line = %+v, want Exclusive", l)
+	}
+	state, owner, _ := h.dir.Sharers(0x1000)
+	if state != "E" || owner != c.ID() {
+		t.Fatalf("dir = %s owner %d, want E owner %d", state, owner, c.ID())
+	}
+}
+
+func TestLoadHitIsFast(t *testing.T) {
+	h := newHarness(t, 1)
+	c := h.clients[0]
+	h.do(t, c, mem.Load, 0x1000)
+	start := h.eng.Now()
+	h.do(t, c, mem.Load, 0x1000)
+	if d := h.eng.Now() - start; d > 6 {
+		t.Fatalf("hit took %d cycles, want ~3", d)
+	}
+	if h.st.Get("l1.a.hits") != 1 {
+		t.Fatalf("hits = %d, want 1", h.st.Get("l1.a.hits"))
+	}
+}
+
+func TestStoreMakesModifiedAndBumpsVersion(t *testing.T) {
+	h := newHarness(t, 1)
+	c := h.clients[0]
+	h.do(t, c, mem.Store, 0x2000)
+	l := c.Peek(0x2000)
+	if l == nil || l.State != cache.Modified || l.Ver != 1 {
+		t.Fatalf("line = %+v, want Modified v1", l)
+	}
+	h.do(t, c, mem.Store, 0x2000)
+	if l.Ver != 2 {
+		t.Fatalf("Ver = %d after second store, want 2", l.Ver)
+	}
+}
+
+func TestSilentEToMUpgrade(t *testing.T) {
+	h := newHarness(t, 1)
+	c := h.clients[0]
+	h.do(t, c, mem.Load, 0x3000) // fills E
+	before := h.st.Get("dir.GetM")
+	h.do(t, c, mem.Store, 0x3000) // silent upgrade
+	if h.st.Get("dir.GetM") != before {
+		t.Fatal("E->M upgrade issued a GetM")
+	}
+	if l := c.Peek(0x3000); l.State != cache.Modified {
+		t.Fatalf("state = %v, want M", l.State)
+	}
+}
+
+func TestFwdGetSDowngradesOwnerAndDeliversData(t *testing.T) {
+	h := newHarness(t, 2)
+	a, b := h.clients[0], h.clients[1]
+	h.do(t, a, mem.Store, 0x4000) // a owns M, v1
+	h.do(t, b, mem.Load, 0x4000)  // b reads: 3-hop forward
+	la, lb := a.Peek(0x4000), b.Peek(0x4000)
+	if la == nil || la.State != cache.Shared {
+		t.Fatalf("owner line = %+v, want Shared", la)
+	}
+	if lb == nil || lb.State != cache.Shared || lb.Ver != 1 {
+		t.Fatalf("reader line = %+v, want Shared v1", lb)
+	}
+	state, _, n := h.dir.Sharers(0x4000)
+	if state != "S" || n != 2 {
+		t.Fatalf("dir = %s/%d sharers, want S/2", state, n)
+	}
+	// The dirty data also returned to the LLC.
+	if h.dir.Version(0x4000) != 1 {
+		t.Fatalf("LLC version = %d, want 1", h.dir.Version(0x4000))
+	}
+}
+
+func TestFwdGetMTransfersOwnership(t *testing.T) {
+	h := newHarness(t, 2)
+	a, b := h.clients[0], h.clients[1]
+	h.do(t, a, mem.Store, 0x5000) // a: M v1
+	h.do(t, b, mem.Store, 0x5000) // b: M v2 via FwdGetM
+	if l := a.Peek(0x5000); l != nil {
+		t.Fatalf("previous owner still holds %+v", l)
+	}
+	lb := b.Peek(0x5000)
+	if lb == nil || lb.State != cache.Modified || lb.Ver != 2 {
+		t.Fatalf("new owner = %+v, want M v2", lb)
+	}
+	state, owner, _ := h.dir.Sharers(0x5000)
+	if state != "E" || owner != b.ID() {
+		t.Fatalf("dir = %s owner %d", state, owner)
+	}
+}
+
+func TestUpgradeInvalidatesSharers(t *testing.T) {
+	h := newHarness(t, 3)
+	a, b, c := h.clients[0], h.clients[1], h.clients[2]
+	h.do(t, a, mem.Load, 0x6000)
+	h.do(t, b, mem.Load, 0x6000)
+	h.do(t, c, mem.Load, 0x6000)
+	// a upgrades: b and c must be invalidated.
+	h.do(t, a, mem.Store, 0x6000)
+	if b.Peek(0x6000) != nil || c.Peek(0x6000) != nil {
+		t.Fatal("sharers not invalidated on upgrade")
+	}
+	la := a.Peek(0x6000)
+	if la == nil || la.State != cache.Modified || la.Ver != 1 {
+		t.Fatalf("upgrader = %+v, want M v1", la)
+	}
+	if h.st.Get("l1.b.invalidations") != 1 || h.st.Get("l1.c.invalidations") != 1 {
+		t.Fatal("invalidation stats missing")
+	}
+}
+
+func TestUpgradeReusesWayNoAliasing(t *testing.T) {
+	h := newHarness(t, 2)
+	a, b := h.clients[0], h.clients[1]
+	h.do(t, a, mem.Load, 0x7000)
+	h.do(t, b, mem.Load, 0x7000) // both S
+	h.do(t, a, mem.Store, 0x7000)
+	// Exactly one valid copy of the line in a's cache.
+	count := 0
+	a.arr.ForEach(func(l *cache.Line) {
+		if l.Valid && l.Addr == 0x7000 {
+			count++
+		}
+	})
+	if count != 1 {
+		t.Fatalf("line cached %d times after upgrade, want 1", count)
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	h := newHarness(t, 1)
+	c := h.clients[0]
+	h.do(t, c, mem.Store, 0x8000)
+	// Fill the set until 0x8000 is evicted. Host L1: 64KB/4-way/64B =
+	// 256 sets; same set stride = 256*64 = 16384.
+	for i := 1; i <= 4; i++ {
+		h.do(t, c, mem.Load, mem.PAddr(0x8000+i*16384))
+	}
+	if c.Peek(0x8000) != nil {
+		t.Fatal("line survived 4 conflicting fills")
+	}
+	h.run(t, 100000, func() bool { return c.Outstanding() == 0 })
+	if h.dir.Version(0x8000) != 1 {
+		t.Fatalf("writeback lost: LLC version %d, want 1", h.dir.Version(0x8000))
+	}
+	state, _, _ := h.dir.Sharers(0x8000)
+	if state != "I" {
+		t.Fatalf("dir state after PutM = %s, want I", state)
+	}
+}
+
+func TestCleanEvictionSendsNotice(t *testing.T) {
+	h := newHarness(t, 1)
+	c := h.clients[0]
+	h.do(t, c, mem.Load, 0x8000) // E, clean
+	for i := 1; i <= 4; i++ {
+		h.do(t, c, mem.Load, mem.PAddr(0x8000+i*16384))
+	}
+	h.run(t, 100000, func() bool { return c.Outstanding() == 0 })
+	if h.st.Get("dir.PutE") == 0 {
+		t.Fatal("no PutE notice for clean-exclusive eviction")
+	}
+	state, _, _ := h.dir.Sharers(0x8000)
+	if state != "I" {
+		t.Fatalf("dir state = %s, want I", state)
+	}
+}
+
+func TestVersionFlowsThroughChain(t *testing.T) {
+	h := newHarness(t, 3)
+	a, b, c := h.clients[0], h.clients[1], h.clients[2]
+	h.do(t, a, mem.Store, 0x9000) // v1
+	h.do(t, a, mem.Store, 0x9000) // v2
+	h.do(t, b, mem.Store, 0x9000) // v3 (fwd from a)
+	h.do(t, c, mem.Load, 0x9000)  // reads v3 (fwd from b)
+	if l := c.Peek(0x9000); l == nil || l.Ver != 3 {
+		t.Fatalf("reader sees v%d, want v3", l.Ver)
+	}
+}
+
+type dmaEndpoint struct {
+	gotVer map[uint64]uint64
+	acks   int
+}
+
+func (d *dmaEndpoint) handle(m *Msg) {
+	switch m.Type {
+	case MsgDMAReadResp, MsgData, MsgDataE, MsgDataM:
+		d.gotVer[uint64(m.Addr)] = m.Ver
+	case MsgDMAWriteAck:
+		d.acks++
+	}
+}
+
+func TestDMAReadSeesOwnerData(t *testing.T) {
+	h := newHarness(t, 1)
+	c := h.clients[0]
+	dma := &dmaEndpoint{gotVer: map[uint64]uint64{}}
+	h.fab.Register(AgentID(9), dma.handle)
+	h.do(t, c, mem.Store, 0xa000) // owner M v1
+	h.fab.Send(&Msg{Type: MsgDMARead, Addr: 0xa000, Src: 9, Dst: DirID})
+	h.run(t, 100000, func() bool { _, ok := dma.gotVer[0xa000]; return ok })
+	if dma.gotVer[0xa000] != 1 {
+		t.Fatalf("DMA read v%d, want v1", dma.gotVer[0xa000])
+	}
+	// Owner was downgraded, not invalidated.
+	if l := c.Peek(0xa000); l == nil || l.State != cache.Shared {
+		t.Fatalf("owner after DMA read = %+v, want Shared", l)
+	}
+}
+
+func TestDMAWriteInvalidatesAndCommits(t *testing.T) {
+	h := newHarness(t, 2)
+	a, b := h.clients[0], h.clients[1]
+	dma := &dmaEndpoint{gotVer: map[uint64]uint64{}}
+	h.fab.Register(AgentID(9), dma.handle)
+	h.do(t, a, mem.Load, 0xb000)
+	h.do(t, b, mem.Load, 0xb000) // two sharers
+	h.fab.Send(&Msg{Type: MsgDMAWrite, Addr: 0xb000, Src: 9, Dst: DirID, Ver: 42})
+	h.run(t, 100000, func() bool { return dma.acks == 1 })
+	if a.Peek(0xb000) != nil || b.Peek(0xb000) != nil {
+		t.Fatal("sharers survived DMA write")
+	}
+	if h.dir.Version(0xb000) != 42 {
+		t.Fatalf("LLC version = %d, want 42", h.dir.Version(0xb000))
+	}
+	// A subsequent load observes the DMA data.
+	h.do(t, a, mem.Load, 0xb000)
+	if l := a.Peek(0xb000); l.Ver != 42 {
+		t.Fatalf("post-DMA load sees v%d, want 42", l.Ver)
+	}
+}
+
+func TestDMAWriteOverM(t *testing.T) {
+	h := newHarness(t, 1)
+	c := h.clients[0]
+	dma := &dmaEndpoint{gotVer: map[uint64]uint64{}}
+	h.fab.Register(AgentID(9), dma.handle)
+	h.do(t, c, mem.Store, 0xc000) // M v1
+	h.fab.Send(&Msg{Type: MsgDMAWrite, Addr: 0xc000, Src: 9, Dst: DirID, Ver: 7})
+	h.run(t, 100000, func() bool { return dma.acks == 1 })
+	if c.Peek(0xc000) != nil {
+		t.Fatal("M owner survived DMA write")
+	}
+	if h.dir.Version(0xc000) != 7 {
+		t.Fatalf("version = %d, want 7", h.dir.Version(0xc000))
+	}
+}
+
+// Sequential random walk: every load must observe exactly the golden version.
+func TestSequentialConsistencyRandomWalk(t *testing.T) {
+	h := newHarness(t, 3)
+	rng := rand.New(rand.NewSource(1))
+	golden := map[uint64]uint64{}
+	lines := []mem.PAddr{0x0, 0x1000, 0x2000, 0x4000, 0x10000, 0x14000}
+	for i := 0; i < 300; i++ {
+		c := h.clients[rng.Intn(3)]
+		addr := lines[rng.Intn(len(lines))]
+		if rng.Intn(2) == 0 {
+			h.do(t, c, mem.Store, addr)
+			golden[uint64(addr)]++
+		} else {
+			h.do(t, c, mem.Load, addr)
+			l := c.Peek(addr)
+			if l == nil {
+				// Evicted between completion and peek is impossible here
+				// (sequential), so this is a protocol bug.
+				t.Fatalf("op %d: loaded line %#x not present", i, addr)
+			}
+			if l.Ver != golden[uint64(addr)] {
+				t.Fatalf("op %d: line %#x v%d, golden v%d", i, addr, l.Ver, golden[uint64(addr)])
+			}
+		}
+	}
+}
+
+// Concurrent stress: fire many overlapping ops, then drain and flush. The
+// final backing-store version of each line must equal the number of stores
+// issued to it — no write may be lost or duplicated.
+func TestConcurrentStressNoLostWrites(t *testing.T) {
+	h := newHarness(t, 3)
+	rng := rand.New(rand.NewSource(7))
+	golden := map[uint64]uint64{}
+	lines := []mem.PAddr{0x0, 0x1000, 0x2000, 0x3000}
+	pending := 0
+	for i := 0; i < 400; i++ {
+		c := h.clients[rng.Intn(3)]
+		addr := lines[rng.Intn(len(lines))]
+		kind := mem.Load
+		if rng.Intn(2) == 0 {
+			kind = mem.Store
+			golden[uint64(addr)]++
+		}
+		pending++
+		for !c.Access(kind, addr, func(uint64) { pending-- }) {
+			h.eng.Step()
+		}
+		// Occasionally let the system drain a little.
+		if rng.Intn(4) == 0 {
+			h.eng.Step()
+		}
+	}
+	h.run(t, 2000000, func() bool { return pending == 0 })
+	for _, c := range h.clients {
+		c.FlushAll()
+	}
+	h.run(t, 2000000, func() bool {
+		for _, c := range h.clients {
+			if c.Outstanding() > 0 {
+				return false
+			}
+		}
+		return true
+	})
+	for _, addr := range lines {
+		if got := h.dir.Version(addr); got != golden[uint64(addr)] {
+			t.Errorf("line %#x: backing store v%d, golden v%d", addr, got, golden[uint64(addr)])
+		}
+	}
+}
+
+func TestEnergyAccounted(t *testing.T) {
+	h := newHarness(t, 2)
+	h.do(t, h.clients[0], mem.Store, 0x1000)
+	h.do(t, h.clients[1], mem.Load, 0x1000)
+	if h.mt.Get(energy.CatHostL1) == 0 {
+		t.Error("no host L1 energy")
+	}
+	if h.mt.Get(energy.CatL2) == 0 {
+		t.Error("no L2 energy")
+	}
+	if h.mt.Get(energy.CatLinkHost) == 0 {
+		t.Error("no host link energy")
+	}
+	if h.mt.Get(energy.CatDRAM) == 0 {
+		t.Error("no DRAM energy")
+	}
+}

@@ -1,0 +1,121 @@
+// Package ptrace provides message-level protocol tracing: the simulator's
+// coherence controllers emit typed events at every protocol transition, so
+// a run can be inspected the way the paper's Figures 4 and 5 present the
+// ACC/MESI message sequences.
+//
+// Tracing is opt-in and zero-cost when disabled (controllers hold a nil
+// Tracer).
+package ptrace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Kind classifies a protocol event.
+type Kind string
+
+// ACC-protocol events (accelerator tile).
+const (
+	L0XMiss        Kind = "l0x-miss"        // lease/epoch request leaves an L0X
+	LeaseGrant     Kind = "lease-grant"     // L1X grants a read lease
+	EpochGrant     Kind = "epoch-grant"     // L1X grants a write epoch
+	SelfInvalidate Kind = "self-invalidate" // L0X drops an expired line (no message)
+	SelfDowngrade  Kind = "self-downgrade"  // write epoch expiry forces a writeback
+	Writeback      Kind = "writeback"       // dirty line returns to the L1X
+	DxForward      Kind = "dx-forward"      // producer pushes a line to a consumer L0X
+	WLockStall     Kind = "wlock-stall"     // request parked behind a write epoch
+	GTimeStall     Kind = "gtime-stall"     // write parked behind foreign read leases
+	L1XFetch       Kind = "l1x-fetch"       // L1X miss goes to the host (via AX-TLB)
+	HostFwdIn      Kind = "host-fwd"        // MESI Fwd arrives at the tile (AX-RMAP)
+	FwdParked      Kind = "fwd-parked"      // response waits for GTIME in the WB buffer
+	Relinquish     Kind = "relinquish"      // tile gives the line back to the host
+)
+
+// Host-MESI events (directory).
+const (
+	DirRead     Kind = "dir-gets"
+	DirWrite    Kind = "dir-getm"
+	DirForward  Kind = "dir-fwd"
+	DirPut      Kind = "dir-put"
+	DirDMARead  Kind = "dir-dma-read"
+	DirDMAWrite Kind = "dir-dma-write"
+)
+
+// Event is one protocol transition.
+type Event struct {
+	Cycle  uint64
+	Source string // emitting component ("l0x.1", "l1x", "dir")
+	Kind   Kind
+	Addr   uint64 // line address (virtual in the tile, physical host-side)
+	Detail string // free-form context ("lease=1520", "to axc2")
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%8d  %-8s %-16s %#x", e.Cycle, e.Source, e.Kind, e.Addr)
+	if e.Detail != "" {
+		s += "  " + e.Detail
+	}
+	return s
+}
+
+// Tracer receives protocol events.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Writer streams formatted events to an io.Writer, optionally stopping
+// after Max events (0 = unlimited).
+type Writer struct {
+	W   io.Writer
+	Max int
+	n   int
+}
+
+// Emit implements Tracer.
+func (t *Writer) Emit(e Event) {
+	if t.Max > 0 && t.n >= t.Max {
+		return
+	}
+	t.n++
+	fmt.Fprintln(t.W, e.String())
+	if t.Max > 0 && t.n == t.Max {
+		fmt.Fprintf(t.W, "... (trace capped at %d events)\n", t.Max)
+	}
+}
+
+// Collector accumulates events in memory, optionally bounded by Max.
+type Collector struct {
+	Max    int
+	Events []Event
+}
+
+// Emit implements Tracer.
+func (c *Collector) Emit(e Event) {
+	if c.Max > 0 && len(c.Events) >= c.Max {
+		return
+	}
+	c.Events = append(c.Events, e)
+}
+
+// Count returns how many events of kind k were collected.
+func (c *Collector) Count(k Kind) int {
+	n := 0
+	for _, e := range c.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Filter returns the collected events of kind k.
+func (c *Collector) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range c.Events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package ptrace
+
+import (
+	"strings"
+	"testing"
+)
+
+func ev(k Kind, cycle uint64) Event {
+	return Event{Cycle: cycle, Source: "l1x", Kind: k, Addr: 0x1000}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 42, Source: "l0x.1", Kind: LeaseGrant, Addr: 0x40, Detail: "axc1 until 542"}
+	s := e.String()
+	for _, want := range []string{"42", "l0x.1", "lease-grant", "0x40", "until 542"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestWriterCapsOutput(t *testing.T) {
+	var sb strings.Builder
+	w := &Writer{W: &sb, Max: 2}
+	for i := 0; i < 5; i++ {
+		w.Emit(ev(Writeback, uint64(i)))
+	}
+	out := sb.String()
+	if strings.Count(out, "writeback") != 2 {
+		t.Fatalf("emitted %d lines, want 2:\n%s", strings.Count(out, "writeback"), out)
+	}
+	if !strings.Contains(out, "capped") {
+		t.Fatal("no cap notice")
+	}
+}
+
+func TestWriterUnlimited(t *testing.T) {
+	var sb strings.Builder
+	w := &Writer{W: &sb}
+	for i := 0; i < 10; i++ {
+		w.Emit(ev(SelfInvalidate, uint64(i)))
+	}
+	if strings.Count(sb.String(), "self-invalidate") != 10 {
+		t.Fatal("unlimited writer dropped events")
+	}
+}
+
+func TestCollectorFilterAndCount(t *testing.T) {
+	c := &Collector{}
+	c.Emit(ev(LeaseGrant, 1))
+	c.Emit(ev(EpochGrant, 2))
+	c.Emit(ev(LeaseGrant, 3))
+	if c.Count(LeaseGrant) != 2 || c.Count(EpochGrant) != 1 || c.Count(Writeback) != 0 {
+		t.Fatalf("counts wrong: %d/%d/%d",
+			c.Count(LeaseGrant), c.Count(EpochGrant), c.Count(Writeback))
+	}
+	grants := c.Filter(LeaseGrant)
+	if len(grants) != 2 || grants[0].Cycle != 1 || grants[1].Cycle != 3 {
+		t.Fatalf("Filter = %+v", grants)
+	}
+}
+
+func TestCollectorCap(t *testing.T) {
+	c := &Collector{Max: 3}
+	for i := 0; i < 10; i++ {
+		c.Emit(ev(DirRead, uint64(i)))
+	}
+	if len(c.Events) != 3 {
+		t.Fatalf("collected %d, want 3", len(c.Events))
+	}
+}

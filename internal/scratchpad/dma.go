@@ -1,0 +1,156 @@
+package scratchpad
+
+import (
+	"fmt"
+
+	"fusion/internal/mem"
+	"fusion/internal/mesi"
+	"fusion/internal/stats"
+)
+
+// DMA is the oracle coherent DMA engine. It lives at the host LLC as a
+// non-caching fabric agent: reads pull the most up-to-date data through the
+// directory (downgrading an owner if necessary, as ARM's ACP and IBM's
+// coherent attach do, Section 2.1) and writes invalidate stale copies
+// before committing at the LLC.
+type DMA struct {
+	agent  mesi.AgentID
+	fabric *mesi.Fabric
+	stats  *stats.Set
+
+	maxOutstanding int
+	outstanding    int
+	// gap is the controller's per-transfer occupancy: after issuing one
+	// transfer the state machine is busy for gap cycles before the next.
+	gap       uint64
+	nextIssue uint64
+	queue     []dmaOp
+
+	pendingReads  map[mem.PAddr]*readCtx
+	pendingWrites map[mem.PAddr]func(now uint64)
+}
+
+type dmaOp struct {
+	write bool
+	pa    mem.PAddr
+	ver   uint64
+	delta bool
+	onVer func(ver uint64) // reads: data arrival callback
+	done  func(now uint64) // writes: ack callback
+}
+
+type readCtx struct {
+	onVer []func(uint64)
+}
+
+// NewDMA registers the engine as agent id on the fabric. gap is the
+// controller's per-transfer occupancy in cycles.
+func NewDMA(fabric *mesi.Fabric, id mesi.AgentID, maxOutstanding int, gap uint64, st *stats.Set) *DMA {
+	d := &DMA{
+		agent:          id,
+		fabric:         fabric,
+		stats:          st,
+		maxOutstanding: maxOutstanding,
+		gap:            gap,
+		pendingReads:   make(map[mem.PAddr]*readCtx),
+		pendingWrites:  make(map[mem.PAddr]func(uint64)),
+	}
+	fabric.Register(id, d.Handle)
+	return d
+}
+
+// ReadLine fetches one line; onVer fires with the coherent data version.
+func (d *DMA) ReadLine(pa mem.PAddr, onVer func(ver uint64)) {
+	d.queue = append(d.queue, dmaOp{pa: pa.LineAddr(), onVer: onVer})
+	if d.stats != nil {
+		d.stats.Inc("dma.reads")
+	}
+	d.pump()
+}
+
+// WriteLine commits one line at the LLC; done fires on the ack. delta marks
+// ver as an increment for write-allocated lines (see scratchpad.DirtyLine).
+func (d *DMA) WriteLine(pa mem.PAddr, ver uint64, delta bool, done func(now uint64)) {
+	d.queue = append(d.queue, dmaOp{write: true, pa: pa.LineAddr(), ver: ver, delta: delta, done: done})
+	if d.stats != nil {
+		d.stats.Inc("dma.writes")
+	}
+	d.pump()
+}
+
+// Idle reports whether all issued transfers have completed.
+func (d *DMA) Idle() bool {
+	return d.outstanding == 0 && len(d.queue) == 0
+}
+
+// pump issues queued transfers up to the outstanding limit, pacing issues
+// by the controller gap.
+func (d *DMA) pump() {
+	for d.outstanding < d.maxOutstanding && len(d.queue) > 0 {
+		now := d.fabric.Now()
+		if now < d.nextIssue {
+			d.fabric.Engine().ScheduleAt(d.nextIssue, func(uint64) { d.pump() })
+			return
+		}
+		d.nextIssue = now + d.gap
+		op := d.queue[0]
+		d.queue = d.queue[1:]
+		d.outstanding++
+		if op.write {
+			if _, dup := d.pendingWrites[op.pa]; dup {
+				panic(fmt.Sprintf("dma: overlapping writes to %s", op.pa))
+			}
+			d.pendingWrites[op.pa] = op.done
+			d.fabric.Send(&mesi.Msg{Type: mesi.MsgDMAWrite, Addr: op.pa,
+				Src: d.agent, Dst: mesi.DirID, Ver: op.ver, Delta: op.delta})
+			continue
+		}
+		ctx := d.pendingReads[op.pa]
+		if ctx == nil {
+			ctx = &readCtx{}
+			d.pendingReads[op.pa] = ctx
+			d.fabric.Send(&mesi.Msg{Type: mesi.MsgDMARead, Addr: op.pa,
+				Src: d.agent, Dst: mesi.DirID})
+		} else {
+			// Merged duplicate read; it resolves with the first response.
+			d.outstanding--
+		}
+		ctx.onVer = append(ctx.onVer, op.onVer)
+	}
+}
+
+// Handle receives directory responses. A read for a line owned modified by
+// a cache arrives as a plain Data message from the owner (3-hop), so both
+// forms resolve the same pending read.
+func (d *DMA) Handle(m *mesi.Msg) {
+	switch m.Type {
+	case mesi.MsgDMAReadResp, mesi.MsgData, mesi.MsgDataE, mesi.MsgDataM:
+		pa := m.Addr.LineAddr()
+		ctx, ok := d.pendingReads[pa]
+		if !ok {
+			panic(fmt.Sprintf("dma: unexpected data for %s", pa))
+		}
+		delete(d.pendingReads, pa)
+		d.outstanding--
+		for _, f := range ctx.onVer {
+			f(m.Ver)
+		}
+		d.pump()
+	case mesi.MsgDMAWriteAck:
+		pa := m.Addr.LineAddr()
+		done, ok := d.pendingWrites[pa]
+		if !ok {
+			panic(fmt.Sprintf("dma: unexpected write ack for %s", pa))
+		}
+		delete(d.pendingWrites, pa)
+		d.outstanding--
+		if done != nil {
+			done(d.fabric.Now())
+		}
+		d.pump()
+	case mesi.MsgInvAck:
+		// A DMARead raced with nothing we track; ignore defensively.
+	default:
+		panic(fmt.Sprintf("dma: unexpected %s", m))
+	}
+}

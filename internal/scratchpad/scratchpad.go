@@ -1,0 +1,247 @@
+// Package scratchpad implements the SCRATCH baseline of Section 2.1: one
+// explicitly-managed RAM per accelerator, filled and drained by an oracle
+// coherent DMA engine that resides at the host LLC.
+//
+// The oracle follows the paper's methodology exactly (Section 4, "systems
+// compared"): DMA operations are auto-generated from the dynamic trace —
+// only lines that will be read are pushed in, only dirty lines are drained
+// out — and issuing a DMA request is free; the transfers themselves pay LLC
+// access energy, link energy, and latency, and serialize on the critical
+// path between execution windows. Working sets larger than the scratchpad
+// split the invocation into windows with a DMA round trip per window.
+package scratchpad
+
+import (
+	"fmt"
+
+	"fusion/internal/energy"
+	"fusion/internal/mem"
+	"fusion/internal/sim"
+	"fusion/internal/stats"
+	"fusion/internal/trace"
+)
+
+// Config sizes a scratchpad.
+type Config struct {
+	SizeBytes int // Table 2: 4 or 8 KB
+	AccessLat uint64
+	AccessPJ  float64
+}
+
+// padLine tracks one resident line's modeled payload. Lines DMA'd in know
+// their base version; write-allocated lines (stored without a prior DMA-in)
+// do not, so their writeback carries a delta the LLC accumulates.
+type padLine struct {
+	base      uint64
+	delta     uint64
+	baseKnown bool
+	dirty     bool
+}
+
+// Scratchpad is a software-managed RAM implementing accel.MemPort. Every
+// access hits: the oracle DMA guarantees residency.
+type Scratchpad struct {
+	name  string
+	cfg   Config
+	eng   *sim.Engine
+	lines map[uint64]*padLine
+	meter *energy.Meter
+	stats *stats.Set
+}
+
+// New builds an empty scratchpad.
+func New(eng *sim.Engine, name string, cfg Config,
+	meter *energy.Meter, st *stats.Set) *Scratchpad {
+	return &Scratchpad{
+		name:  name,
+		cfg:   cfg,
+		eng:   eng,
+		lines: make(map[uint64]*padLine),
+		meter: meter,
+		stats: st,
+	}
+}
+
+// CapacityLines returns how many lines fit.
+func (s *Scratchpad) CapacityLines() int { return s.cfg.SizeBytes / mem.LineBytes }
+
+// Fill installs a line with version ver (DMA-in or a zero-fill for
+// write-only lines).
+func (s *Scratchpad) Fill(va mem.VAddr, ver uint64) {
+	a := uint64(va.LineAddr())
+	if len(s.lines) >= s.CapacityLines() {
+		if _, present := s.lines[a]; !present {
+			panic(fmt.Sprintf("%s: overfilled beyond %d lines", s.name, s.CapacityLines()))
+		}
+	}
+	s.lines[a] = &padLine{base: ver, baseKnown: true}
+}
+
+// Access implements accel.MemPort. A miss is an oracle violation and panics.
+func (s *Scratchpad) Access(kind mem.AccessKind, va mem.VAddr, done func(now uint64)) bool {
+	a := uint64(va.LineAddr())
+	l, ok := s.lines[a]
+	if !ok {
+		if kind == mem.Store {
+			// Write-allocate: a fully-written line needs no DMA-in, but its
+			// base version is unknown (writeback will carry a delta).
+			if len(s.lines) >= s.CapacityLines() {
+				panic(fmt.Sprintf("%s: overfilled beyond %d lines", s.name, s.CapacityLines()))
+			}
+			l = &padLine{}
+			s.lines[a] = l
+		} else {
+			panic(fmt.Sprintf("%s: load from line %#x not DMA'd in", s.name, a))
+		}
+	}
+	if s.meter != nil {
+		s.meter.Add(energy.CatScratch, s.cfg.AccessPJ)
+	}
+	if s.stats != nil {
+		s.stats.Inc(s.name + ".accesses")
+	}
+	if kind == mem.Store {
+		l.delta++
+		l.dirty = true
+	}
+	s.eng.Schedule(s.cfg.AccessLat, func(now uint64) { done(now) })
+	return true
+}
+
+// Version returns the current version of a resident line (base + stores).
+func (s *Scratchpad) Version(va mem.VAddr) (uint64, bool) {
+	l, ok := s.lines[uint64(va.LineAddr())]
+	if !ok {
+		return 0, false
+	}
+	return l.base + l.delta, true
+}
+
+// DirtyLines returns the resident dirty lines in deterministic order
+// (sorted by address) with their writeback payloads.
+func (s *Scratchpad) DirtyLines() []DirtyLine {
+	out := make([]DirtyLine, 0, len(s.lines))
+	for a, l := range s.lines {
+		if !l.dirty {
+			continue
+		}
+		dl := DirtyLine{Addr: mem.VAddr(a)}
+		if l.baseKnown {
+			dl.Ver = l.base + l.delta
+		} else {
+			dl.Ver = l.delta
+			dl.Delta = true
+		}
+		out = append(out, dl)
+	}
+	sortDirty(out)
+	return out
+}
+
+// DirtyLine is one line to drain: an absolute version when the base was
+// DMA'd in, otherwise a delta to accumulate at the LLC.
+type DirtyLine struct {
+	Addr  mem.VAddr
+	Ver   uint64
+	Delta bool
+}
+
+func sortDirty(d []DirtyLine) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j].Addr < d[j-1].Addr; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+}
+
+// Clear empties the scratchpad (window boundary, after the drain).
+func (s *Scratchpad) Clear() {
+	s.lines = make(map[uint64]*padLine)
+}
+
+// Resident returns the number of resident lines.
+func (s *Scratchpad) Resident() int { return len(s.lines) }
+
+// Window is one execution window of an invocation: the iterations that run
+// plus the oracle-computed transfer sets.
+type Window struct {
+	Start, End int // iteration index range [Start, End)
+	// ReadSet are the lines the window loads, which the DMA must push in
+	// before the window runs. A line that is both stored and loaded in the
+	// window is included: the accelerator pipeline may issue the load
+	// before the earlier iteration's store retires, so the line must be
+	// resident up front. Store-only lines are write-allocated for free.
+	ReadSet []mem.VAddr
+	// WriteSet are the lines left dirty at window end, drained by DMA.
+	WriteSet []mem.VAddr
+}
+
+// Windows segments an invocation so each window's footprint fits capacity,
+// replicating the paper's "windows of execution with DMA operations
+// required for each window".
+//
+// live reports whether a line holds data produced earlier in the program
+// (preloaded inputs or prior phases' stores). A stored-but-never-loaded
+// line is write-allocated for free only when it is NOT live: partially
+// overwriting live data without fetching it first would destroy the
+// untouched part of the line. live may be nil (nothing live).
+func Windows(inv *trace.Invocation, capacityLines int, live map[mem.VAddr]bool) []Window {
+	var out []Window
+	i := 0
+	for i < len(inv.Iterations) {
+		footprint := make(map[mem.VAddr]bool)
+		written := make(map[mem.VAddr]bool)
+		loaded := make(map[mem.VAddr]bool)
+		var order []mem.VAddr
+		j := i
+		for ; j < len(inv.Iterations); j++ {
+			it := &inv.Iterations[j]
+			// Tentatively measure the footprint with this iteration added.
+			add := 0
+			for _, a := range it.Loads {
+				if !footprint[a.LineAddr()] {
+					add++
+				}
+			}
+			for _, a := range it.Stores {
+				if !footprint[a.LineAddr()] {
+					add++
+				}
+			}
+			if len(footprint)+add > capacityLines && j > i {
+				break // window full; this iteration starts the next one
+			}
+			for _, a := range it.Loads {
+				la := a.LineAddr()
+				if !footprint[la] {
+					footprint[la] = true
+					order = append(order, la)
+				}
+				loaded[la] = true
+			}
+			for _, a := range it.Stores {
+				la := a.LineAddr()
+				if !footprint[la] {
+					footprint[la] = true
+					order = append(order, la)
+				}
+				if live[la] {
+					loaded[la] = true // read-modify-write of live data
+				}
+				written[la] = true
+			}
+		}
+		w := Window{Start: i, End: j}
+		for _, la := range order {
+			if loaded[la] {
+				w.ReadSet = append(w.ReadSet, la)
+			}
+			if written[la] {
+				w.WriteSet = append(w.WriteSet, la)
+			}
+		}
+		out = append(out, w)
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package scratchpad
+
+import (
+	"testing"
+
+	"fusion/internal/dram"
+	"fusion/internal/energy"
+	"fusion/internal/mem"
+	"fusion/internal/mesi"
+	"fusion/internal/sim"
+	"fusion/internal/stats"
+	"fusion/internal/trace"
+)
+
+func newPad(eng *sim.Engine) (*Scratchpad, *energy.Meter, *stats.Set) {
+	mt := energy.NewMeter()
+	st := stats.NewSet()
+	model := energy.Default()
+	s := New(eng, "spad0", Config{SizeBytes: 4 << 10, AccessLat: 1,
+		AccessPJ: model.ScratchSmall}, mt, st)
+	return s, mt, st
+}
+
+func TestScratchpadFillAccess(t *testing.T) {
+	eng := sim.NewEngine()
+	s, mt, _ := newPad(eng)
+	s.Fill(0x1000, 7)
+	fired := false
+	s.Access(mem.Load, 0x1004, func(uint64) { fired = true })
+	eng.Step()
+	eng.Step()
+	if !fired {
+		t.Fatal("load did not complete")
+	}
+	if v, _ := s.Version(0x1000); v != 7 {
+		t.Fatalf("version = %d, want 7", v)
+	}
+	if mt.Get(energy.CatScratch) == 0 {
+		t.Fatal("no scratchpad energy")
+	}
+}
+
+func TestScratchpadStoreDirtiesAndBumps(t *testing.T) {
+	eng := sim.NewEngine()
+	s, _, _ := newPad(eng)
+	s.Fill(0x2000, 3)
+	s.Access(mem.Store, 0x2000, func(uint64) {})
+	d := s.DirtyLines()
+	if len(d) != 1 || d[0].Addr != 0x2000 || d[0].Ver != 4 {
+		t.Fatalf("dirty = %+v", d)
+	}
+}
+
+func TestScratchpadWriteAllocate(t *testing.T) {
+	eng := sim.NewEngine()
+	s, _, _ := newPad(eng)
+	s.Access(mem.Store, 0x3000, func(uint64) {}) // no prior Fill
+	if v, ok := s.Version(0x3000); !ok || v != 1 {
+		t.Fatalf("write-allocated version = %d/%v", v, ok)
+	}
+}
+
+func TestScratchpadLoadMissPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	s, _, _ := newPad(eng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oracle violation did not panic")
+		}
+	}()
+	s.Access(mem.Load, 0x4000, func(uint64) {})
+}
+
+func TestScratchpadClearAndDirtyOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	s, _, _ := newPad(eng)
+	for _, a := range []mem.VAddr{0x300, 0x100, 0x200} {
+		s.Access(mem.Store, a, func(uint64) {})
+	}
+	d := s.DirtyLines()
+	if len(d) != 3 || d[0].Addr >= d[1].Addr || d[1].Addr >= d[2].Addr {
+		t.Fatalf("dirty lines not sorted: %+v", d)
+	}
+	s.Clear()
+	if s.Resident() != 0 {
+		t.Fatal("Clear left lines")
+	}
+}
+
+func it(loads, stores []mem.VAddr) trace.Iteration {
+	return trace.Iteration{Loads: loads, Stores: stores, IntOps: 1}
+}
+
+func TestWindowsSingleWindowWhenFits(t *testing.T) {
+	inv := &trace.Invocation{Iterations: []trace.Iteration{
+		it([]mem.VAddr{0x000, 0x040}, []mem.VAddr{0x080}),
+		it([]mem.VAddr{0x0c0}, nil),
+	}}
+	ws := Windows(inv, 64, nil)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d, want 1", len(ws))
+	}
+	w := ws[0]
+	if len(w.ReadSet) != 3 || len(w.WriteSet) != 1 {
+		t.Fatalf("read/write sets = %v / %v", w.ReadSet, w.WriteSet)
+	}
+}
+
+func TestWindowsSplitOnCapacity(t *testing.T) {
+	// Each iteration touches 2 fresh lines; capacity 4 lines -> 2 iters per window.
+	var iters []trace.Iteration
+	for i := 0; i < 6; i++ {
+		base := mem.VAddr(i * 128)
+		iters = append(iters, it([]mem.VAddr{base}, []mem.VAddr{base + 64}))
+	}
+	inv := &trace.Invocation{Iterations: iters}
+	ws := Windows(inv, 4, nil)
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d, want 3", len(ws))
+	}
+	for _, w := range ws {
+		if w.End-w.Start != 2 {
+			t.Fatalf("window span = %d, want 2", w.End-w.Start)
+		}
+		if len(w.ReadSet) != 2 || len(w.WriteSet) != 2 {
+			t.Fatalf("sets: %v / %v", w.ReadSet, w.WriteSet)
+		}
+	}
+}
+
+func TestWindowsStoreThenLoadStaysInReadSet(t *testing.T) {
+	// A line both stored and loaded in one window must be DMA'd in: the
+	// accelerator pipeline may reorder the load ahead of the store.
+	inv := &trace.Invocation{Iterations: []trace.Iteration{
+		it(nil, []mem.VAddr{0x000}),
+		it([]mem.VAddr{0x000}, nil),
+	}}
+	ws := Windows(inv, 64, nil)
+	if len(ws) != 1 || len(ws[0].ReadSet) != 1 {
+		t.Fatalf("store-then-load line must be in the read set: %+v", ws[0])
+	}
+	if len(ws[0].WriteSet) != 1 {
+		t.Fatal("dirty line missing from write set")
+	}
+}
+
+func TestWindowsStoreOnlyLineNotInReadSet(t *testing.T) {
+	inv := &trace.Invocation{Iterations: []trace.Iteration{
+		it([]mem.VAddr{0x040}, []mem.VAddr{0x000}),
+	}}
+	ws := Windows(inv, 64, nil)
+	if len(ws[0].ReadSet) != 1 || ws[0].ReadSet[0] != 0x040 {
+		t.Fatalf("store-only line needlessly DMA'd in: %+v", ws[0])
+	}
+}
+
+func TestWindowsOversizedIterationStillProgresses(t *testing.T) {
+	var loads []mem.VAddr
+	for i := 0; i < 10; i++ {
+		loads = append(loads, mem.VAddr(i*64))
+	}
+	inv := &trace.Invocation{Iterations: []trace.Iteration{it(loads, nil), it(loads[:1], nil)}}
+	ws := Windows(inv, 4, nil) // iteration footprint 10 > 4
+	if len(ws) != 2 || ws[0].End != 1 {
+		t.Fatalf("oversized iteration not isolated: %+v", ws)
+	}
+}
+
+// DMA integration through the real directory.
+func newDMAHarness(t *testing.T) (*sim.Engine, *mesi.Fabric, *mesi.Directory, *mesi.Client, *DMA, *stats.Set) {
+	t.Helper()
+	eng := sim.NewEngine()
+	st := stats.NewSet()
+	mt := energy.NewMeter()
+	model := energy.Default()
+	fab := mesi.NewFabric(eng, mt, st)
+	d := dram.New(eng, dram.DefaultConfig(), model, mt, st)
+	dir := mesi.NewDirectory(fab, mesi.DefaultDirConfig(), d, model, mt, st)
+	host := mesi.NewClient(fab, 1, mesi.DefaultHostL1Config(model), model, mt, st)
+	dma := NewDMA(fab, 3, 8, 0, st)
+	return eng, fab, dir, host, dma, st
+}
+
+func TestDMAReadsCoherentData(t *testing.T) {
+	eng, _, _, host, dma, _ := newDMAHarness(t)
+	// Host dirties a line.
+	done := false
+	host.Access(mem.Store, 0x1000, func(uint64) { done = true })
+	eng.Run(100000, func() bool { return done })
+	var got uint64
+	seen := false
+	dma.ReadLine(0x1000, func(v uint64) { got = v; seen = true })
+	eng.Run(100000, func() bool { return seen })
+	if got != 1 {
+		t.Fatalf("DMA read v%d, want v1 (owner's modified data)", got)
+	}
+}
+
+func TestDMAWriteVisibleToHost(t *testing.T) {
+	eng, _, dir, host, dma, _ := newDMAHarness(t)
+	acked := false
+	dma.WriteLine(0x2000, 9, false, func(uint64) { acked = true })
+	eng.Run(100000, func() bool { return acked })
+	if dir.Version(0x2000) != 9 {
+		t.Fatalf("LLC version = %d, want 9", dir.Version(0x2000))
+	}
+	done := false
+	host.Access(mem.Load, 0x2000, func(uint64) { done = true })
+	eng.Run(100000, func() bool { return done })
+	if l := host.Peek(0x2000); l == nil || l.Ver != 9 {
+		t.Fatalf("host line = %+v, want v9", l)
+	}
+}
+
+func TestDMABoundedOutstanding(t *testing.T) {
+	eng, _, _, _, dma, _ := newDMAHarness(t)
+	const n = 40
+	got := 0
+	for i := 0; i < n; i++ {
+		dma.ReadLine(mem.PAddr(i*64), func(uint64) { got++ })
+	}
+	if dma.outstanding > dma.maxOutstanding {
+		t.Fatalf("outstanding %d exceeds cap %d", dma.outstanding, dma.maxOutstanding)
+	}
+	eng.Run(2000000, func() bool { return got == n })
+	if !dma.Idle() {
+		t.Fatal("DMA not idle after completion")
+	}
+}
+
+func TestDMAFullRoundTrip(t *testing.T) {
+	// DMA in, compute in scratchpad, DMA out; versions flow end to end.
+	eng, _, dir, _, dma, _ := newDMAHarness(t)
+	s, _, _ := newPad(eng)
+	dir.Preload(0x3000, 5)
+
+	loaded := false
+	dma.ReadLine(0x3000, func(v uint64) {
+		s.Fill(0x3000, v)
+		loaded = true
+	})
+	eng.Run(100000, func() bool { return loaded })
+
+	stored := false
+	s.Access(mem.Store, 0x3000, func(uint64) { stored = true })
+	eng.Run(100, func() bool { return stored })
+
+	drained := false
+	for _, dl := range s.DirtyLines() {
+		dma.WriteLine(mem.PAddr(dl.Addr), dl.Ver, dl.Delta, func(uint64) { drained = true })
+	}
+	eng.Run(100000, func() bool { return drained })
+	if dir.Version(0x3000) != 6 {
+		t.Fatalf("final version = %d, want 6", dir.Version(0x3000))
+	}
+}
+
+func TestWindowsLiveStoredLineDMAdIn(t *testing.T) {
+	// A store that only partially overwrites live data must fetch the line
+	// first; a store to a fresh line write-allocates for free.
+	inv := &trace.Invocation{Iterations: []trace.Iteration{
+		it(nil, []mem.VAddr{0x000, 0x100}),
+	}}
+	live := map[mem.VAddr]bool{0x000: true}
+	ws := Windows(inv, 64, live)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if len(ws[0].ReadSet) != 1 || ws[0].ReadSet[0] != 0x000 {
+		t.Fatalf("read set = %v, want just the live line", ws[0].ReadSet)
+	}
+	if len(ws[0].WriteSet) != 2 {
+		t.Fatalf("write set = %v, want both lines", ws[0].WriteSet)
+	}
+}

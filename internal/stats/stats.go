@@ -1,0 +1,90 @@
+// Package stats provides the counter registry every simulated component
+// reports into. Counters are named hierarchically ("l1x.read.hit") and kept
+// in insertion order so dumps are deterministic.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Set is an ordered collection of named int64 counters.
+type Set struct {
+	order []string
+	vals  map[string]int64
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set {
+	return &Set{vals: make(map[string]int64)}
+}
+
+// Add increments counter name by v, creating it if needed.
+func (s *Set) Add(name string, v int64) {
+	if _, ok := s.vals[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.vals[name] += v
+}
+
+// Inc increments counter name by one.
+func (s *Set) Inc(name string) { s.Add(name, 1) }
+
+// Put overwrites counter name with v (gauge semantics).
+func (s *Set) Put(name string, v int64) {
+	if _, ok := s.vals[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.vals[name] = v
+}
+
+// Get returns the value of counter name (zero if absent).
+func (s *Set) Get(name string) int64 { return s.vals[name] }
+
+// Names returns the counter names in insertion order.
+func (s *Set) Names() []string {
+	return append([]string(nil), s.order...)
+}
+
+// Merge adds every counter from other into s, prefixing names with prefix
+// (use "" for none). A non-empty prefix is joined with a dot.
+func (s *Set) Merge(prefix string, other *Set) {
+	for _, n := range other.order {
+		name := n
+		if prefix != "" {
+			name = prefix + "." + n
+		}
+		s.Add(name, other.vals[n])
+	}
+}
+
+// Sum returns the total of every counter whose name has the given prefix.
+func (s *Set) Sum(prefix string) int64 {
+	var total int64
+	for n, v := range s.vals {
+		if strings.HasPrefix(n, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// Dump writes "name value" lines, sorted by name, to w.
+func (s *Set) Dump(w io.Writer) {
+	names := append([]string(nil), s.order...)
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-48s %12d\n", n, s.vals[n])
+	}
+}
+
+// Reset zeroes and removes every counter.
+func (s *Set) Reset() {
+	s.order = s.order[:0]
+	s.vals = make(map[string]int64)
+}
+
+// Len reports the number of distinct counters.
+func (s *Set) Len() int { return len(s.order) }

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndGet(t *testing.T) {
+	s := NewSet()
+	s.Add("a", 3)
+	s.Add("a", 4)
+	s.Inc("b")
+	if s.Get("a") != 7 {
+		t.Fatalf("a = %d, want 7", s.Get("a"))
+	}
+	if s.Get("b") != 1 {
+		t.Fatalf("b = %d, want 1", s.Get("b"))
+	}
+	if s.Get("missing") != 0 {
+		t.Fatal("missing counter should read zero")
+	}
+}
+
+func TestNamesInsertionOrder(t *testing.T) {
+	s := NewSet()
+	s.Inc("z")
+	s.Inc("a")
+	s.Inc("m")
+	s.Inc("a") // no duplicate
+	names := s.Names()
+	want := []string{"z", "a", "m"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestMergeWithPrefix(t *testing.T) {
+	a := NewSet()
+	a.Add("hits", 10)
+	b := NewSet()
+	b.Add("hits", 5)
+	b.Add("misses", 2)
+	a.Merge("l0x", b)
+	if a.Get("l0x.hits") != 5 || a.Get("l0x.misses") != 2 || a.Get("hits") != 10 {
+		t.Fatalf("merge wrong: %v %v %v", a.Get("l0x.hits"), a.Get("l0x.misses"), a.Get("hits"))
+	}
+	a.Merge("", b)
+	if a.Get("hits") != 15 {
+		t.Fatalf("unprefixed merge: hits = %d, want 15", a.Get("hits"))
+	}
+}
+
+func TestSumPrefix(t *testing.T) {
+	s := NewSet()
+	s.Add("link.l0x.bytes", 100)
+	s.Add("link.l1x.bytes", 50)
+	s.Add("cache.hits", 7)
+	if got := s.Sum("link."); got != 150 {
+		t.Fatalf("Sum(link.) = %d, want 150", got)
+	}
+	if got := s.Sum(""); got != 157 {
+		t.Fatalf("Sum() = %d, want 157", got)
+	}
+}
+
+func TestDumpSortedAndReset(t *testing.T) {
+	s := NewSet()
+	s.Add("zz", 1)
+	s.Add("aa", 2)
+	var b strings.Builder
+	s.Dump(&b)
+	out := b.String()
+	if strings.Index(out, "aa") > strings.Index(out, "zz") {
+		t.Fatalf("dump not sorted:\n%s", out)
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Get("aa") != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+// Property: a sequence of Adds to one counter sums exactly.
+func TestAddSumsProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		s := NewSet()
+		var want int64
+		for _, v := range vals {
+			s.Add("x", int64(v))
+			want += int64(v)
+		}
+		return s.Get("x") == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package systems
+
+// Differential fuzzing: random programs must leave memory in exactly the
+// sequential-semantics state on every system. Any protocol bug that loses,
+// duplicates, or misorders a write anywhere in the stack fails here.
+
+import (
+	"fmt"
+	"testing"
+
+	"fusion/internal/workloads"
+)
+
+func TestFuzzAllSystemsGolden(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 34}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			b := workloads.Random(seed, workloads.DefaultRandomParams())
+			want := ExpectedVersions(b)
+			for _, kind := range []Kind{Scratch, Shared, Fusion, FusionDx} {
+				res, err := Run(b, DefaultConfig(kind))
+				if err != nil {
+					t.Fatalf("%v: %v", kind, err)
+				}
+				bad := 0
+				for va, wv := range want {
+					if res.FinalVersions[va] != wv {
+						bad++
+						if bad <= 3 {
+							t.Errorf("%v: line %#x v%d, golden v%d",
+								kind, uint64(va), res.FinalVersions[va], wv)
+						}
+					}
+				}
+				if bad > 3 {
+					t.Errorf("%v: ... %d more mismatches", kind, bad-3)
+				}
+			}
+		})
+	}
+}
+
+func TestFuzzMultiTileGolden(t *testing.T) {
+	for _, seed := range []int64{7, 11} {
+		b := workloads.Random(seed, workloads.DefaultRandomParams())
+		want := ExpectedVersions(b)
+		cfg := DefaultConfig(FusionDx)
+		cfg.Tiles = 2
+		res, err := Run(b, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for va, wv := range want {
+			if res.FinalVersions[va] != wv {
+				t.Fatalf("seed %d: line %#x v%d, golden v%d", seed, uint64(va),
+					res.FinalVersions[va], wv)
+			}
+		}
+	}
+}
+
+func TestFuzzWriteThroughGolden(t *testing.T) {
+	for _, seed := range []int64{17, 19} {
+		b := workloads.Random(seed, workloads.DefaultRandomParams())
+		want := ExpectedVersions(b)
+		cfg := DefaultConfig(Fusion)
+		cfg.WriteThrough = true
+		res, err := Run(b, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for va, wv := range want {
+			if res.FinalVersions[va] != wv {
+				t.Fatalf("seed %d: line %#x v%d, golden v%d", seed, uint64(va),
+					res.FinalVersions[va], wv)
+			}
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := workloads.Random(42, workloads.DefaultRandomParams())
+	b := workloads.Random(42, workloads.DefaultRandomParams())
+	wa := ExpectedVersions(a)
+	wb := ExpectedVersions(b)
+	if len(wa) != len(wb) {
+		t.Fatal("random generation not deterministic")
+	}
+	for k, v := range wa {
+		if wb[k] != v {
+			t.Fatalf("line %#x differs across generations", uint64(k))
+		}
+	}
+}
+
+func TestFuzzParanoidMode(t *testing.T) {
+	// Invariants hold at every 64-cycle checkpoint across a whole random
+	// program on both FUSION variants.
+	for _, seed := range []int64{3, 13} {
+		b := workloads.Random(seed, workloads.DefaultRandomParams())
+		for _, kind := range []Kind{Fusion, FusionDx} {
+			cfg := DefaultConfig(kind)
+			cfg.Paranoid = true
+			if _, err := Run(b, cfg); err != nil {
+				t.Fatalf("seed %d %v: %v", seed, kind, err)
+			}
+		}
+	}
+}

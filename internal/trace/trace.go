@@ -1,0 +1,163 @@
+// Package trace defines the workload representation the simulator executes:
+// iteration-structured dynamic traces of accelerated functions, the
+// Go-native stand-in for the constrained dynamic data-dependence graphs the
+// paper extracts with its gprof/trace toolchain (Section 4).
+//
+// Each accelerated function is a sequence of iterations. Within an
+// iteration, loads are independent of each other, compute consumes the
+// loaded values, and stores depend on the compute — the canonical
+// load/compute/store structure of the fixed-function datapaths the paper
+// targets. Across iterations the accelerator pipelines execution, bounded
+// by its resources and memory-level parallelism, which is exactly how the
+// paper's Table 1 MLP figures arise.
+package trace
+
+import "fusion/internal/mem"
+
+// Iteration is one loop body instance: a set of independent loads, a
+// compute phase, and dependent stores.
+type Iteration struct {
+	Loads  []mem.VAddr
+	Stores []mem.VAddr
+	IntOps int
+	FPOps  int
+}
+
+// Invocation is one offloaded execution of a function on an accelerator.
+type Invocation struct {
+	Function string
+	AXC      int // which accelerator in the tile runs this function
+	// LeaseTime is the ACC epoch length for this function (Table 3 LT),
+	// derived from its expected invocation latency.
+	LeaseTime uint64
+	// Serial marks a loop-carried dependence: iteration i+1's loads wait
+	// for iteration i's compute (ADPCM's predictor feedback, medfilt's
+	// running window). Serial functions are the latency-sensitive ones
+	// whose Table 1 MLP is near 1-2, and they are where the shared cache's
+	// higher load-to-use latency costs the most (Lesson 2).
+	Serial     bool
+	Iterations []Iteration
+}
+
+// Lines returns the distinct cache-line addresses an invocation touches,
+// in first-touch order, along with which are written.
+func (inv *Invocation) Lines() (lines []mem.VAddr, written map[mem.VAddr]bool) {
+	seen := make(map[mem.VAddr]bool)
+	written = make(map[mem.VAddr]bool)
+	add := func(a mem.VAddr, w bool) {
+		la := a.LineAddr()
+		if !seen[la] {
+			seen[la] = true
+			lines = append(lines, la)
+		}
+		if w {
+			written[la] = true
+		}
+	}
+	for i := range inv.Iterations {
+		it := &inv.Iterations[i]
+		for _, a := range it.Loads {
+			add(a, false)
+		}
+		for _, a := range it.Stores {
+			add(a, true)
+		}
+	}
+	return lines, written
+}
+
+// Ops returns total op counts (int, fp, ld, st) for the invocation.
+func (inv *Invocation) Ops() (intOps, fpOps, loads, stores int) {
+	for i := range inv.Iterations {
+		it := &inv.Iterations[i]
+		intOps += it.IntOps
+		fpOps += it.FPOps
+		loads += len(it.Loads)
+		stores += len(it.Stores)
+	}
+	return
+}
+
+// Program is a whole benchmark: an ordered sequence of phases that migrate
+// between accelerators (and optionally back to the host), as in Figure 1.
+type Program struct {
+	Name   string
+	Phases []Phase
+}
+
+// PhaseKind distinguishes offloaded from host-run phases.
+type PhaseKind uint8
+
+const (
+	// PhaseAccel runs on an accelerator in the tile.
+	PhaseAccel PhaseKind = iota
+	// PhaseHost runs on the host core (e.g. step3() of Figure 1).
+	PhaseHost
+)
+
+// Phase is one step of the program pipeline.
+type Phase struct {
+	Kind PhaseKind
+	Inv  Invocation
+}
+
+// NumAXCs returns how many distinct accelerators the program uses.
+func (p *Program) NumAXCs() int {
+	max := -1
+	for i := range p.Phases {
+		ph := &p.Phases[i]
+		if ph.Kind == PhaseAccel && ph.Inv.AXC > max {
+			max = ph.Inv.AXC
+		}
+	}
+	return max + 1
+}
+
+// WorkingSet returns the program's distinct line count and total bytes.
+func (p *Program) WorkingSet() (lines int, bytes int) {
+	seen := make(map[mem.VAddr]bool)
+	for i := range p.Phases {
+		ls, _ := p.Phases[i].Inv.Lines()
+		for _, l := range ls {
+			seen[l] = true
+		}
+	}
+	return len(seen), len(seen) * mem.LineBytes
+}
+
+// SharedLines computes, per accelerated function, the fraction of its lines
+// also touched by at least one *other* function — the paper's %SHR metric
+// (Table 1). Repeated invocations of the same function do not count as
+// sharing.
+func (p *Program) SharedLines() map[string]float64 {
+	touch := make(map[mem.VAddr]map[string]bool) // line -> set of functions
+	for i := range p.Phases {
+		fn := p.Phases[i].Inv.Function
+		ls, _ := p.Phases[i].Inv.Lines()
+		for _, l := range ls {
+			if touch[l] == nil {
+				touch[l] = make(map[string]bool)
+			}
+			touch[l][fn] = true
+		}
+	}
+	out := make(map[string]float64)
+	for i := range p.Phases {
+		ph := &p.Phases[i]
+		if _, done := out[ph.Inv.Function]; done {
+			continue
+		}
+		ls, _ := ph.Inv.Lines()
+		if len(ls) == 0 {
+			continue
+		}
+		shared := 0
+		for _, l := range ls {
+			if len(touch[l]) > 1 {
+				shared++
+			}
+		}
+		out[ph.Inv.Function] = 100 * float64(shared) / float64(len(ls))
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package workloads
+
+// Benchmark serialization: traces round-trip through JSON so workloads can
+// be inspected, archived, hand-edited, or produced by external tooling
+// (e.g. a real dynamic-trace extractor feeding this simulator).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SaveJSON writes the benchmark as JSON.
+func SaveJSON(w io.Writer, b *Benchmark) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(b); err != nil {
+		return fmt.Errorf("workloads: encode: %w", err)
+	}
+	return nil
+}
+
+// LoadJSON reads a benchmark previously written by SaveJSON (or produced by
+// an external trace extractor in the same schema). The forwarding sets are
+// recomputed if absent.
+func LoadJSON(r io.Reader) (*Benchmark, error) {
+	var b Benchmark
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("workloads: decode: %w", err)
+	}
+	if b.Program == nil {
+		return nil, fmt.Errorf("workloads: benchmark has no program")
+	}
+	if b.LeaseTimes == nil {
+		b.LeaseTimes = make(map[string]uint64)
+	}
+	if b.MLP == nil {
+		b.MLP = make(map[string]int)
+	}
+	if b.Forwards == nil {
+		ComputeForwards(&b)
+	}
+	if errs := Validate(&b); len(errs) > 0 {
+		return nil, fmt.Errorf("workloads: invalid benchmark: %v (%d problems)", errs[0], len(errs))
+	}
+	return &b, nil
+}
