@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: tier1 build vet test race soak-smoke soak clean
+
+# tier1 is the gate every change must pass.
+tier1: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# soak-smoke: the short-mode fault-injection sweep (a subset of cells).
+soak-smoke:
+	$(GO) test -short -run 'TestSoak|TestFaulted|TestWatchdog' ./internal/systems/
+
+# soak: the full randomized fault-injection sweep across all four systems.
+soak:
+	$(GO) test -run 'TestSoak|TestFaulted|TestWatchdog' -timeout 30m ./internal/systems/
+
+clean:
+	$(GO) clean ./...

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,10 @@ func main() {
 		stats     = flag.Bool("stats", false, "dump all statistics counters")
 		energyOut = flag.Bool("energy", false, "dump the energy meter by component")
 		verify    = flag.Bool("verify", true, "check final memory state against sequential semantics")
+		paranoid  = flag.Bool("paranoid", false, "check protocol invariants every 64 cycles (slower)")
+		watchdog  = flag.Uint64("watchdog", 1_000_000, "halt with a diagnostic dump after this many cycles without forward progress (0 disables)")
+		faultSeed = flag.Uint64("faultseed", 0, "inject a random fault plan derived from this seed (0 disables)")
+		faultPlan = flag.String("faultplan", "", "inject the JSON fault plan loaded from this file (overrides -faultseed)")
 	)
 	flag.Parse()
 
@@ -80,10 +85,35 @@ func main() {
 	cfg := fusion.DefaultConfig(sys)
 	cfg.Large = *large
 	cfg.WriteThrough = *wt
+	cfg.Paranoid = *paranoid
+	cfg.WatchdogCycles = *watchdog
+	if *faultPlan != "" {
+		plan, err := fusion.LoadFaultPlanFile(*faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Faults = &plan
+	} else if *faultSeed != 0 {
+		plan := fusion.RandomFaultPlan(*faultSeed)
+		cfg.Faults = &plan
+	}
+	if cfg.Faults != nil {
+		fmt.Printf("fault plan       %+v\n", *cfg.Faults)
+	}
 
 	res, err := fusion.Run(b, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simulation failed:", err)
+		var pe *fusion.ProtocolError
+		if errors.As(err, &pe) {
+			fmt.Fprintf(os.Stderr, "simulation failed: %s at cycle %d: %s\n",
+				pe.Component, pe.Cycle, pe.Message)
+			if pe.State != "" {
+				fmt.Fprintf(os.Stderr, "--- state dump ---\n%s\n", pe.State)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "simulation failed:", err)
+		}
 		os.Exit(1)
 	}
 

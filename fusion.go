@@ -48,8 +48,10 @@ import (
 	"io"
 
 	"fusion/internal/experiments"
+	"fusion/internal/faults"
 	"fusion/internal/mem"
 	"fusion/internal/ptrace"
+	"fusion/internal/sim"
 	"fusion/internal/systems"
 	"fusion/internal/trace"
 	"fusion/internal/workloads"
@@ -159,6 +161,29 @@ type (
 	// TraceWriter streams formatted protocol events to an io.Writer.
 	TraceWriter = ptrace.Writer
 )
+
+// Robustness: fault injection, watchdog, structured failures. A FaultPlan
+// describes deterministic performance perturbations (link jitter, link
+// stalls, DRAM latency spikes) replayed bit-identically from its seed; set
+// Config.Faults to inject it and Config.WatchdogCycles to arm the
+// forward-progress watchdog. Failures — protocol violations, watchdog
+// timeouts — surface from Run as a *ProtocolError naming the component,
+// cycle, and a state excerpt.
+type (
+	// FaultPlan is a serializable deterministic fault-injection plan.
+	FaultPlan = faults.Plan
+	// ProtocolError is a structured simulator failure; use errors.As.
+	ProtocolError = sim.ProtocolError
+)
+
+// RandomFaultPlan derives a reproducible fault plan from a seed.
+func RandomFaultPlan(seed uint64) FaultPlan { return faults.RandomPlan(seed) }
+
+// LoadFaultPlan reads a JSON fault plan written by FaultPlan.Save.
+func LoadFaultPlan(r io.Reader) (FaultPlan, error) { return faults.LoadPlan(r) }
+
+// LoadFaultPlanFile reads a JSON fault plan from a file.
+func LoadFaultPlanFile(path string) (FaultPlan, error) { return faults.LoadPlanFile(path) }
 
 // Experiments regenerates the paper's tables and figures. Simulation runs
 // are memoized across experiments within one runner.

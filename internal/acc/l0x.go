@@ -2,6 +2,8 @@ package acc
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"fusion/internal/cache"
 	"fusion/internal/energy"
@@ -204,7 +206,7 @@ func (c *L0X) hit(done func(uint64)) {
 func (c *L0X) Handle(msg interconnect.Message) {
 	m, ok := msg.(*TileMsg)
 	if !ok {
-		panic(fmt.Sprintf("%s: foreign message %v", c.name, msg))
+		sim.Failf(c.name, c.eng.Now(), c.DumpState(), "foreign message %v", msg)
 	}
 	switch m.Type {
 	case MsgLease:
@@ -212,7 +214,7 @@ func (c *L0X) Handle(msg interconnect.Message) {
 	case MsgFwdData:
 		c.receiveForward(m)
 	default:
-		panic(fmt.Sprintf("%s: unexpected %s", c.name, m))
+		sim.Failf(c.name, c.eng.Now(), c.DumpState(), "unexpected %s", m)
 	}
 }
 
@@ -229,6 +231,29 @@ func (c *L0X) fill(m *TileMsg) {
 		}
 		return
 	}
+	if m.Lease <= c.eng.Now() {
+		// The grant died in transit (delivery delay outlived the lease).
+		// Installing it would extend the lease past the L1X's GTIME promise,
+		// so release it and re-request instead. A write grant holds the L1X
+		// epoch lock and must be returned or stalled requesters would wait
+		// forever; the release is a plain (clean) writeback.
+		if m.Write {
+			c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(a), PID: c.pid,
+				Src: c.id, Ver: m.Ver, Lease: m.Lease})
+		}
+		// No Progress beat here: this is a retry loop, and a persistent
+		// dead-grant spin must still trip the watchdog.
+		delete(c.txns, a)
+		c.mshr.Free(a)
+		if c.stats != nil {
+			c.stats.Inc(c.name + ".dead_grants")
+		}
+		for _, w := range t.waiters {
+			w := w
+			c.eng.Schedule(1, func(uint64) { c.retryAccess(w.kind, mem.VAddr(a), w.done) })
+		}
+		return
+	}
 	l := c.installLine(a, m.Lease, m.Write, m.Ver)
 	if l == nil {
 		// All ways busy; retry shortly without dropping the grant.
@@ -237,6 +262,7 @@ func (c *L0X) fill(m *TileMsg) {
 	}
 	delete(c.txns, a)
 	c.mshr.Free(a)
+	c.eng.Progress() // miss resolved: heartbeat
 
 	for _, w := range t.waiters {
 		w := w
@@ -387,6 +413,19 @@ func (c *L0X) selfDowngrade(a uint64, expiry uint64) {
 // now owes the eventual writeback to the L1X.
 func (c *L0X) receiveForward(m *TileMsg) {
 	a := uint64(m.Addr.LineAddr())
+	if m.Lease <= c.eng.Now() {
+		// The forward outlived its lease in transit. The dirty payload is
+		// owed to the L1X; pass it on as the closing writeback instead of
+		// installing an already-expired line. Any outstanding miss here is
+		// stalled at the L1X behind the epoch lock and resolves once this
+		// writeback closes it.
+		c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(a), PID: c.pid,
+			Src: c.id, Ver: m.Ver, Lease: m.Lease})
+		if c.stats != nil {
+			c.stats.Inc(c.name + ".dead_forwards")
+		}
+		return
+	}
 	l := c.installLine(a, m.Lease, true, m.Ver)
 	if l == nil {
 		c.eng.Schedule(1, func(uint64) { c.receiveForward(m) })
@@ -403,6 +442,7 @@ func (c *L0X) receiveForward(m *TileMsg) {
 	if t, ok := c.txns[a]; ok {
 		delete(c.txns, a)
 		c.mshr.Free(a)
+		c.eng.Progress()
 		for _, w := range t.waiters {
 			w := w
 			if w.kind == mem.Store {
@@ -433,6 +473,31 @@ func (c *L0X) Drain() {
 			*l = cache.Line{}
 		}
 	})
+}
+
+// DumpState summarizes in-flight work for watchdog/failure diagnostics.
+// Empty when the cache is idle.
+func (c *L0X) DumpState() string {
+	if len(c.txns) == 0 {
+		return ""
+	}
+	addrs := make([]uint64, 0, len(c.txns))
+	for a := range c.txns {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d open txns, %d/%d MSHRs\n",
+		c.name, len(c.txns), c.mshr.Len(), c.cfg.MSHRs)
+	for _, a := range addrs {
+		t := c.txns[a]
+		kind := "GetL"
+		if t.write {
+			kind = "GetW"
+		}
+		fmt.Fprintf(&b, "  %#x %s waiters=%d\n", a, kind, len(t.waiters))
+	}
+	return b.String()
 }
 
 // InvalidateAll clears the cache without writebacks (tests only).

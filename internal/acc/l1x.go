@@ -2,6 +2,8 @@ package acc
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"fusion/internal/cache"
 	"fusion/internal/energy"
@@ -153,7 +155,7 @@ func (x *L1X) access() {
 func (x *L1X) HandleTile(msg interconnect.Message) {
 	m, ok := msg.(*TileMsg)
 	if !ok {
-		panic(fmt.Sprintf("l1x: foreign message %v", msg))
+		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "foreign message %v", msg)
 	}
 	x.eng.Schedule(x.cfg.AccessLat, func(uint64) { x.process(m) })
 }
@@ -165,7 +167,7 @@ func (x *L1X) process(m *TileMsg) {
 	case MsgWB:
 		x.writeback(m)
 	default:
-		panic(fmt.Sprintf("l1x: unexpected tile %s", m))
+		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "unexpected tile %s", m)
 	}
 }
 
@@ -231,7 +233,7 @@ func (x *L1X) lease(m *TileMsg) {
 func (x *L1X) grant(m *TileMsg, l *cache.Line, write bool, expiry uint64) {
 	link, ok := x.toL0X[m.Src]
 	if !ok {
-		panic(fmt.Sprintf("l1x: no downlink to axc %d", m.Src))
+		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "no downlink to axc %d", m.Src)
 	}
 	if x.stats != nil {
 		if write {
@@ -397,7 +399,7 @@ func (x *L1X) HandleMESI(m *mesi.Msg) {
 		// other requester. Tracked on the txn below.
 		x.invAck(m)
 	default:
-		panic(fmt.Sprintf("l1x: unexpected host %s", m))
+		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "unexpected host %s", m)
 	}
 }
 
@@ -405,7 +407,7 @@ func (x *L1X) HandleMESI(m *mesi.Msg) {
 func (x *L1X) invAck(m *mesi.Msg) {
 	va, ok := x.byPA[m.Addr.LineAddr()]
 	if !ok {
-		panic(fmt.Sprintf("l1x: InvAck with no fetch: %s", m))
+		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "InvAck with no fetch: %s", m)
 	}
 	t := x.txns[va]
 	t.acksGot++
@@ -417,7 +419,7 @@ func (x *L1X) fillFromHost(m *mesi.Msg) {
 	pa := m.Addr.LineAddr()
 	va, ok := x.byPA[pa]
 	if !ok {
-		panic(fmt.Sprintf("l1x: data with no fetch: %s", m))
+		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "data with no fetch: %s", m)
 	}
 	t := x.txns[va]
 	t.arrived = true
@@ -440,6 +442,7 @@ func (x *L1X) maybeFill(t *l1txn) {
 	delete(x.txns, t.va)
 	delete(x.byPA, t.pa)
 	x.mshr.Free(t.va)
+	x.eng.Progress() // host fetch resolved: heartbeat
 	x.fabric.Send(&mesi.Msg{Type: mesi.MsgUnblock, Addr: t.pa, Src: x.agent,
 		Dst: mesi.DirID, Excl: true})
 	for _, w := range t.waiters {
@@ -542,7 +545,7 @@ func (x *L1X) hostForward(m *mesi.Msg) {
 			delete(x.evict, pa)
 			return
 		}
-		panic(fmt.Sprintf("l1x: host fwd for unmapped line %s", m))
+		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "host fwd for unmapped line %s", m)
 	}
 	x.tryRelinquish(m, ptr, true)
 }
@@ -559,7 +562,7 @@ func (x *L1X) tryRelinquish(m *mesi.Msg, ptr ReversePointer, first bool) {
 			delete(x.evict, pa)
 			return
 		}
-		panic(fmt.Sprintf("l1x: rmap points at absent line %s", m))
+		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "rmap points at absent line %s", m)
 	}
 	now := x.eng.Now()
 	if l.GTime > now || l.WLock {
@@ -615,6 +618,36 @@ func (x *L1X) FlushAll() {
 
 // Outstanding reports in-flight host fetches plus eviction buffers.
 func (x *L1X) Outstanding() int { return len(x.txns) + len(x.evict) }
+
+// DumpState summarizes in-flight host fetches, stalled lease requests, and
+// eviction buffers for watchdog/failure diagnostics. Empty when idle.
+func (x *L1X) DumpState() string {
+	if len(x.txns) == 0 && len(x.waiting) == 0 && len(x.evict) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d host fetches, %d wlock queues, %d evict buffers, %d/%d MSHRs\n",
+		x.name, len(x.txns), len(x.waiting), len(x.evict), x.mshr.Len(), x.cfg.MSHRs)
+	vas := make([]uint64, 0, len(x.txns))
+	for va := range x.txns {
+		vas = append(vas, va)
+	}
+	sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
+	for _, va := range vas {
+		t := x.txns[va]
+		fmt.Fprintf(&b, "  fetch va=%#x pa=%#x arrived=%v acks=%d/%d waiters=%d\n",
+			t.va, uint64(t.pa), t.arrived, t.acksGot, t.acksNeeded, len(t.waiters))
+	}
+	was := make([]uint64, 0, len(x.waiting))
+	for a := range x.waiting {
+		was = append(was, a)
+	}
+	sort.Slice(was, func(i, j int) bool { return was[i] < was[j] })
+	for _, a := range was {
+		fmt.Fprintf(&b, "  wlock-stalled va=%#x waiters=%d\n", a, len(x.waiting[a]))
+	}
+	return b.String()
+}
 
 // Peek exposes a line for tests.
 func (x *L1X) Peek(va mem.VAddr, pid mem.PID) *cache.Line {

@@ -1,0 +1,124 @@
+package acc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fusion/internal/energy"
+	"fusion/internal/interconnect"
+	"fusion/internal/mem"
+	"fusion/internal/sim"
+	"fusion/internal/stats"
+)
+
+// TestWatchdogCatchesDroppedGrant wires an L0X to an uplink that silently
+// drops every message — the deterministic stand-in for a wedged L1X. The
+// miss never resolves; the watchdog must halt the run and name the stuck
+// cache in its dump.
+func TestWatchdogCatchesDroppedGrant(t *testing.T) {
+	eng := sim.NewEngine()
+	st := stats.NewSet()
+	mt := energy.NewMeter()
+	model := energy.Default()
+	cfg := SmallTileConfig(1, model)
+
+	l0 := NewL0X(eng, 0, 1, cfg.L0X, mt, st)
+	blackhole := interconnect.NewLink(eng, interconnect.Config{
+		Name: "link.dead", Latency: 2,
+		Deliver: func(interconnect.Message) {}, // the GetL vanishes here
+	})
+	l0.ConnectL1X(blackhole)
+
+	wd := sim.NewWatchdog(eng, 100)
+	wd.AddDump("l0x.0", l0.DumpState)
+
+	if ok := l0.Access(mem.Load, 0x1000, func(uint64) {}); !ok {
+		t.Fatal("access rejected")
+	}
+	_, done, err := eng.RunE(100_000, nil)
+	if done {
+		t.Fatal("run completed despite the dropped grant")
+	}
+	var pe *sim.ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("watchdog did not fire: err=%v", err)
+	}
+	if pe.Component != "watchdog" {
+		t.Fatalf("component = %q, want watchdog", pe.Component)
+	}
+	if !strings.Contains(pe.State, "l0x.0") || !strings.Contains(pe.State, "0x1000") {
+		t.Errorf("dump does not name the stuck cache and line:\n%s", pe.State)
+	}
+	// The hang is caught promptly: within the window plus slack, not after
+	// burning the full cycle budget.
+	if pe.Cycle > 1000 {
+		t.Errorf("watchdog fired at cycle %d, want shortly after the %d-cycle window",
+			pe.Cycle, wd.Window())
+	}
+}
+
+// TestL0XUnexpectedMessageIsProtocolError sends the L0X a message type it
+// never receives; the failure must surface through RunE as a structured
+// ProtocolError, not a panic.
+func TestL0XUnexpectedMessageIsProtocolError(t *testing.T) {
+	h := newHarness(t, 1, false)
+	l0 := h.tile.L0Xs[0]
+	h.eng.Schedule(1, func(uint64) {
+		l0.Handle(&TileMsg{Type: MsgGetL, Addr: 0x40, PID: 1})
+	})
+	_, _, err := h.eng.RunE(100, nil)
+	var pe *sim.ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected ProtocolError, got %v", err)
+	}
+	if pe.Component != "l0x.0" {
+		t.Errorf("component = %q, want l0x.0", pe.Component)
+	}
+	if !strings.Contains(pe.Message, "unexpected") {
+		t.Errorf("message = %q, want an 'unexpected' diagnosis", pe.Message)
+	}
+}
+
+// TestL1XForeignMessageIsProtocolError delivers a non-TileMsg to the L1X's
+// tile-side handler.
+type bogusMsg struct{}
+
+func (bogusMsg) Bytes() int { return 8 }
+
+func TestL1XForeignMessageIsProtocolError(t *testing.T) {
+	h := newHarness(t, 1, false)
+	h.eng.Schedule(1, func(uint64) {
+		h.tile.L1X.HandleTile(bogusMsg{})
+	})
+	_, _, err := h.eng.RunE(100, nil)
+	var pe *sim.ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected ProtocolError, got %v", err)
+	}
+	if pe.Component != "l1x" {
+		t.Errorf("component = %q, want l1x", pe.Component)
+	}
+}
+
+// TestDumpStateNamesOpenTransactions exercises the diagnostic surface the
+// watchdog dump is built from.
+func TestDumpStateNamesOpenTransactions(t *testing.T) {
+	eng := sim.NewEngine()
+	st := stats.NewSet()
+	mt := energy.NewMeter()
+	model := energy.Default()
+	cfg := SmallTileConfig(1, model)
+	l0 := NewL0X(eng, 0, 1, cfg.L0X, mt, st)
+	l0.ConnectL1X(interconnect.NewLink(eng, interconnect.Config{
+		Name: "link.dead", Latency: 2, Deliver: func(interconnect.Message) {}}))
+
+	if got := l0.DumpState(); got != "" {
+		t.Errorf("idle DumpState = %q, want empty", got)
+	}
+	l0.Access(mem.Store, 0x2000, func(uint64) {})
+	dump := l0.DumpState()
+	if !strings.Contains(dump, "GetW") || !strings.Contains(dump, "0x2000") {
+		t.Errorf("DumpState missing the open store txn: %q", dump)
+	}
+}

@@ -2,9 +2,11 @@ package acc
 
 import (
 	"fmt"
+	"strings"
 
 	"fusion/internal/cache"
 	"fusion/internal/energy"
+	"fusion/internal/faults"
 	"fusion/internal/interconnect"
 	"fusion/internal/mem"
 	"fusion/internal/mesi"
@@ -35,6 +37,10 @@ type TileConfig struct {
 
 	TLBEntries int
 	TLBWalkLat uint64
+
+	// Injector, when non-nil, perturbs every intra-tile link with the
+	// deterministic order-preserving faults of its plan.
+	Injector *faults.Injector
 }
 
 // SmallTileConfig is the paper's baseline: 4 KB L0X, 64 KB L1X.
@@ -124,6 +130,7 @@ func NewTile(eng *sim.Engine, fabric *mesi.Fabric, pt *vm.PageTable,
 			MeterCategory: energy.CatLinkTile,
 			Stats:         st,
 			Deliver:       l1x.HandleTile,
+			Injector:      cfg.Injector,
 		})
 		l0.ConnectL1X(up)
 		// Downlink: L1X -> L0X.
@@ -135,6 +142,7 @@ func NewTile(eng *sim.Engine, fabric *mesi.Fabric, pt *vm.PageTable,
 			MeterCategory: energy.CatLinkTile,
 			Stats:         st,
 			Deliver:       l0.Handle,
+			Injector:      cfg.Injector,
 		})
 		l1x.ConnectL0X(AXCID(i), down)
 		t.L0Xs = append(t.L0Xs, l0)
@@ -155,6 +163,7 @@ func NewTile(eng *sim.Engine, fabric *mesi.Fabric, pt *vm.PageTable,
 					MeterCategory: energy.CatLinkFwd,
 					Stats:         st,
 					Deliver:       dst.Handle,
+					Injector:      cfg.Injector,
 				})
 				t.L0Xs[i].ConnectPeer(AXCID(j), fwd)
 			}
@@ -176,6 +185,16 @@ func (t *Tile) Drain() {
 	for _, l0 := range t.L0Xs {
 		l0.Drain()
 	}
+}
+
+// DumpState concatenates the tile controllers' diagnostics (watchdog dumps).
+func (t *Tile) DumpState() string {
+	var b strings.Builder
+	b.WriteString(t.L1X.DumpState())
+	for _, l0 := range t.L0Xs {
+		b.WriteString(l0.DumpState())
+	}
+	return b.String()
 }
 
 // Outstanding sums in-flight transactions across the tile.

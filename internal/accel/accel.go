@@ -239,6 +239,7 @@ func (a *Accelerator) Tick(now uint64) {
 		if st.loadsDone == len(it.Loads) && st.computeLeft == 0 &&
 			st.storesDone == len(it.Stores) {
 			a.inflight = a.inflight[1:]
+			a.eng.Progress() // an iteration retiring is forward progress
 			continue
 		}
 		break

@@ -10,7 +10,11 @@
 package dram
 
 import (
+	"fmt"
+	"strings"
+
 	"fusion/internal/energy"
+	"fusion/internal/faults"
 	"fusion/internal/mem"
 	"fusion/internal/sim"
 	"fusion/internal/stats"
@@ -61,6 +65,7 @@ type DRAM struct {
 	model    energy.Model
 	stats    *stats.Set
 	channels []channel
+	inj      *faults.Injector
 }
 
 // New builds a DRAM and registers it with the engine.
@@ -79,6 +84,10 @@ func New(eng *sim.Engine, cfg Config, model energy.Model, meter *energy.Meter, s
 
 // Name implements sim.Ticker.
 func (d *DRAM) Name() string { return "dram" }
+
+// SetInjector attaches a fault injector; each command's service latency may
+// then spike per the plan (deterministic per channel stream).
+func (d *DRAM) SetInjector(inj *faults.Injector) { d.inj = inj }
 
 // channelOf maps a line address to its channel (line interleaving).
 func (d *DRAM) channelOf(a mem.PAddr) int {
@@ -127,6 +136,13 @@ func (d *DRAM) Tick(now uint64) {
 		} else if d.stats != nil {
 			d.stats.Inc("dram.row_miss")
 		}
+		if extra := d.inj.DRAMDelay(i); extra > 0 {
+			lat += extra
+			if d.stats != nil {
+				d.stats.Inc("dram.fault_spikes")
+			}
+		}
+		d.eng.Progress() // a command issuing is forward progress
 		ch.openRow = row
 		ch.rowValid = true
 		ch.busyUntil = now + d.cfg.BurstCycles
@@ -156,4 +172,19 @@ func (d *DRAM) QueueOccupancy() int {
 		n += len(d.channels[i].queue)
 	}
 	return n
+}
+
+// DumpState describes per-channel queue state for watchdog diagnostics.
+// Empty when nothing is queued.
+func (d *DRAM) DumpState() string {
+	var b strings.Builder
+	for i := range d.channels {
+		ch := &d.channels[i]
+		if len(ch.queue) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "ch%d: %d queued (head %#x, busy until %d)\n",
+			i, len(ch.queue), uint64(ch.queue[0].Addr), ch.busyUntil)
+	}
+	return b.String()
 }

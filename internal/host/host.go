@@ -243,6 +243,7 @@ func (c *Core) Tick(now uint64) {
 		}
 		c.head++
 		c.inROB--
+		c.eng.Progress() // an instruction committing is forward progress
 		if c.stats != nil {
 			c.stats.Inc(c.name + ".committed")
 		}

@@ -11,6 +11,7 @@ package interconnect
 
 import (
 	"fusion/internal/energy"
+	"fusion/internal/faults"
 	"fusion/internal/sim"
 	"fusion/internal/stats"
 )
@@ -50,8 +51,10 @@ type Link struct {
 	meterCat  string
 	stats     *stats.Set
 	deliver   func(Message)
+	inj       *faults.Injector
 
-	nextFree uint64 // first cycle the head of the link is free
+	nextFree   uint64 // first cycle the head of the link is free
+	lastArrive uint64 // latest delivery scheduled so far (FIFO floor)
 }
 
 // Config holds Link construction parameters.
@@ -65,6 +68,9 @@ type Config struct {
 	Stats         *stats.Set
 	// Deliver is invoked at the receiver when a message arrives.
 	Deliver func(Message)
+	// Injector, when non-nil, perturbs delivery with the deterministic,
+	// order-preserving faults of its plan (delay jitter, stall windows).
+	Injector *faults.Injector
 }
 
 // NewLink builds a link on the given engine.
@@ -82,8 +88,12 @@ func NewLink(eng *sim.Engine, cfg Config) *Link {
 		meterCat:  cfg.MeterCategory,
 		stats:     cfg.Stats,
 		deliver:   cfg.Deliver,
+		inj:       cfg.Injector,
 	}
 }
+
+// SetInjector attaches (or clears) a fault injector after construction.
+func (l *Link) SetInjector(inj *faults.Injector) { l.inj = inj }
 
 // Name returns the link name.
 func (l *Link) Name() string { return l.name }
@@ -110,6 +120,12 @@ func (l *Link) Send(m Message) {
 
 	now := l.eng.Now()
 	start := now
+	if extra := l.inj.LinkDelay(l.name, now); extra > 0 {
+		start += extra
+		if l.stats != nil {
+			l.stats.Inc(l.name + ".faults")
+		}
+	}
 	if l.bwFlits > 0 {
 		if l.nextFree > start {
 			start = l.nextFree
@@ -124,7 +140,15 @@ func (l *Link) Send(m Message) {
 	if arrive <= now {
 		arrive = now + 1 // a link always takes at least one cycle
 	}
-	l.eng.ScheduleAt(arrive, func(uint64) { l.deliver(m) })
+	// FIFO floor: injected jitter must never let a later message overtake
+	// an earlier one (equal arrival cycles keep send order — the event
+	// queue is stable).
+	if arrive < l.lastArrive {
+		arrive = l.lastArrive
+	}
+	l.lastArrive = arrive
+	// A delivery is forward progress: it feeds the watchdog's heartbeat.
+	l.eng.ScheduleAt(arrive, func(uint64) { l.eng.Progress(); l.deliver(m) })
 }
 
 // Ring computes NUCA ring-hop latencies between the LLC banks. The paper's

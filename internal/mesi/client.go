@@ -2,10 +2,13 @@ package mesi
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"fusion/internal/cache"
 	"fusion/internal/energy"
 	"fusion/internal/mem"
+	"fusion/internal/sim"
 	"fusion/internal/stats"
 )
 
@@ -187,7 +190,7 @@ func (c *Client) Handle(m *Msg) {
 	case MsgData, MsgDataE, MsgDataM:
 		t := c.txns[a]
 		if t == nil {
-			panic(fmt.Sprintf("%s: data with no txn: %s", c.name, m))
+			sim.Failf(c.name, c.fabric.Now(), c.DumpState(), "data with no txn: %s", m)
 		}
 		t.dataArrived = true
 		t.ver = m.Ver
@@ -207,7 +210,7 @@ func (c *Client) Handle(m *Msg) {
 	case MsgInvAck:
 		t := c.txns[a]
 		if t == nil {
-			panic(fmt.Sprintf("%s: InvAck with no txn: %s", c.name, m))
+			sim.Failf(c.name, c.fabric.Now(), c.DumpState(), "InvAck with no txn: %s", m)
 		}
 		t.acksGot++
 		c.maybeComplete(t)
@@ -240,7 +243,7 @@ func (c *Client) Handle(m *Msg) {
 		delete(c.evicting, a)
 
 	default:
-		panic(fmt.Sprintf("%s: unexpected %s", c.name, m))
+		sim.Failf(c.name, c.fabric.Now(), c.DumpState(), "unexpected %s", m)
 	}
 }
 
@@ -271,7 +274,7 @@ func (c *Client) handleFwd(m *Msg, a uint64, exclusive bool) {
 		dropped = true
 		delete(c.evicting, a)
 	} else {
-		panic(fmt.Sprintf("%s: Fwd for line %#x not owned", c.name, a))
+		sim.Failf(c.name, c.fabric.Now(), c.DumpState(), "Fwd for line %#x not owned", a)
 	}
 
 	dt := MsgData
@@ -315,6 +318,7 @@ func (c *Client) maybeComplete(t *txn) {
 
 	delete(c.txns, a)
 	c.mshr.Free(a)
+	c.fabric.Engine().Progress() // miss resolved: heartbeat
 	c.fabric.Send(&Msg{Type: MsgUnblock, Addr: mem.PAddr(a), Src: c.id, Dst: DirID,
 		Excl: state == cache.Exclusive || state == cache.Modified})
 
@@ -394,6 +398,31 @@ func (c *Client) FlushAll() {
 			*l = cache.Line{}
 		}
 	})
+}
+
+// DumpState summarizes in-flight transactions and eviction buffers for
+// watchdog/failure diagnostics. Empty when idle.
+func (c *Client) DumpState() string {
+	if len(c.txns) == 0 && len(c.evicting) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d txns, %d evicting\n", c.name, len(c.txns), len(c.evicting))
+	addrs := make([]uint64, 0, len(c.txns))
+	for a := range c.txns {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		t := c.txns[a]
+		kind := "GetS"
+		if t.write {
+			kind = "GetM"
+		}
+		fmt.Fprintf(&b, "  %#x %s data=%v acks=%d/%d waiters=%d\n",
+			a, kind, t.dataArrived, t.acksGot, t.acksNeeded, len(t.waiters))
+	}
+	return b.String()
 }
 
 // Outstanding reports in-flight transactions (for drain checks in tests).

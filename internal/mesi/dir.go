@@ -2,6 +2,8 @@ package mesi
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"fusion/internal/cache"
 	"fusion/internal/dram"
@@ -9,6 +11,7 @@ import (
 	"fusion/internal/interconnect"
 	"fusion/internal/mem"
 	"fusion/internal/ptrace"
+	"fusion/internal/sim"
 	"fusion/internal/stats"
 )
 
@@ -172,7 +175,7 @@ func (dir *Directory) Handle(m *Msg) {
 	case MsgInvAck:
 		dir.invAck(m)
 	default:
-		panic(fmt.Sprintf("mesi dir: unexpected %s", m))
+		sim.Failf("dir", dir.fabric.Now(), dir.DumpState(), "unexpected %s", m)
 	}
 }
 
@@ -228,7 +231,7 @@ func (dir *Directory) start(e *dirEntry, m *Msg) {
 	case MsgDMAWrite:
 		dir.handleDMAWrite(e, m, a)
 	default:
-		panic(fmt.Sprintf("mesi dir: start %s", m))
+		sim.Failf("dir", dir.fabric.Now(), dir.DumpState(), "start %s", m)
 	}
 }
 
@@ -280,7 +283,7 @@ func (dir *Directory) handleGetM(e *dirEntry, m *Msg, a uint64) {
 		if e.owner == m.Src {
 			// Cannot happen in MESI: E->M upgrades are silent, and an M
 			// owner never requests. Guard anyway.
-			panic("mesi dir: GetM from current owner")
+			sim.Failf("dir", dir.fabric.Now(), dir.DumpState(), "GetM from current owner agent%d", m.Src)
 		}
 		e.busy, e.waitUnblock, e.waitOwnerAck = true, true, true
 		dir.forward(MsgFwdGetM, e.owner, m)
@@ -378,7 +381,7 @@ func (dir *Directory) ownerAck(m *Msg) {
 	a := uint64(m.Addr.LineAddr())
 	e := dir.entry(a)
 	if !e.waitOwnerAck {
-		panic(fmt.Sprintf("mesi dir: unexpected OwnerAck %s", m))
+		sim.Failf("dir", dir.fabric.Now(), dir.DumpState(), "unexpected OwnerAck %s", m)
 	}
 	e.waitOwnerAck = false
 	if m.Dirty {
@@ -412,7 +415,7 @@ func (dir *Directory) unblock(m *Msg) {
 	a := uint64(m.Addr.LineAddr())
 	e := dir.entry(a)
 	if !e.waitUnblock {
-		panic(fmt.Sprintf("mesi dir: unexpected Unblock %s", m))
+		sim.Failf("dir", dir.fabric.Now(), dir.DumpState(), "unexpected Unblock %s", m)
 	}
 	e.waitUnblock = false
 	dir.maybeFinish(e)
@@ -423,7 +426,7 @@ func (dir *Directory) invAck(m *Msg) {
 	a := uint64(m.Addr.LineAddr())
 	e := dir.entry(a)
 	if e.waitInvAcks <= 0 {
-		panic(fmt.Sprintf("mesi dir: unexpected InvAck %s", m))
+		sim.Failf("dir", dir.fabric.Now(), dir.DumpState(), "unexpected InvAck %s", m)
 	}
 	e.waitInvAcks--
 	if e.waitInvAcks == 0 && e.pendingDMA != nil {
@@ -520,6 +523,32 @@ func (dir *Directory) fillLLC(a uint64, dirty bool) {
 	dir.llc.Fill(v, a, 0)
 	v.Dirty = dirty
 	dir.accessL2()
+}
+
+// DumpState lists every directory entry with a transient state (busy /
+// waiting on Unblock, OwnerAck, or InvAcks / queued requests) — the lines a
+// hung protocol is stuck on. Empty when everything is quiescent.
+func (dir *Directory) DumpState() string {
+	addrs := make([]uint64, 0)
+	for a, e := range dir.entries {
+		if e.busy || e.waitUnblock || e.waitOwnerAck || e.waitInvAcks > 0 ||
+			e.pendingDMA != nil || len(e.queue) > 0 {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return ""
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "dir: %d transient entries\n", len(addrs))
+	for _, a := range addrs {
+		e := dir.entries[a]
+		st := [...]string{"I", "S", "E"}[e.state]
+		fmt.Fprintf(&b, "  %#x state=%s owner=%d busy=%v waitUnblock=%v waitOwnerAck=%v waitInvAcks=%d queued=%d\n",
+			a, st, e.owner, e.busy, e.waitUnblock, e.waitOwnerAck, e.waitInvAcks, len(e.queue))
+	}
+	return b.String()
 }
 
 // Sharers reports the directory's view of a line (for tests).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fusion/internal/energy"
+	"fusion/internal/faults"
 	"fusion/internal/interconnect"
 	"fusion/internal/sim"
 	"fusion/internal/stats"
@@ -36,6 +37,10 @@ type Fabric struct {
 	endpoints map[AgentID]Endpoint
 	routes    map[[2]AgentID]Route
 	nextFree  map[[2]AgentID]uint64 // bandwidth serialization per route
+	// lastArrive is the per-route FIFO floor: with fault-injected delay
+	// jitter, a later message must never overtake an earlier one.
+	lastArrive map[[2]AgentID]uint64
+	inj        *faults.Injector
 	// DefaultRoute applies to pairs without an explicit route.
 	DefaultRoute Route
 }
@@ -49,9 +54,14 @@ func NewFabric(eng *sim.Engine, meter *energy.Meter, st *stats.Set) *Fabric {
 		endpoints:    make(map[AgentID]Endpoint),
 		routes:       make(map[[2]AgentID]Route),
 		nextFree:     make(map[[2]AgentID]uint64),
+		lastArrive:   make(map[[2]AgentID]uint64),
 		DefaultRoute: Route{Latency: 8, PJPerByte: 6.0, Category: energy.CatLinkHost},
 	}
 }
+
+// SetInjector attaches (or clears) a fault injector; every route's delivery
+// is then perturbed by the plan's order-preserving link faults.
+func (f *Fabric) SetInjector(inj *faults.Injector) { f.inj = inj }
 
 // Register attaches an endpoint for agent id.
 func (f *Fabric) Register(id AgentID, ep Endpoint) {
@@ -102,8 +112,20 @@ func (f *Fabric) Send(m *Msg) {
 	}
 	now := f.eng.Now()
 	start := now
+	key := [2]AgentID{m.Src, m.Dst}
+	if f.inj != nil {
+		site := route.StatName
+		if site == "" {
+			site = fmt.Sprintf("fabric.%d.%d", m.Src, m.Dst)
+		}
+		if extra := f.inj.LinkDelay(site, now); extra > 0 {
+			start += extra
+			if f.stats != nil {
+				f.stats.Inc("fabric.faults")
+			}
+		}
+	}
 	if route.FlitsPerCycle > 0 {
-		key := [2]AgentID{m.Src, m.Dst}
 		if nf := f.nextFree[key]; nf > start {
 			start = nf
 		}
@@ -118,7 +140,13 @@ func (f *Fabric) Send(m *Msg) {
 	if arrive <= now {
 		arrive = now + 1
 	}
-	f.eng.ScheduleAt(arrive, func(uint64) { ep(m) })
+	// Per-route FIFO floor (see interconnect.Link): jitter delays, never
+	// reorders.
+	if arrive < f.lastArrive[key] {
+		arrive = f.lastArrive[key]
+	}
+	f.lastArrive[key] = arrive
+	f.eng.ScheduleAt(arrive, func(uint64) { f.eng.Progress(); ep(m) })
 }
 
 // Now exposes the engine clock to protocol controllers.

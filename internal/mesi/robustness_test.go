@@ -1,0 +1,85 @@
+package mesi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fusion/internal/mem"
+	"fusion/internal/sim"
+)
+
+// TestDirUnexpectedOwnerAckIsProtocolError injects an OwnerAck for a line
+// with no transaction in flight; the directory must fail the run with a
+// structured error rather than a bare panic.
+func TestDirUnexpectedOwnerAckIsProtocolError(t *testing.T) {
+	h := newHarness(t, 1)
+	h.eng.Schedule(1, func(uint64) {
+		h.fab.Send(&Msg{Type: MsgOwnerAck, Addr: 0x1000, Src: 1, Dst: DirID})
+	})
+	_, _, err := h.eng.RunE(1000, nil)
+	var pe *sim.ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected ProtocolError, got %v", err)
+	}
+	if pe.Component != "dir" {
+		t.Errorf("component = %q, want dir", pe.Component)
+	}
+	if !strings.Contains(pe.Message, "OwnerAck") {
+		t.Errorf("message = %q, want OwnerAck diagnosis", pe.Message)
+	}
+}
+
+// TestDirUnexpectedUnblockIsProtocolError does the same for a spurious
+// Unblock.
+func TestDirUnexpectedUnblockIsProtocolError(t *testing.T) {
+	h := newHarness(t, 1)
+	h.eng.Schedule(1, func(uint64) {
+		h.fab.Send(&Msg{Type: MsgUnblock, Addr: 0x2000, Src: 1, Dst: DirID})
+	})
+	_, _, err := h.eng.RunE(1000, nil)
+	var pe *sim.ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected ProtocolError, got %v", err)
+	}
+	if pe.Component != "dir" {
+		t.Errorf("component = %q, want dir", pe.Component)
+	}
+}
+
+// TestClientUnexpectedDataIsProtocolError hands a client a data response it
+// never requested.
+func TestClientUnexpectedDataIsProtocolError(t *testing.T) {
+	h := newHarness(t, 1)
+	c := h.clients[0]
+	h.eng.Schedule(1, func(uint64) {
+		c.Handle(&Msg{Type: MsgData, Addr: 0x3000, Src: DirID, Dst: c.id})
+	})
+	_, _, err := h.eng.RunE(1000, nil)
+	var pe *sim.ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected ProtocolError, got %v", err)
+	}
+	if pe.Component != c.name {
+		t.Errorf("component = %q, want %q", pe.Component, c.name)
+	}
+}
+
+// TestDirDumpStateShowsTransientEntries verifies the directory's diagnostic
+// dump surfaces in-flight transactions (and only those).
+func TestDirDumpStateShowsTransientEntries(t *testing.T) {
+	h := newHarness(t, 1)
+	if got := h.dir.DumpState(); got != "" {
+		t.Errorf("quiescent DumpState = %q, want empty", got)
+	}
+	// Start a GetS and freeze mid-transaction: the entry waits for Unblock.
+	addr := mem.PAddr(0x4000)
+	done := false
+	h.clients[0].Access(mem.Load, addr, func(uint64) { done = true })
+	h.run(t, 100_000, func() bool { return done })
+	// After completion everything is quiescent again.
+	h.run(t, 100_000, func() bool { return h.dir.Quiesced() })
+	if got := h.dir.DumpState(); got != "" {
+		t.Errorf("post-run DumpState = %q, want empty", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"fusion/internal/mem"
 	"fusion/internal/mesi"
+	"fusion/internal/sim"
 	"fusion/internal/stats"
 )
 
@@ -98,7 +99,7 @@ func (d *DMA) pump() {
 		d.outstanding++
 		if op.write {
 			if _, dup := d.pendingWrites[op.pa]; dup {
-				panic(fmt.Sprintf("dma: overlapping writes to %s", op.pa))
+				sim.Failf("dma", d.fabric.Now(), d.DumpState(), "overlapping writes to %s", op.pa)
 			}
 			d.pendingWrites[op.pa] = op.done
 			d.fabric.Send(&mesi.Msg{Type: mesi.MsgDMAWrite, Addr: op.pa,
@@ -128,7 +129,7 @@ func (d *DMA) Handle(m *mesi.Msg) {
 		pa := m.Addr.LineAddr()
 		ctx, ok := d.pendingReads[pa]
 		if !ok {
-			panic(fmt.Sprintf("dma: unexpected data for %s", pa))
+			sim.Failf("dma", d.fabric.Now(), d.DumpState(), "unexpected data for %s", pa)
 		}
 		delete(d.pendingReads, pa)
 		d.outstanding--
@@ -140,7 +141,7 @@ func (d *DMA) Handle(m *mesi.Msg) {
 		pa := m.Addr.LineAddr()
 		done, ok := d.pendingWrites[pa]
 		if !ok {
-			panic(fmt.Sprintf("dma: unexpected write ack for %s", pa))
+			sim.Failf("dma", d.fabric.Now(), d.DumpState(), "unexpected write ack for %s", pa)
 		}
 		delete(d.pendingWrites, pa)
 		d.outstanding--
@@ -151,6 +152,16 @@ func (d *DMA) Handle(m *mesi.Msg) {
 	case mesi.MsgInvAck:
 		// A DMARead raced with nothing we track; ignore defensively.
 	default:
-		panic(fmt.Sprintf("dma: unexpected %s", m))
+		sim.Failf("dma", d.fabric.Now(), d.DumpState(), "unexpected %s", m)
 	}
+}
+
+// DumpState summarizes in-flight DMA transfers for failure diagnostics.
+// Empty when the engine is idle.
+func (d *DMA) DumpState() string {
+	if d.Idle() && len(d.pendingReads) == 0 && len(d.pendingWrites) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("dma: %d outstanding, %d queued, %d pending reads, %d pending writes\n",
+		d.outstanding, len(d.queue), len(d.pendingReads), len(d.pendingWrites))
 }

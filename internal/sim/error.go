@@ -1,0 +1,45 @@
+package sim
+
+import "fmt"
+
+// ProtocolError is a structured, diagnosable protocol failure. Controllers
+// raise one (via Failf) instead of a bare panic when they receive a message
+// their state machine cannot legally see; the Engine.RunE boundary recovers
+// it and hands it to the caller as an error, so a protocol bug surfaces as a
+// report — component, cycle, offending message, state excerpt — rather than
+// a process crash.
+type ProtocolError struct {
+	// Component names the controller that detected the violation
+	// ("l1x", "mesi dir", "watchdog", ...).
+	Component string
+	// Cycle is the simulation cycle at which the violation was detected.
+	Cycle uint64
+	// Message describes the violation, usually quoting the offending
+	// protocol message.
+	Message string
+	// State is an optional excerpt of the component's (or system's)
+	// state at the point of failure — transaction tables, queue depths,
+	// transient directory entries.
+	State string
+}
+
+// Error implements the error interface.
+func (e *ProtocolError) Error() string {
+	s := fmt.Sprintf("%s: protocol failure at cycle %d: %s", e.Component, e.Cycle, e.Message)
+	if e.State != "" {
+		s += "\nstate:\n" + e.State
+	}
+	return s
+}
+
+// Failf aborts the current simulation step with a *ProtocolError. It panics;
+// the panic is converted to an error at the Engine.RunE boundary. state may
+// be empty when the component has no useful excerpt to attach.
+func Failf(component string, cycle uint64, state string, format string, args ...interface{}) {
+	panic(&ProtocolError{
+		Component: component,
+		Cycle:     cycle,
+		Message:   fmt.Sprintf(format, args...),
+		State:     state,
+	})
+}

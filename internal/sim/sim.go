@@ -65,6 +65,10 @@ type Engine struct {
 
 	// Stopped is set by Stop; Run returns at the end of the current cycle.
 	stopped bool
+
+	// progress, when set, is invoked by Progress — the heartbeat sink for
+	// a forward-progress Watchdog.
+	progress func()
 }
 
 // NewEngine returns an engine with the clock at cycle 0.
@@ -97,8 +101,24 @@ func (e *Engine) ScheduleAt(at uint64, fn func(now uint64)) {
 	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
 }
 
-// Stop makes Run return at the end of the current cycle.
+// Stop makes Run return at the end of the current cycle. A Stop issued
+// before Run is honored: the next Run returns immediately, consuming the
+// stop (so a subsequent Run proceeds normally).
 func (e *Engine) Stop() { e.stopped = true }
+
+// SetProgressListener installs the heartbeat sink invoked by Progress
+// (typically a Watchdog's Beat). Passing nil disables forwarding.
+func (e *Engine) SetProgressListener(fn func()) { e.progress = fn }
+
+// Progress marks forward progress. Components call it at completion points —
+// an op retiring, an MSHR freeing, a link delivering — never from retry
+// loops, so a livelock does not masquerade as progress. It is a no-op unless
+// a listener is installed.
+func (e *Engine) Progress() {
+	if e.progress != nil {
+		e.progress()
+	}
+}
 
 // Step advances the clock by exactly one cycle.
 func (e *Engine) Step() {
@@ -117,15 +137,16 @@ func (e *Engine) Step() {
 
 // Run steps the clock until pred returns true, the engine is stopped, or
 // maxCycles elapse. It returns the number of cycles executed and whether the
-// predicate was satisfied.
+// predicate was satisfied. A stop requested before Run (or during it) is
+// consumed on return, so the engine is immediately runnable again.
 func (e *Engine) Run(maxCycles uint64, pred func() bool) (cycles uint64, done bool) {
-	e.stopped = false
 	start := e.now
 	for e.now-start < maxCycles {
 		if pred != nil && pred() {
 			return e.now - start, true
 		}
 		if e.stopped {
+			e.stopped = false
 			return e.now - start, false
 		}
 		e.Step()
@@ -134,6 +155,27 @@ func (e *Engine) Run(maxCycles uint64, pred func() bool) (cycles uint64, done bo
 		return e.now - start, true
 	}
 	return e.now - start, false
+}
+
+// RunE is Run with structured failure recovery: a *ProtocolError raised by
+// any event callback or ticker (protocol controllers via Failf, the
+// Watchdog) stops the clock at the failing cycle and is returned as err
+// instead of unwinding through the caller. Any other panic propagates
+// unchanged — only diagnosed protocol failures are converted.
+func (e *Engine) RunE(maxCycles uint64, pred func() bool) (cycles uint64, done bool, err error) {
+	start := e.now
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*ProtocolError)
+			if !ok {
+				panic(r)
+			}
+			cycles, done, err = e.now-start, false, pe
+			e.stopped = false
+		}
+	}()
+	cycles, done = e.Run(maxCycles, pred)
+	return cycles, done, nil
 }
 
 // Pending reports the number of outstanding scheduled events.

@@ -22,6 +22,7 @@ import (
 	"fusion/internal/cache"
 	"fusion/internal/dram"
 	"fusion/internal/energy"
+	"fusion/internal/faults"
 	"fusion/internal/host"
 	"fusion/internal/mem"
 	"fusion/internal/mesi"
@@ -103,8 +104,20 @@ type Config struct {
 	Tracer ptrace.Tracer
 	// Paranoid scans the tile(s) for ACC protocol-invariant violations
 	// every few cycles (single writer, lease containment, RMAP
-	// consistency); a violation fails the run at the cycle it appears.
+	// consistency) and the host directory's MESI invariants (single owner,
+	// sharer soundness); a violation fails the run at the cycle it appears.
 	Paranoid bool
+	// Faults, when non-nil and enabled, injects the plan's deterministic
+	// order-preserving faults (link jitter, link stall windows, DRAM
+	// latency spikes) into every interconnect and the memory controller. A
+	// correct hierarchy absorbs any plan with degraded cycle counts and an
+	// unchanged final memory image.
+	Faults *faults.Plan
+	// WatchdogCycles arms a forward-progress watchdog: if no component
+	// reports progress (op retirement, MSHR free, link delivery) for this
+	// many cycles, the run halts with a diagnostic dump naming the stuck
+	// component. Zero disables the watchdog.
+	WatchdogCycles uint64
 }
 
 // DefaultConfig returns the paper's baseline settings for a system.
@@ -190,6 +203,10 @@ type machine struct {
 	hostL1 *mesi.Client
 	core   *host.Core
 	pid    mem.PID
+
+	inj      *faults.Injector
+	wd       *sim.Watchdog
+	paranoid *invariantChecker
 }
 
 func newMachine() *machine {
@@ -253,9 +270,14 @@ func (m *machine) translate(va mem.VAddr) mem.PAddr {
 	return m.pt.Translate(m.pid, va)
 }
 
-// run drives the engine until pred holds.
+// run drives the engine until pred holds. Protocol failures (including a
+// watchdog timeout) surface as a *sim.ProtocolError instead of a panic.
 func (m *machine) run(max uint64, pred func() bool) error {
-	if _, ok := m.eng.Run(max, pred); !ok {
+	_, ok, err := m.eng.RunE(max, pred)
+	if err != nil {
+		return err
+	}
+	if !ok {
 		return fmt.Errorf("simulation stuck at cycle %d", m.eng.Now())
 	}
 	return nil
@@ -274,6 +296,23 @@ func Run(b *workloads.Benchmark, cfg Config) (*Result, error) {
 		PerFunction: make(map[string]*PhaseResult),
 	}
 	_, res.WorkingSetBytes = b.Program.WorkingSet()
+
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		m.inj = faults.NewInjector(*cfg.Faults)
+		m.fab.SetInjector(m.inj)
+		m.dram.SetInjector(m.inj)
+	}
+	if cfg.WatchdogCycles > 0 {
+		m.wd = sim.NewWatchdog(m.eng, cfg.WatchdogCycles)
+		m.wd.AddDump("dir", m.dir.DumpState)
+		m.wd.AddDump("hostl1", m.hostL1.DumpState)
+		m.wd.AddDump("dram", m.dram.DumpState)
+	}
+	if cfg.Paranoid {
+		m.paranoid = &invariantChecker{interval: 64, dir: m.dir,
+			clients: []*mesi.Client{m.hostL1}}
+		m.eng.Register(m.paranoid)
+	}
 
 	// Preload inputs into the host LLC at version 1 (the host produced
 	// them before offload).
@@ -298,6 +337,10 @@ func Run(b *workloads.Benchmark, cfg Config) (*Result, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if m.paranoid != nil && m.paranoid.violation != "" {
+		return nil, fmt.Errorf("invariant violated at cycle %d: %s",
+			m.paranoid.violatedAt, m.paranoid.violation)
 	}
 
 	res.Cycles = m.eng.Now()
@@ -547,6 +590,12 @@ func runShared(m *machine, b *workloads.Benchmark, cfg Config, res *Result) erro
 		EnergyCategory: energy.CatL1X,
 		AccessPJ:       pj,
 	}, m.model, m.mt, m.st)
+	if m.paranoid != nil {
+		m.paranoid.clients = append(m.paranoid.clients, client)
+	}
+	if m.wd != nil {
+		m.wd.AddDump("sharedl1x", client.DumpState)
+	}
 	tlb := vm.NewTLB("sharedtlb", 32, 40, m.pt, m.model, m.mt, m.st)
 	port := &sharedPort{m: m, client: client, tlb: tlb, eng: m.eng}
 	axcs := accelFor(m, b)
@@ -611,6 +660,7 @@ func runFusion(m *machine, b *workloads.Benchmark, cfg Config, res *Result) erro
 		tcfg.PID = m.pid
 		tcfg.EnableDx = cfg.Kind == FusionDx
 		tcfg.L0X.WriteThrough = cfg.WriteThrough
+		tcfg.Injector = m.inj
 		if t > 0 {
 			tcfg.StatPrefix = fmt.Sprintf("t%d.", t)
 			m.addTileRoutes(tcfg.Agent, fmt.Sprintf("hostlink.tile%d", t))
@@ -620,10 +670,14 @@ func runFusion(m *machine, b *workloads.Benchmark, cfg Config, res *Result) erro
 			tiles[t].SetTracer(cfg.Tracer)
 		}
 	}
-	var paranoid *invariantChecker
-	if cfg.Paranoid {
-		paranoid = &invariantChecker{tiles: tiles, interval: 64}
-		m.eng.Register(paranoid)
+	if m.paranoid != nil {
+		m.paranoid.tiles = tiles
+	}
+	if m.wd != nil {
+		for t, tile := range tiles {
+			tile := tile
+			m.wd.AddDump(fmt.Sprintf("tile%d", t), tile.DumpState)
+		}
 	}
 	axcs := accelFor(m, b)
 
@@ -689,6 +743,9 @@ func runFusion(m *machine, b *workloads.Benchmark, cfg Config, res *Result) erro
 	}
 	idleUntil := m.eng.Now() + maxLease + 64
 	for m.eng.Now() < idleUntil {
+		// This wait is intentional (leases must lapse before FlushAll), so
+		// keep the watchdog fed while nothing retires.
+		m.eng.Progress()
 		m.eng.Step()
 	}
 	for _, tile := range tiles {
@@ -697,17 +754,18 @@ func runFusion(m *machine, b *workloads.Benchmark, cfg Config, res *Result) erro
 	if err := m.run(cfg.MaxCycles, outstanding); err != nil {
 		return err
 	}
-	if paranoid != nil && paranoid.violation != "" {
-		return fmt.Errorf("invariant violated at cycle %d: %s",
-			paranoid.violatedAt, paranoid.violation)
-	}
 	return drainHost(m, cfg)
 }
 
-// invariantChecker is the paranoid-mode ticker: it sweeps every tile's
-// protocol invariants on a fixed cadence and latches the first violation.
+// invariantChecker is the paranoid-mode ticker: it sweeps the ACC protocol
+// invariants of every tile and the host directory's MESI invariants on a
+// fixed cadence and latches the first violation. Transient (in-flight)
+// states are skipped by both checkers, so mid-transaction disagreement
+// never false-positives.
 type invariantChecker struct {
 	tiles      []*acc.Tile
+	dir        *mesi.Directory
+	clients    []*mesi.Client
 	interval   uint64
 	violation  string
 	violatedAt uint64
@@ -724,6 +782,12 @@ func (c *invariantChecker) Tick(now uint64) {
 			c.violation = bad[0]
 			c.violatedAt = now
 			return
+		}
+	}
+	if c.dir != nil {
+		if bad := mesi.CheckInvariants(c.dir, c.clients); len(bad) > 0 {
+			c.violation = bad[0]
+			c.violatedAt = now
 		}
 	}
 }
