@@ -1,15 +1,20 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race soak-smoke soak clean
+.PHONY: tier1 build vet lint test race soak-smoke soak clean
 
 # tier1 is the gate every change must pass.
-tier1: vet build race
+tier1: vet lint build race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint: fusionlint, the in-tree determinism & protocol-discipline analyzers
+# (see cmd/fusionlint). Exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/fusionlint ./...
 
 test:
 	$(GO) test ./...

@@ -8,6 +8,7 @@ package acc
 
 import (
 	"fmt"
+	"sort"
 
 	"fusion/internal/cache"
 	"fusion/internal/mem"
@@ -71,8 +72,14 @@ func (t *Tile) CheckInvariants(now uint64) []string {
 			}
 		})
 	}
-	for addr, ws := range writers {
-		if len(ws) > 1 {
+	// Sorted scan order keeps the violation report reproducible across runs.
+	waddrs := make([]uint64, 0, len(writers))
+	for addr := range writers {
+		waddrs = append(waddrs, addr)
+	}
+	sort.Slice(waddrs, func(i, j int) bool { return waddrs[i] < waddrs[j] })
+	for _, addr := range waddrs {
+		if ws := writers[addr]; len(ws) > 1 {
 			bad = append(bad, fmt.Sprintf(
 				"line %#x has %d simultaneous write epochs (%v)", addr, len(ws), ws))
 		}

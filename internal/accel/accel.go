@@ -102,7 +102,7 @@ func (a *Accelerator) Busy() bool { return a.inv != nil }
 // retires. The accelerator must be idle.
 func (a *Accelerator) Start(inv *trace.Invocation, port MemPort, onDone func(now uint64)) {
 	if a.inv != nil {
-		panic(a.name + ": Start while busy")
+		sim.Failf(a.name, a.eng.Now(), "", "Start while busy (running %s)", a.inv.Function)
 	}
 	a.inv = inv
 	a.port = port

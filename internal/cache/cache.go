@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"fusion/internal/mem"
+	"fusion/internal/sim"
 )
 
 // State is a protocol-defined line state. The zero value is Invalid for
@@ -99,12 +100,12 @@ type Array struct {
 // and LineBytes a power of two.
 func NewArray(p Params) *Array {
 	if p.LineBytes == 0 || p.LineBytes&(p.LineBytes-1) != 0 {
-		panic(fmt.Sprintf("cache: line size %d not a power of two", p.LineBytes))
+		sim.Failf("cache", 0, "", "line size %d not a power of two", p.LineBytes)
 	}
 	sets := p.Sets()
 	if sets*p.Ways*p.LineBytes != p.SizeBytes {
-		panic(fmt.Sprintf("cache: size %d not divisible into %d ways of %d-byte lines",
-			p.SizeBytes, p.Ways, p.LineBytes))
+		sim.Failf("cache", 0, "", "size %d not divisible into %d ways of %d-byte lines",
+			p.SizeBytes, p.Ways, p.LineBytes)
 	}
 	shift := uint(0)
 	for 1<<shift < p.LineBytes {

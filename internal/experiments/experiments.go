@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"fusion/internal/energy"
 	"fusion/internal/systems"
@@ -90,8 +91,8 @@ func (r *Runner) Table1() ([]Table1Row, error) {
 		shr := b.Program.SharedLines()
 
 		var totalAccelCycles uint64
-		for _, pr := range res.PerFunction {
-			if pr.AXC >= 0 {
+		for _, fn := range perFunctionNames(res) {
+			if pr := res.PerFunction[fn]; pr.AXC >= 0 {
 				totalAccelCycles += pr.Cycles
 			}
 		}
@@ -150,9 +151,11 @@ func (r *Runner) Table3() ([]Table3Row, []Table3Ratio, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		// Summing floats in sorted key order keeps the total bit-identical
+		// across runs (map order would reorder the additions).
 		var accelEnergy float64
-		for _, pr := range res.PerFunction {
-			if pr.AXC >= 0 {
+		for _, fn := range perFunctionNames(res) {
+			if pr := res.PerFunction[fn]; pr.AXC >= 0 {
 				accelEnergy += pr.EnergyPJ
 			}
 		}
@@ -526,4 +529,15 @@ func (r *Runner) Table6() ([]Table6Row, error) {
 		})
 	}
 	return rows, nil
+}
+
+// perFunctionNames returns a result's per-function keys in sorted order, so
+// aggregations over the map are iteration-order independent.
+func perFunctionNames(res *systems.Result) []string {
+	names := make([]string, 0, len(res.PerFunction))
+	for fn := range res.PerFunction {
+		names = append(names, fn)
+	}
+	sort.Strings(names)
+	return names
 }

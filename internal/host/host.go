@@ -101,7 +101,7 @@ func (c *Core) Busy() bool { return c.inv != nil }
 // fires when the last instruction commits.
 func (c *Core) Start(inv *trace.Invocation, translate func(mem.VAddr) mem.PAddr, onDone func(now uint64)) {
 	if c.inv != nil {
-		panic(c.name + ": Start while busy")
+		sim.Failf(c.name, c.eng.Now(), "", "Start while busy (running %s)", c.inv.Function)
 	}
 	c.inv = inv
 	c.translate = translate

@@ -76,7 +76,7 @@ type Config struct {
 // NewLink builds a link on the given engine.
 func NewLink(eng *sim.Engine, cfg Config) *Link {
 	if cfg.Deliver == nil {
-		panic("interconnect: link needs a Deliver callback")
+		sim.Failf("interconnect", 0, "", "link %q needs a Deliver callback", cfg.Name)
 	}
 	return &Link{
 		name:      cfg.Name,

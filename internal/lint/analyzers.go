@@ -1,0 +1,15 @@
+package lint
+
+// Analyzers returns the full suite in reporting order. Scopes: maporder,
+// wallclock, and rawpanic guard the simulation packages under internal/;
+// globalrand and droppederr apply module-wide (a cmd that drops errors or
+// rolls unseeded dice corrupts experiments just as surely).
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		WallClock,
+		GlobalRand,
+		RawPanic,
+		DroppedErr,
+	}
+}

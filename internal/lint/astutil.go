@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// internalScope restricts an analyzer to the module's internal/ packages —
+// the simulation code proper, where determinism and protocol discipline
+// are load-bearing. cmd/ front-ends and examples are excluded.
+func internalScope(importPath string) bool {
+	return strings.Contains(importPath, "/internal/")
+}
+
+// anyScope applies an analyzer to every package of the module.
+func anyScope(string) bool { return true }
+
+// pkgSelector decomposes expr as a selection on an imported package
+// identifier (e.g. time.Now -> "time", "Now").
+func pkgSelector(info *types.Info, sel *ast.SelectorExpr) (path, name string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// funcBodies returns the body of every function declared in the file —
+// FuncDecls and FuncLits alike — so per-function analyses can treat each
+// closure as its own unit.
+func funcBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, n.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// inspectShallow walks n without descending into nested function literals,
+// so a per-function pass does not re-see a closure's body.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// moduleLocal reports whether pkgPath belongs to module mod.
+func moduleLocal(mod *Module, pkgPath string) bool {
+	return pkgPath == mod.Path || strings.HasPrefix(pkgPath, mod.Path+"/")
+}
+
+// isErrorType reports whether t is the built-in error type.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// builtinNamed reports whether id resolves to the named builtin function.
+func builtinNamed(info *types.Info, id *ast.Ident, name string) bool {
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isTypeConversion reports whether call is a type conversion rather than a
+// function call.
+func isTypeConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	return ok && tv.IsType()
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags statements that call a module-local (sim/protocol)
+// function returning an error and silently discard it. A drained flush
+// whose failure vanishes is exactly how a broken run masquerades as a
+// clean one. Stdlib calls are out of scope (fmt.Fprintf to a Builder is
+// fine); explicit `_ =` discards are visible in review and stay legal.
+var DroppedErr = &Analyzer{
+	Name:      "droppederr",
+	Directive: "droppederr",
+	Doc:       "discarded error from a sim/protocol call",
+	Scope:     anyScope,
+	Run:       runDroppedErr,
+}
+
+func runDroppedErr(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil || isTypeConversion(info, call) {
+				return true
+			}
+			obj := callee(info, call)
+			if obj == nil || obj.Pkg() == nil || !moduleLocal(p.Module, obj.Pkg().Path()) {
+				return true
+			}
+			if !returnsError(info, call) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"result of %s includes an error that is silently discarded; handle it or assign it explicitly",
+				obj.Name())
+			return true
+		})
+	}
+}
+
+// callee resolves the called function's object, when statically known.
+func callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// returnsError reports whether the call's result type is or contains error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}

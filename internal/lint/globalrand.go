@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandAllowed are the math/rand (and v2) names that construct an
+// explicitly-seeded generator rather than touching the package-level
+// source. Everything else draws from process-global state, so fault plans
+// and random workloads would not replay.
+var globalRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// GlobalRand forbids package-level math/rand functions. Randomness must
+// flow through a seeded *rand.Rand threaded from the caller — the property
+// that makes the differential fuzzer's failures reproducible from a single
+// printed seed.
+var GlobalRand = &Analyzer{
+	Name:      "globalrand",
+	Directive: "globalrand",
+	Doc:       "global (unseeded) random source",
+	Scope:     anyScope,
+	Run:       runGlobalRand,
+}
+
+func runGlobalRand(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgSelector(info, sel)
+			if !ok || (path != "math/rand" && path != "math/rand/v2") {
+				return true
+			}
+			// Types (rand.Rand, rand.Source) and seeded constructors are
+			// fine; only package-level functions carry global state.
+			if globalRandAllowed[name] || !isFuncUse(info, sel) {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"package-level %s.%s draws from the global random source; thread a seeded *rand.Rand instead",
+				pkgBase(path), name)
+			return true
+		})
+	}
+}
+
+// isFuncUse reports whether the selection resolves to a function of the
+// package (not a type or constant).
+func isFuncUse(info *types.Info, sel *ast.SelectorExpr) bool {
+	obj := info.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	_, isFunc := obj.Type().Underlying().(*types.Signature)
+	return isFunc
+}
+
+func pkgBase(path string) string {
+	if path == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

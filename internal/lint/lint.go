@@ -1,0 +1,200 @@
+// Package lint is fusionlint's engine: a stdlib-only static-analysis pass
+// (go/parser + go/ast + go/types, no x/tools) that enforces the simulator's
+// determinism and protocol-discipline rules. The whole evaluation rests on
+// bit-identical replay — the soak sweep asserts cycle counts reproduce
+// exactly — so the rules the codebase previously kept by hand-discipline
+// (sorted map iteration, no wall-clock time, seeded randomness, structured
+// protocol failures, no dropped errors) are machine-checked here on every
+// change.
+//
+// A finding may be waived in place with a justification:
+//
+//	x := s.lines[a] //lint:ordered read-only sweep, result order unused
+//
+// The directive names the rule ("ordered" for maporder, otherwise the
+// analyzer name), must carry a non-empty reason, and applies to its own
+// line or, when written on a line of its own, to the line below.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a rule violation at a source position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the canonical "file:line: [name] message" form with the
+// file path relative to dir (absolute when dir is empty).
+func (f Finding) String(dir string) string {
+	file := f.Pos.Filename
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", file, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one rule: a name, the waiver directive that suppresses it,
+// a scope predicate over import paths, and the checking pass itself.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Directive is the waiver keyword ("ordered" for maporder, else the
+	// analyzer name).
+	Directive string
+	// Scope reports whether the analyzer applies to a package. The driver
+	// consults it; tests run analyzers directly on fixture packages.
+	Scope func(importPath string) bool
+	Run   func(*Pass)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Module   *Module
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.findings = append(p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// waiver is one parsed //lint:<directive> comment.
+type waiver struct {
+	directive string
+	reason    string
+	line      int  // line the waiver suppresses
+	own       bool // the comment stood on its own line (suppresses line+1)
+	pos       token.Pos
+}
+
+// collectWaivers parses every //lint: directive in the package. A waiver
+// written at the end of a code line suppresses that line; a waiver on a
+// line of its own suppresses the next line.
+func collectWaivers(pkg *Package) []waiver {
+	var ws []waiver
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				directive, reason, _ := strings.Cut(text, " ")
+				pos := pkg.Fset.Position(c.Pos())
+				ws = append(ws, waiver{
+					directive: directive,
+					reason:    strings.TrimSpace(reason),
+					line:      pos.Line,
+					own:       ownLine(pkg.Sources[pos.Filename], pos),
+					pos:       c.Pos(),
+				})
+			}
+		}
+	}
+	return ws
+}
+
+// ownLine reports whether the comment at pos is the first thing on its
+// source line (so it annotates the line below rather than its own). With
+// no source available it conservatively reports false.
+func ownLine(src []byte, pos token.Position) bool {
+	if src == nil || pos.Offset > len(src) {
+		return false
+	}
+	for i := pos.Offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			// keep scanning left
+		default:
+			return false
+		}
+	}
+	return true // first line of the file
+}
+
+// applyWaivers filters findings through the package's waivers. A waiver
+// with an empty reason suppresses nothing and is itself reported — the
+// justification is the point.
+func applyWaivers(pkg *Package, an *Analyzer, findings []Finding) []Finding {
+	ws := collectWaivers(pkg)
+	suppressed := make(map[int]bool)
+	var out []Finding
+	for _, w := range ws {
+		if w.directive != an.Directive {
+			continue
+		}
+		if w.reason == "" {
+			out = append(out, Finding{
+				Analyzer: an.Name,
+				Pos:      pkg.Fset.Position(w.pos),
+				Message: fmt.Sprintf("//lint:%s waiver is missing a justification",
+					w.directive),
+			})
+			continue
+		}
+		suppressed[w.line] = true
+		if w.own {
+			suppressed[w.line+1] = true
+		}
+	}
+	for _, f := range findings {
+		if !suppressed[f.Pos.Line] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RunAnalyzer runs one analyzer over one package, applying waivers.
+func RunAnalyzer(an *Analyzer, pkg *Package, mod *Module) []Finding {
+	pass := &Pass{Analyzer: an, Pkg: pkg, Module: mod}
+	an.Run(pass)
+	return applyWaivers(pkg, an, pass.findings)
+}
+
+// Run applies every analyzer (each within its scope) to every package and
+// returns the merged findings sorted by file, line, and analyzer.
+func Run(analyzers []*Analyzer, pkgs []*Package, mod *Module) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, an := range analyzers {
+			if an.Scope != nil && !an.Scope(pkg.ImportPath) {
+				continue
+			}
+			out = append(out, RunAnalyzer(an, pkg, mod)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Module identifies the Go module under analysis.
+type Module struct {
+	Dir  string // absolute path of the directory holding go.mod
+	Path string // module path from the go.mod "module" directive
+}
+
+// FindModule walks up from dir to the enclosing go.mod and parses the
+// module path out of it.
+func FindModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for d := abs; ; {
+		gomod := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return &Module{Dir: d, Path: strings.TrimSpace(rest)}, nil
+				}
+			}
+			return nil, fmt.Errorf("%s: no module directive", gomod)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return nil, fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Package is one loaded, type-checked package of the module: the unit the
+// analyzers run over.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// Sources holds each file's raw bytes, keyed by filename (for waiver
+	// placement checks).
+	Sources map[string][]byte
+	// TypeErrors holds type-checking errors. Analyses still run on a
+	// package with errors (the AST and partial type info survive), but the
+	// driver reports them: a package that does not compile cannot be
+	// trusted to lint clean.
+	TypeErrors []error
+}
+
+// Loader loads and type-checks packages using only the standard library:
+// module-local import paths resolve inside the module tree, everything else
+// resolves under GOROOT/src and is type-checked from source. No invocation
+// of the go command, no x/tools.
+type Loader struct {
+	Module *Module
+
+	fset    *token.FileSet
+	ctx     build.Context
+	goroot  string
+	pkgs    map[string]*types.Package // memo, by import path
+	full    map[string]*Package       // module-local packages with full info
+	loading map[string]bool           // cycle detection
+}
+
+// NewLoader builds a loader for the module.
+func NewLoader(mod *Module) *Loader {
+	ctx := build.Default
+	// Pure-Go builds only: cgo-gated stdlib files would need a C toolchain
+	// to make sense of, and every platform has a pure fallback.
+	ctx.CgoEnabled = false
+	return &Loader{
+		Module:  mod,
+		fset:    token.NewFileSet(),
+		ctx:     ctx,
+		goroot:  runtime.GOROOT(),
+		pkgs:    make(map[string]*types.Package),
+		full:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// dirFor maps an import path to the directory holding its sources.
+func (l *Loader) dirFor(path string) string {
+	if path == l.Module.Path {
+		return l.Module.Dir
+	}
+	if rest, ok := strings.CutPrefix(path, l.Module.Path+"/"); ok {
+		return filepath.Join(l.Module.Dir, filepath.FromSlash(rest))
+	}
+	return filepath.Join(l.goroot, "src", filepath.FromSlash(path))
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.Module.Dir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, l.Module.Path)
+	}
+	if rel == "." {
+		return l.Module.Path, nil
+	}
+	return l.Module.Path + "/" + filepath.ToSlash(rel), nil
+}
+
+// Load type-checks the package in dir (which must lie inside the module)
+// and returns it with full syntax and type information.
+func (l *Loader) Load(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := l.Import(path); err != nil {
+		return nil, err
+	}
+	pkg, ok := l.full[path]
+	if !ok {
+		return nil, fmt.Errorf("%s: loaded without full info", path)
+	}
+	return pkg, nil
+}
+
+// Import implements types.Importer. Module-local packages are retained with
+// full ASTs and type info; dependencies keep only their type objects.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	local := path == l.Module.Path || strings.HasPrefix(path, l.Module.Path+"/")
+	dir := l.dirFor(path)
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	sources := make(map[string][]byte, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		fname := filepath.Join(dir, name)
+		src, err := os.ReadFile(fname)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.fset, fname, src,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		sources[fname] = src
+	}
+
+	var tErrs []error
+	conf := types.Config{
+		Importer:    l,
+		Sizes:       types.SizesFor("gc", l.ctx.GOARCH),
+		FakeImportC: true,
+		// Collect instead of aborting: GOROOT packages occasionally use
+		// compiler-assisted constructs a plain type-check trips on, and a
+		// partial package is enough to keep checking its importers.
+		Error: func(err error) { tErrs = append(tErrs, err) },
+	}
+	var info *types.Info
+	if local {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if pkg == nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	if local {
+		l.full[path] = &Package{
+			ImportPath: path,
+			Dir:        dir,
+			Fset:       l.fset,
+			Files:      files,
+			Types:      pkg,
+			Info:       info,
+			Sources:    sources,
+			TypeErrors: tErrs,
+		}
+	}
+	return pkg, nil
+}
+
+// ListPackageDirs walks the module tree and returns every directory that
+// holds a buildable Go package, in sorted order. testdata, vendor, hidden,
+// and underscore-prefixed directories are skipped, mirroring the go tool.
+func ListPackageDirs(mod *Module) ([]string, error) {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	var dirs []string
+	err := filepath.WalkDir(mod.Dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != mod.Dir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if bp, err := ctx.ImportDir(p, 0); err == nil && len(bp.GoFiles) > 0 {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

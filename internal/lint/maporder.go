@@ -1,0 +1,398 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// MapOrder flags `range` statements over maps whose bodies can observe Go's
+// randomized iteration order — the classic silent replay-breaker in a
+// simulator that promises bit-identical runs. A map range is accepted only
+// when its body is order-insensitive by construction:
+//
+//   - it only collects keys/values with `s = append(s, ...)` into slices
+//     that are later passed to a sort.* call in the same function;
+//   - and/or performs set-inserts `m[k] = v` keyed by a range variable,
+//     bumps standalone counters, `continue`s, or early-returns constants.
+//
+// Anything else — calling functions, writing outer variables, emitting
+// output — depends on iteration order and is reported. A deliberate
+// exception carries `//lint:ordered <reason>` on (or above) the range line.
+var MapOrder = &Analyzer{
+	Name:      "maporder",
+	Directive: "ordered",
+	Doc:       "map iteration whose effect depends on randomized order",
+	Scope:     internalScope,
+	Run:       runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, body := range funcBodies(f) {
+			inspectShallow(body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || rng.X == nil {
+					return true
+				}
+				if !isMapType(info.TypeOf(rng.X)) {
+					return true
+				}
+				checkMapRange(p, body, rng)
+				return true
+			})
+		}
+	}
+}
+
+// checkMapRange vets one map-range statement inside the enclosing function
+// body.
+func checkMapRange(p *Pass, encl *ast.BlockStmt, rng *ast.RangeStmt) {
+	c := &collectChecker{
+		pass:   p,
+		info:   p.Pkg.Info,
+		locals: map[types.Object]bool{},
+	}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.info.Defs[id]; obj != nil {
+				c.locals[obj] = true
+			}
+		}
+	}
+	if !c.stmtOK(rng.Body) {
+		p.Reportf(rng.Pos(),
+			"range over map %s has an order-dependent body (%s); iterate sorted keys, or waive with //lint:ordered <reason>",
+			types.ExprString(rng.X), c.why)
+		return
+	}
+	// Counters may not feed any other computation in the loop: a counter
+	// read back by an insert or append would leak iteration order.
+	for _, obj := range sortedObjs(c.counters) {
+		if c.reads[obj] {
+			p.Reportf(rng.Pos(),
+				"range over map %s increments %s and reads it back; the result depends on iteration order",
+				types.ExprString(rng.X), obj.Name())
+			return
+		}
+	}
+	// Every collected slice must flow into a sort.* call after the loop.
+	for _, obj := range sortedObjs(c.collected) {
+		if !sortedAfter(c.info, encl, rng.End(), obj) {
+			p.Reportf(rng.Pos(),
+				"%s collects map keys/values but is never passed to a sort.* call; order-dependent use, or waive with //lint:ordered <reason>",
+				obj.Name())
+		}
+	}
+}
+
+// collectChecker walks a map-range body and decides whether every statement
+// is order-insensitive, recording which outer slices collect elements.
+type collectChecker struct {
+	pass      *Pass
+	info      *types.Info
+	locals    map[types.Object]bool // range vars + vars defined in the body
+	collected map[types.Object]bool // outer slices appended to
+	counters  map[types.Object]bool // outer vars ++/-- only
+	reads     map[types.Object]bool // outer objects read anywhere in the body
+	why       string                // first reason the body was rejected
+}
+
+func (c *collectChecker) reject(why string) bool {
+	if c.why == "" {
+		c.why = why
+	}
+	return false
+}
+
+func (c *collectChecker) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil:
+		return true
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if !c.stmtOK(st) {
+				return false
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil && !c.stmtOK(s.Init) {
+			return false
+		}
+		if !c.exprOK(s.Cond) {
+			return false
+		}
+		if !c.stmtOK(s.Body) {
+			return false
+		}
+		return c.stmtOK(s.Else)
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE {
+			return true
+		}
+		return c.reject(s.Tok.String() + " makes the visited subset order-dependent")
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if !constantish(c.info, r) {
+				return c.reject("early return of a non-constant value")
+			}
+		}
+		return true
+	case *ast.IncDecStmt:
+		id, ok := ast.Unparen(s.X).(*ast.Ident)
+		if !ok {
+			return c.reject("increment of a non-identifier")
+		}
+		if obj := c.info.Uses[id]; obj != nil && !c.locals[obj] {
+			if c.counters == nil {
+				c.counters = map[types.Object]bool{}
+			}
+			c.counters[obj] = true
+		}
+		return true
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return c.reject("declaration other than var")
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for _, v := range vs.Values {
+				if !c.exprOK(v) {
+					return false
+				}
+			}
+			for _, name := range vs.Names {
+				if obj := c.info.Defs[name]; obj != nil {
+					c.locals[obj] = true
+				}
+			}
+		}
+		return true
+	case *ast.AssignStmt:
+		return c.assignOK(s)
+	default:
+		return c.reject("statement with effects the analyzer cannot prove order-insensitive")
+	}
+}
+
+func (c *collectChecker) assignOK(s *ast.AssignStmt) bool {
+	// x := expr — defines loop-locals; the RHS must still be effect-free.
+	if s.Tok == token.DEFINE {
+		for _, r := range s.Rhs {
+			if !c.exprOK(r) {
+				return false
+			}
+		}
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if obj := c.info.Defs[id]; obj != nil {
+					c.locals[obj] = true
+				}
+			}
+		}
+		return true
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return c.reject("multi-assignment to outer state")
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+
+	// s = append(s, ...) into an outer slice: collection, checked against a
+	// later sort.
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		obj := c.info.Uses[id]
+		if call, isCall := ast.Unparen(rhs).(*ast.CallExpr); isCall && obj != nil {
+			if fid, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent &&
+				builtinNamed(c.info, fid, "append") {
+				if base, isBase := ast.Unparen(call.Args[0]).(*ast.Ident); isBase &&
+					c.info.Uses[base] == obj {
+					for _, a := range call.Args[1:] {
+						if !c.exprOK(a) {
+							return false
+						}
+					}
+					if !c.locals[obj] {
+						if c.collected == nil {
+							c.collected = map[types.Object]bool{}
+						}
+						c.collected[obj] = true
+					}
+					return true
+				}
+			}
+		}
+		// Plain writes are only safe to loop-locals.
+		if obj != nil && c.locals[obj] {
+			return c.exprOK(rhs)
+		}
+		return c.reject("assignment to outer variable " + id.Name)
+	}
+
+	// m[k] = v set-insert: each range key is distinct, so writes cannot
+	// collide across iterations as long as the key involves a range var.
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isMapType(c.info.TypeOf(idx.X)) {
+		if !c.usesLocal(idx.Index) {
+			return c.reject("map insert keyed independently of the range variables")
+		}
+		if !c.exprOK(idx.Index) || !c.exprOK(rhs) {
+			return false
+		}
+		return true
+	}
+
+	// field/element writes on loop-locals.
+	if root := rootIdent(lhs); root != nil {
+		if obj := c.info.Uses[root]; obj != nil && c.locals[obj] {
+			return c.exprOK(rhs)
+		}
+	}
+	return c.reject("write to outer state")
+}
+
+// exprOK vets an expression read inside the loop: no function calls (other
+// than pure builtins and conversions), and it records reads of outer
+// objects for the counter cross-check.
+func (c *collectChecker) exprOK(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isTypeConversion(c.info, n) {
+				return true
+			}
+			if fid, isIdent := ast.Unparen(n.Fun).(*ast.Ident); isIdent {
+				switch {
+				case builtinNamed(c.info, fid, "len"),
+					builtinNamed(c.info, fid, "cap"),
+					builtinNamed(c.info, fid, "min"),
+					builtinNamed(c.info, fid, "max"):
+					return true
+				}
+			}
+			c.reject("function call " + types.ExprString(n.Fun) + " inside the loop body")
+			ok = false
+			return false
+		case *ast.FuncLit:
+			c.reject("closure inside the loop body")
+			ok = false
+			return false
+		case *ast.Ident:
+			if obj := c.info.Uses[n]; obj != nil && !c.locals[obj] {
+				if c.reads == nil {
+					c.reads = map[types.Object]bool{}
+				}
+				c.reads[obj] = true
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// usesLocal reports whether e mentions a range variable or loop-local.
+func (c *collectChecker) usesLocal(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.info.Uses[id]; obj != nil && c.locals[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// constantish reports whether e is a literal, true/false/nil, or a named
+// constant — values an early return may safely propagate regardless of
+// which element triggered it.
+func constantish(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			return false
+		}
+		switch obj.(type) {
+		case *types.Const, *types.Nil:
+			return true
+		}
+	}
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	return false
+}
+
+// rootIdent finds the base identifier of a selector/index chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to some sort.* call located
+// after pos within the enclosing function body.
+func sortedAfter(info *types.Info, encl *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if path, _, ok := pkgSelector(info, sel); !ok || path != "sort" {
+			return true
+		}
+		for _, a := range call.Args {
+			ast.Inspect(a, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedObjs returns the collected objects in deterministic (position)
+// order, so fusionlint's own reports replay.
+func sortedObjs(set map[types.Object]bool) []types.Object {
+	objs := make([]types.Object, 0, len(set))
+	for o := range set {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	return objs
+}

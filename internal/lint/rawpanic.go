@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RawPanic forbids bare panics and process-killing calls in simulation
+// packages. A protocol bug must surface as a *sim.ProtocolError (raised via
+// sim.Failf) so the failure report carries component, cycle, and state
+// context instead of a stack trace — the structured-diagnostics contract
+// PR 1 established. Two panic shapes remain legal:
+//
+//   - panic(x) where x's static type is *sim.ProtocolError (Failf itself),
+//   - re-panicking a recover() value (the RunE boundary's rethrow of
+//     non-protocol panics).
+var RawPanic = &Analyzer{
+	Name:      "rawpanic",
+	Directive: "rawpanic",
+	Doc:       "bare panic / fatal exit in simulation code",
+	Scope:     internalScope,
+	Run:       runRawPanic,
+}
+
+// fatalCalls are the process-killing selector calls reported alongside
+// bare panics.
+var fatalCalls = map[string]map[string]bool{
+	"log": {"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true},
+	"os": {"Exit": true},
+}
+
+func runRawPanic(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, body := range funcBodies(f) {
+			recovered := recoverBound(info, body)
+			inspectShallow(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					if !builtinNamed(info, fun, "panic") || len(call.Args) != 1 {
+						return true
+					}
+					arg := ast.Unparen(call.Args[0])
+					if isProtocolError(p.Module, info.TypeOf(arg)) {
+						return true
+					}
+					if id, isIdent := arg.(*ast.Ident); isIdent &&
+						recovered[info.Uses[id]] {
+						return true // rethrow of a recover() value
+					}
+					p.Reportf(call.Pos(),
+						"raw panic in simulation code; raise sim.Failf so the failure carries component+cycle context")
+				case *ast.SelectorExpr:
+					if path, name, ok := pkgSelector(info, fun); ok &&
+						fatalCalls[path][name] {
+						p.Reportf(call.Pos(),
+							"%s.%s kills the process; return an error or raise sim.Failf",
+							path, name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isProtocolError reports whether t is *sim.ProtocolError of this module.
+func isProtocolError(mod *Module, t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ProtocolError" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == mod.Path+"/internal/sim"
+}
+
+// recoverBound collects the objects assigned from recover() anywhere in the
+// function body (x := recover(); if x := recover(); ...).
+func recoverBound(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || !builtinNamed(info, fid, "recover") {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if id, isIdent := l.(*ast.Ident); isIdent {
+				if obj := info.Defs[id]; obj != nil {
+					out[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

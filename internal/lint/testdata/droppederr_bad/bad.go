@@ -1,0 +1,20 @@
+// Package droppederrbad discards errors from module-local functions in
+// every statement shape the analyzer checks.
+package droppederrbad
+
+import "errors"
+
+// apply returns an error the callers below drop.
+func apply(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+// Drop calls apply as a bare statement, deferred, and as a goroutine.
+func Drop(n int) {
+	apply(n)       // want "silently discarded"
+	defer apply(n) // want "silently discarded"
+	go apply(n)    // want "silently discarded"
+}

@@ -1,0 +1,21 @@
+// Package droppederrclean handles or explicitly assigns every error — the
+// blank assignment is a visible, greppable decision, unlike a bare call.
+package droppederrclean
+
+import "errors"
+
+func apply(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+// Use checks one error and explicitly discards another.
+func Use(n int) error {
+	if err := apply(n); err != nil {
+		return err
+	}
+	_ = apply(n + 1)
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package globalrandbad draws from math/rand's global source, which ignores
+// the experiment's seed and differs across processes.
+package globalrandbad
+
+import "math/rand"
+
+// Pick uses package-level functions backed by shared global state.
+func Pick(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want "rand.Shuffle"
+	return rand.Intn(n)                // want "rand.Intn"
+}

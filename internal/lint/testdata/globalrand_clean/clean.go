@@ -1,0 +1,16 @@
+// Package globalrandclean threads a seeded *rand.Rand — the deterministic
+// idiom the analyzer demands.
+package globalrandclean
+
+import "math/rand"
+
+// New seeds a fresh source (rand.New / rand.NewSource are the allowed
+// constructors).
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Pick draws from the threaded source, never the global one.
+func Pick(r *rand.Rand, n int) int {
+	return r.Intn(n)
+}

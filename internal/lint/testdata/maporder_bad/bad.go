@@ -1,0 +1,34 @@
+// Package maporderbad holds map iterations the maporder analyzer must flag:
+// each one lets Go's randomized iteration order leak into a result.
+package maporderbad
+
+// Sum accumulates floats in iteration order; float addition does not
+// commute bitwise, so the total differs run to run.
+func Sum(m1 map[string]float64) float64 {
+	var total float64
+	for _, v := range m1 { // want "order-dependent body"
+		total += v
+	}
+	return total
+}
+
+// Keys collects the keys but never sorts them.
+func Keys(m2 map[string]int) []string {
+	var keys []string
+	for k := range m2 { // want "never passed to a sort"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Number reads a counter back inside the loop, numbering the entries in
+// visit order.
+func Number(m3 map[string]int) map[string]int {
+	out := make(map[string]int)
+	n := 0
+	for k := range m3 { // want "reads it back"
+		n++
+		out[k] = n
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Package maporderclean holds map iterations the maporder analyzer must
+// accept: every body is order-insensitive by construction.
+package maporderclean
+
+import "sort"
+
+// Keys collects and sorts — the canonical deterministic sweep.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Invert set-inserts keyed by a range variable; distinct keys cannot
+// collide across iterations.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string)
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Count bumps a standalone counter that nothing reads back.
+func Count(m map[string]bool) int {
+	n := 0
+	for _, ok := range m {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Any early-returns a constant: whichever element triggers it, the result
+// is the same.
+func Any(m map[string]bool) bool {
+	for range m {
+		return true
+	}
+	return false
+}

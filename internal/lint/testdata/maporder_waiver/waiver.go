@@ -1,0 +1,34 @@
+// Package maporderwaiver exercises //lint:ordered waivers: a justified
+// waiver suppresses the finding (inline or on its own line), a reasonless
+// one suppresses nothing and is itself reported.
+package maporderwaiver
+
+// Total is order-dependent in the analyzer's conservative model but waived:
+// integer addition commutes, so the sum is order-free.
+func Total(m1 map[string]int) int {
+	total := 0
+	for _, v := range m1 { //lint:ordered integer addition commutes; the sum is order-free
+		total += v
+	}
+	return total
+}
+
+// OwnLine carries the waiver on its own line, annotating the range below.
+func OwnLine(m2 map[string]int) int {
+	total := 0
+	//lint:ordered integer addition commutes; the sum is order-free
+	for _, v := range m2 {
+		total += v
+	}
+	return total
+}
+
+// Unjustified carries a waiver with no reason: the finding stays, and the
+// empty waiver earns its own diagnostic.
+func Unjustified(m3 map[string]int) int {
+	total := 0
+	for _, v := range m3 { //lint:ordered
+		total += v
+	}
+	return total
+}

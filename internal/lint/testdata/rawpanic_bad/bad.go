@@ -1,0 +1,14 @@
+// Package rawpanicbad fails without protocol context: a bare panic gives a
+// stack trace where the structured-diagnostics contract wants component,
+// cycle, and state.
+package rawpanicbad
+
+import "log"
+
+// Explode aborts both ways the analyzer forbids.
+func Explode(state string) {
+	if state == "bad" {
+		panic("protocol wedged: " + state) // want "raw panic"
+	}
+	log.Fatalf("unreachable %s", state) // want "log.Fatalf"
+}

@@ -1,0 +1,26 @@
+// Package rawpanicclean shows the two panic shapes that stay legal: raising
+// a *sim.ProtocolError (via sim.Failf) and rethrowing a recover() value.
+package rawpanicclean
+
+import "fusion/internal/sim"
+
+// Fail raises a structured protocol failure.
+func Fail(eng *sim.Engine, state string) {
+	sim.Failf("fixture", eng.Now(), state, "invariant broken")
+}
+
+// Guard converts protocol panics to errors and rethrows everything else —
+// the sim.Engine.RunE boundary idiom.
+func Guard(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*sim.ProtocolError); ok {
+				err = pe
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package wallclockbad reads the host's wall clock — simulation results
+// must depend only on the engine clock.
+package wallclockbad
+
+import "time"
+
+// Stamp reads and waits on real time.
+func Stamp() int64 {
+	t := time.Now()              // want "time.Now"
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+	return t.UnixNano()
+}

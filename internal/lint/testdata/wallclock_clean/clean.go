@@ -1,0 +1,10 @@
+// Package wallclockclean uses the time package only for duration types and
+// arithmetic — no clock reads, nothing to flag.
+package wallclockclean
+
+import "time"
+
+// AtGHz converts a cycle count to simulated elapsed time at 1 GHz.
+func AtGHz(cycles uint64) time.Duration {
+	return time.Duration(cycles) * time.Nanosecond
+}

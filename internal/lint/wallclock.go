@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockDenied are the package time functions that read or wait on the
+// host's clock. Types (time.Duration) and pure constructors/parsers are
+// fine; anything observing real time breaks replay.
+var wallClockDenied = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"After":     true,
+	"AfterFunc": true,
+}
+
+// WallClock forbids host wall-clock access in simulation packages:
+// simulated time comes from the engine clock (sim.Engine.Now), never from
+// package time. A wall-clock read anywhere in the simulation makes cycle
+// counts depend on machine load, which the soak sweep's bit-identical
+// replay assertion would surface only much later and far less legibly.
+var WallClock = &Analyzer{
+	Name:      "wallclock",
+	Directive: "wallclock",
+	Doc:       "wall-clock time in simulation code",
+	Scope:     internalScope,
+	Run:       runWallClock,
+}
+
+func runWallClock(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := pkgSelector(info, sel); ok &&
+				path == "time" && wallClockDenied[name] {
+				p.Reportf(sel.Pos(),
+					"wall-clock time.%s in a simulation package; use the engine clock (sim.Engine.Now)",
+					name)
+			}
+			return true
+		})
+	}
+}

@@ -66,7 +66,7 @@ func (f *Fabric) SetInjector(inj *faults.Injector) { f.inj = inj }
 // Register attaches an endpoint for agent id.
 func (f *Fabric) Register(id AgentID, ep Endpoint) {
 	if _, dup := f.endpoints[id]; dup {
-		panic(fmt.Sprintf("mesi: agent %d registered twice", id))
+		sim.Failf("mesi.fabric", f.eng.Now(), "", "agent %d registered twice", id)
 	}
 	f.endpoints[id] = ep
 }
@@ -108,7 +108,8 @@ func (f *Fabric) Send(m *Msg) {
 	}
 	ep, ok := f.endpoints[m.Dst]
 	if !ok {
-		panic(fmt.Sprintf("mesi: no endpoint for agent %d (msg %s)", m.Dst, m))
+		sim.Failf("mesi.fabric", f.eng.Now(), "",
+			"no endpoint for agent %d (msg %s)", m.Dst, m)
 	}
 	now := f.eng.Now()
 	start := now

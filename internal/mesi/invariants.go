@@ -6,6 +6,7 @@ package mesi
 
 import (
 	"fmt"
+	"sort"
 
 	"fusion/internal/cache"
 	"fusion/internal/mem"
@@ -54,7 +55,14 @@ func CheckInvariants(dir *Directory, clients []*Client) []string {
 		}
 	}
 
-	for addr, hs := range holders {
+	// Sorted scan order keeps the violation report reproducible across runs.
+	addrs := make([]uint64, 0, len(holders))
+	for addr := range holders {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		hs := holders[addr]
 		if skip[addr] {
 			continue
 		}

@@ -12,7 +12,7 @@
 package scratchpad
 
 import (
-	"fmt"
+	"sort"
 
 	"fusion/internal/energy"
 	"fusion/internal/mem"
@@ -71,7 +71,8 @@ func (s *Scratchpad) Fill(va mem.VAddr, ver uint64) {
 	a := uint64(va.LineAddr())
 	if len(s.lines) >= s.CapacityLines() {
 		if _, present := s.lines[a]; !present {
-			panic(fmt.Sprintf("%s: overfilled beyond %d lines", s.name, s.CapacityLines()))
+			sim.Failf(s.name, s.eng.Now(), "",
+				"overfilled beyond %d lines", s.CapacityLines())
 		}
 	}
 	s.lines[a] = &padLine{base: ver, baseKnown: true}
@@ -86,12 +87,14 @@ func (s *Scratchpad) Access(kind mem.AccessKind, va mem.VAddr, done func(now uin
 			// Write-allocate: a fully-written line needs no DMA-in, but its
 			// base version is unknown (writeback will carry a delta).
 			if len(s.lines) >= s.CapacityLines() {
-				panic(fmt.Sprintf("%s: overfilled beyond %d lines", s.name, s.CapacityLines()))
+				sim.Failf(s.name, s.eng.Now(), "",
+					"overfilled beyond %d lines", s.CapacityLines())
 			}
 			l = &padLine{}
 			s.lines[a] = l
 		} else {
-			panic(fmt.Sprintf("%s: load from line %#x not DMA'd in", s.name, a))
+			sim.Failf(s.name, s.eng.Now(), "",
+				"load from line %#x not DMA'd in (oracle violation)", a)
 		}
 	}
 	if s.meter != nil {
@@ -120,8 +123,14 @@ func (s *Scratchpad) Version(va mem.VAddr) (uint64, bool) {
 // DirtyLines returns the resident dirty lines in deterministic order
 // (sorted by address) with their writeback payloads.
 func (s *Scratchpad) DirtyLines() []DirtyLine {
-	out := make([]DirtyLine, 0, len(s.lines))
-	for a, l := range s.lines {
+	addrs := make([]uint64, 0, len(s.lines))
+	for a := range s.lines {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	out := make([]DirtyLine, 0, len(addrs))
+	for _, a := range addrs {
+		l := s.lines[a]
 		if !l.dirty {
 			continue
 		}
@@ -134,7 +143,6 @@ func (s *Scratchpad) DirtyLines() []DirtyLine {
 		}
 		out = append(out, dl)
 	}
-	sortDirty(out)
 	return out
 }
 
@@ -144,14 +152,6 @@ type DirtyLine struct {
 	Addr  mem.VAddr
 	Ver   uint64
 	Delta bool
-}
-
-func sortDirty(d []DirtyLine) {
-	for i := 1; i < len(d); i++ {
-		for j := i; j > 0 && d[j].Addr < d[j-1].Addr; j-- {
-			d[j], d[j-1] = d[j-1], d[j]
-		}
-	}
 }
 
 // Clear empties the scratchpad (window boundary, after the drain).

@@ -16,7 +16,6 @@ package sim
 
 import (
 	"container/heap"
-	"fmt"
 )
 
 // Ticker is a component that does work every cycle: drains its inbound
@@ -95,7 +94,7 @@ func (e *Engine) Schedule(delay uint64, fn func(now uint64)) {
 // ScheduleAt runs fn at absolute cycle at, which must not be in the past.
 func (e *Engine) ScheduleAt(at uint64, fn func(now uint64)) {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now=%d)", at, e.now))
+		Failf("sim.engine", e.now, "", "ScheduleAt(%d) is in the past", at)
 	}
 	e.seq++
 	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})

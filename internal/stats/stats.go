@@ -63,9 +63,9 @@ func (s *Set) Merge(prefix string, other *Set) {
 // Sum returns the total of every counter whose name has the given prefix.
 func (s *Set) Sum(prefix string) int64 {
 	var total int64
-	for n, v := range s.vals {
+	for _, n := range s.order {
 		if strings.HasPrefix(n, prefix) {
-			total += v
+			total += s.vals[n]
 		}
 	}
 	return total

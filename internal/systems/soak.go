@@ -9,6 +9,7 @@ package systems
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"fusion/internal/faults"
@@ -109,9 +110,16 @@ func countFaults(st *stats.Set) uint64 {
 
 // diffVersions compares a run's final memory image against the golden one.
 func diffVersions(want, got map[mem.VAddr]uint64) error {
+	// Sorted address order makes the reported first mismatch deterministic.
+	addrs := make([]mem.VAddr, 0, len(want))
+	for va := range want {
+		addrs = append(addrs, va)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	bad := 0
 	var first string
-	for va, wv := range want {
+	for _, va := range addrs {
+		wv := want[va]
 		if gv := got[va]; gv != wv {
 			if bad == 0 {
 				first = fmt.Sprintf("line %#x: final v%d, golden v%d", uint64(va), gv, wv)

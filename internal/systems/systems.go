@@ -16,6 +16,7 @@ package systems
 
 import (
 	"fmt"
+	"sort"
 
 	"fusion/internal/acc"
 	"fusion/internal/accel"
@@ -445,8 +446,15 @@ func runScratch(m *machine, b *workloads.Benchmark, cfg Config, res *Result) err
 	}
 	dma := scratchpad.NewDMA(m.fab, dmaAgent, cfg.DMAOutstanding, cfg.DMAGap, m.st)
 	axcs := accelFor(m, b)
-	pads := make(map[int]*scratchpad.Scratchpad)
+	// Construct scratchpads in sorted AXC order so engine registration and
+	// stats insertion order are identical run to run.
+	ids := make([]int, 0, len(axcs))
 	for axc := range axcs {
+		ids = append(ids, axc)
+	}
+	sort.Ints(ids)
+	pads := make(map[int]*scratchpad.Scratchpad)
+	for _, axc := range ids {
 		pads[axc] = scratchpad.New(m.eng, fmt.Sprintf("spad%d", axc), spadCfg, m.mt, m.st)
 	}
 
@@ -736,8 +744,13 @@ func runFusion(m *machine, b *workloads.Benchmark, cfg Config, res *Result) erro
 	}
 	// Wait out any open epochs so FlushAll may evict everything.
 	maxLease := uint64(0)
-	for _, lt := range b.LeaseTimes {
-		if lt := scaleLease(lt, cfg.LeaseScale); lt > maxLease {
+	fns := make([]string, 0, len(b.LeaseTimes))
+	for fn := range b.LeaseTimes {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		if lt := scaleLease(b.LeaseTimes[fn], cfg.LeaseScale); lt > maxLease {
 			maxLease = lt
 		}
 	}

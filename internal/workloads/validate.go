@@ -6,6 +6,7 @@ package workloads
 
 import (
 	"fmt"
+	"sort"
 
 	"fusion/internal/trace"
 )
@@ -70,11 +71,14 @@ func Validate(b *Benchmark) []error {
 
 	// AXC ids must be dense from 0: the systems allocate one accelerator
 	// and one L0X per id up to the maximum.
-	max := -1
+	axcs := make([]int, 0, len(seenAXC))
 	for a := range seenAXC {
-		if a > max {
-			max = a
-		}
+		axcs = append(axcs, a)
+	}
+	sort.Ints(axcs)
+	max := -1
+	if len(axcs) > 0 {
+		max = axcs[len(axcs)-1]
 	}
 	for a := 0; a <= max; a++ {
 		if !seenAXC[a] {
@@ -84,7 +88,14 @@ func Validate(b *Benchmark) []error {
 	}
 
 	// Forward sets must point at real accelerator phases and real consumers.
-	for i, f := range b.Forwards {
+	// Sorted phase order keeps the error list reproducible.
+	fwdPhases := make([]int, 0, len(b.Forwards))
+	for i := range b.Forwards {
+		fwdPhases = append(fwdPhases, i)
+	}
+	sort.Ints(fwdPhases)
+	for _, i := range fwdPhases {
+		f := b.Forwards[i]
 		if i < 0 || i >= len(b.Program.Phases) {
 			errs = append(errs, fmt.Errorf("forward set keyed by nonexistent phase %d", i))
 			continue

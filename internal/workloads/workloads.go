@@ -23,10 +23,10 @@
 package workloads
 
 import (
-	"fmt"
 	"math/rand"
 
 	"fusion/internal/mem"
+	"fusion/internal/sim"
 	"fusion/internal/trace"
 )
 
@@ -373,11 +373,12 @@ type ForwardSet struct {
 	Lines    []mem.VAddr
 }
 
-// Get generates benchmark `name`. It panics on an unknown name.
+// Get generates benchmark `name`. An unknown name is a caller bug and
+// raises a structured failure (sim.ProtocolError).
 func Get(name string) *Benchmark {
 	spec, ok := specs()[name]
 	if !ok {
-		panic(fmt.Sprintf("workloads: unknown benchmark %q", name))
+		sim.Failf("workloads", 0, "", "unknown benchmark %q (have: %v)", name, Names())
 	}
 	return build(spec)
 }
@@ -490,7 +491,7 @@ func expandStreams(ss []strm, regs map[string]region, rng *rand.Rand) []mem.VAdd
 	for _, s := range ss {
 		r, ok := regs[s.reg]
 		if !ok {
-			panic("workloads: unknown region " + s.reg)
+			sim.Failf("workloads", 0, "", "unknown region %q in stream spec", s.reg)
 		}
 		stride := s.stride
 		if stride == 0 {
