@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet lint test race soak-smoke soak clean
+.PHONY: tier1 build vet lint test race bench bench-smoke soak-smoke soak clean
 
 # tier1 is the gate every change must pass.
 tier1: vet lint build race
@@ -21,6 +21,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# bench: time every artifact's regeneration (plus the full set) and write
+# the per-artifact wall-clock/alloc report to BENCH_<date>.json. J bounds
+# the sweep's worker pool (empty: GOMAXPROCS); worker count never changes
+# artifact bytes, only wall-clock.
+J ?= 0
+bench:
+	$(GO) run ./cmd/fusionbench -j $(J) -benchout BENCH_$$(date +%F).json
+
+# bench-smoke: one iteration of each Go benchmark — compile/run smoke, not
+# a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # soak-smoke: the short-mode fault-injection sweep (a subset of cells).
 soak-smoke:

@@ -56,6 +56,27 @@ func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "fig7") }
 // Table 6: AX-TLB and AX-RMAP lookup counts.
 func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
 
+// BenchmarkAllArtifacts regenerates every artifact through one shared
+// runner — the fusionbench default path — sequentially (j1) and with a
+// GOMAXPROCS worker pool (jmax). The two must produce identical artifacts;
+// only wall-clock may differ.
+func BenchmarkAllArtifacts(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"j1", 1}, {"jmax", 0}} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exp := fusion.NewExperiments()
+				exp.SetWorkers(c.workers)
+				if err := exp.Print(io.Discard, "all"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Per-benchmark x system simulation cost. The sub-benchmark names follow
 // <benchmark>/<system>.
 func BenchmarkSimulate(b *testing.B) {

@@ -7,17 +7,25 @@
 //	fusionbench                 # everything, in the paper's order
 //	fusionbench -exp fig6b      # one artifact
 //	fusionbench -list           # names of the regenerable artifacts
+//	fusionbench -j 8            # bound the parallel sweep's worker pool
+//	fusionbench -benchout BENCH_2026-08-05.json   # wall-clock/alloc report
 //
+// The sweep is deterministic: output is byte-identical for any -j value.
 // Absolute numbers will differ from the paper (this simulator is not the
 // authors' macsim/GEMS testbed); see EXPERIMENTS.md for the side-by-side
 // shape comparison.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"fusion"
 )
@@ -27,6 +35,10 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment to run: "+strings.Join(fusion.ExperimentNames(), ", ")+", or all")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		jsonOut = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		workers = flag.Int("j", 0, "parallel sweep workers (0: GOMAXPROCS; 1: sequential)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchOt = flag.String("benchout", "", "time each artifact's regeneration and write a JSON report to this file")
 	)
 	flag.Parse()
 
@@ -36,15 +48,118 @@ func main() {
 		}
 		return
 	}
-	r := fusion.NewExperiments()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var err error
-	if *jsonOut {
-		err = r.PrintJSON(os.Stdout, *exp)
+	if *benchOt != "" {
+		err = writeBenchReport(*benchOt, *workers)
 	} else {
-		err = r.Print(os.Stdout, *exp)
+		r := fusion.NewExperiments()
+		r.SetWorkers(*workers)
+		if *jsonOut {
+			err = r.PrintJSON(os.Stdout, *exp)
+		} else {
+			err = r.Print(os.Stdout, *exp)
+		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if *cpuProf != "" {
+			pprof.StopCPUProfile()
+		}
+		fatal(err)
 	}
+
+	if *memProf != "" {
+		f, ferr := os.Create(*memProf)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		runtime.GC()
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			fatal(ferr)
+		}
+		f.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// benchEntry is the regeneration cost of one artifact. One "op" is a full
+// cold regeneration — a fresh runner, so nothing is memoized across
+// entries; the final "all" entry regenerates every artifact through one
+// shared runner, which is the fusionbench default path.
+type benchEntry struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+}
+
+type benchReport struct {
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	Entries    []benchEntry `json:"entries"`
+}
+
+// writeBenchReport measures every artifact's cold regeneration cost plus
+// the full-set cost and writes the JSON report. Wall-clock numbers depend
+// on -j and the host; the artifact bytes themselves never do.
+func writeBenchReport(path string, workers int) error {
+	report := benchReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+	measure := func(name string) error {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		r := fusion.NewExperiments()
+		r.SetWorkers(workers)
+		if err := r.Print(io.Discard, name); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		report.Entries = append(report.Entries, benchEntry{
+			Name:        name,
+			NsPerOp:     elapsed.Nanoseconds(),
+			AllocsPerOp: after.Mallocs - before.Mallocs,
+			BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+		})
+		fmt.Fprintf(os.Stderr, "%-14s %12.1f ms\n", name, float64(elapsed.Nanoseconds())/1e6)
+		return nil
+	}
+	for _, name := range fusion.ExperimentNames() {
+		if err := measure(name); err != nil {
+			return err
+		}
+	}
+	if err := measure("all"); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }

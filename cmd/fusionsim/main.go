@@ -1,5 +1,5 @@
-// Command fusionsim runs one benchmark on one of the four systems the
-// paper compares and reports cycles, energy, and traffic.
+// Command fusionsim runs benchmarks on the systems the paper compares and
+// reports cycles, energy, and traffic.
 //
 // Usage:
 //
@@ -7,9 +7,16 @@
 //	fusionsim -bench hist -system scratch -phases
 //	fusionsim -bench adpcm -system fusion-dx -stats -energy
 //	fusionsim -bench disp -system fusion -large
+//	fusionsim -bench all -system all -j 8       # full sweep, one line per cell
+//	fusionsim -bench fft,adpcm -system fusion,shared
 //
 // Systems: scratch, shared, fusion, fusion-dx.
 // Benchmarks: fft, disp, track, adpcm, susan, filt, hist.
+//
+// When -bench/-system name more than one cell (comma-separated lists or
+// "all"), the cells run as a deterministic parallel sweep: -j bounds the
+// worker pool and the report rows are printed in cell order, byte-identical
+// for any worker count.
 package main
 
 import (
@@ -17,16 +24,55 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"fusion"
 )
 
+var systemNames = []string{"scratch", "shared", "fusion", "fusion-dx"}
+
+func systemOf(name string) (fusion.System, bool) {
+	switch strings.ToLower(name) {
+	case "scratch":
+		return fusion.ScratchSystem, true
+	case "shared":
+		return fusion.SharedSystem, true
+	case "fusion":
+		return fusion.FusionSystem, true
+	case "fusion-dx", "fusiondx", "dx":
+		return fusion.FusionDxSystem, true
+	}
+	return 0, false
+}
+
+// expandList resolves a comma-separated flag value against the valid set,
+// with "all" meaning every entry in canonical order.
+func expandList(flagVal string, valid []string, what string) []string {
+	if strings.EqualFold(flagVal, "all") {
+		return valid
+	}
+	var out []string
+	for _, name := range strings.Split(flagVal, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		fmt.Fprintf(os.Stderr, "no %s named in %q\n", what, flagVal)
+		os.Exit(2)
+	}
+	return out
+}
+
 func main() {
 	var (
-		benchName = flag.String("bench", "fft", "benchmark: "+strings.Join(fusion.Benchmarks(), ", "))
+		benchName = flag.String("bench", "fft", "benchmark(s): comma-separated from "+strings.Join(fusion.Benchmarks(), ", ")+", or all")
 		benchFile = flag.String("benchfile", "", "run a benchmark loaded from this JSON file (see tracegen -save)")
-		sysName   = flag.String("system", "fusion", "system: scratch, shared, fusion, fusion-dx")
+		sysName   = flag.String("system", "fusion", "system(s): comma-separated from scratch, shared, fusion, fusion-dx, or all")
 		large     = flag.Bool("large", false, "AXC-Large configuration (8K L0X / 256K L1X, Section 5.5)")
 		wt        = flag.Bool("writethrough", false, "disable L0X write caching (Table 4)")
 		phases    = flag.Bool("phases", false, "print per-phase cycles and energy")
@@ -37,21 +83,78 @@ func main() {
 		watchdog  = flag.Uint64("watchdog", 1_000_000, "halt with a diagnostic dump after this many cycles without forward progress (0 disables)")
 		faultSeed = flag.Uint64("faultseed", 0, "inject a random fault plan derived from this seed (0 disables)")
 		faultPlan = flag.String("faultplan", "", "inject the JSON fault plan loaded from this file (overrides -faultseed)")
+		workers   = flag.Int("j", 0, "parallel sweep workers when multiple cells are named (0: GOMAXPROCS)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	var sys fusion.System
-	switch strings.ToLower(*sysName) {
-	case "scratch":
-		sys = fusion.ScratchSystem
-	case "shared":
-		sys = fusion.SharedSystem
-	case "fusion":
-		sys = fusion.FusionSystem
-	case "fusion-dx", "fusiondx", "dx":
-		sys = fusion.FusionDxSystem
-	default:
-		fmt.Fprintf(os.Stderr, "unknown system %q\n", *sysName)
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}()
+
+	var basePlan *fusion.FaultPlan
+	if *faultPlan != "" {
+		plan, err := fusion.LoadFaultPlanFile(*faultPlan)
+		if err != nil {
+			fatal(err)
+		}
+		basePlan = &plan
+	} else if *faultSeed != 0 {
+		plan := fusion.RandomFaultPlan(*faultSeed)
+		basePlan = &plan
+	}
+
+	configure := func(sys fusion.System) fusion.Config {
+		cfg := fusion.DefaultConfig(sys)
+		cfg.Large = *large
+		cfg.WriteThrough = *wt
+		cfg.Paranoid = *paranoid
+		cfg.WatchdogCycles = *watchdog
+		if basePlan != nil {
+			// Each cell replays its own copy of the plan; runs never share
+			// mutable state.
+			plan := *basePlan
+			cfg.Faults = &plan
+		}
+		return cfg
+	}
+
+	benches := expandList(*benchName, fusion.Benchmarks(), "benchmark")
+	sysNames := expandList(*sysName, systemNames, "system")
+	if len(benches) > 1 || len(sysNames) > 1 {
+		if *benchFile != "" {
+			fmt.Fprintln(os.Stderr, "-benchfile cannot be combined with a multi-cell sweep")
+			os.Exit(2)
+		}
+		runSweep(benches, sysNames, configure, *workers, *verify)
+		return
+	}
+
+	sys, ok := systemOf(sysNames[0])
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", sysNames[0])
 		os.Exit(2)
 	}
 
@@ -59,61 +162,35 @@ func main() {
 	if *benchFile != "" {
 		f, err := os.Open(*benchFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		b, err = fusion.LoadBenchmarkJSON(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 	} else {
 		valid := false
 		for _, n := range fusion.Benchmarks() {
-			if n == *benchName {
+			if n == benches[0] {
 				valid = true
 			}
 		}
 		if !valid {
 			fmt.Fprintf(os.Stderr, "unknown benchmark %q (valid: %s)\n",
-				*benchName, strings.Join(fusion.Benchmarks(), ", "))
+				benches[0], strings.Join(fusion.Benchmarks(), ", "))
 			os.Exit(2)
 		}
-		b = fusion.LoadBenchmark(*benchName)
+		b = fusion.LoadBenchmark(benches[0])
 	}
-	cfg := fusion.DefaultConfig(sys)
-	cfg.Large = *large
-	cfg.WriteThrough = *wt
-	cfg.Paranoid = *paranoid
-	cfg.WatchdogCycles = *watchdog
-	if *faultPlan != "" {
-		plan, err := fusion.LoadFaultPlanFile(*faultPlan)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		cfg.Faults = &plan
-	} else if *faultSeed != 0 {
-		plan := fusion.RandomFaultPlan(*faultSeed)
-		cfg.Faults = &plan
-	}
+	cfg := configure(sys)
 	if cfg.Faults != nil {
 		fmt.Printf("fault plan       %+v\n", *cfg.Faults)
 	}
 
 	res, err := fusion.Run(b, cfg)
 	if err != nil {
-		var pe *fusion.ProtocolError
-		if errors.As(err, &pe) {
-			fmt.Fprintf(os.Stderr, "simulation failed: %s at cycle %d: %s\n",
-				pe.Component, pe.Cycle, pe.Message)
-			if pe.State != "" {
-				fmt.Fprintf(os.Stderr, "--- state dump ---\n%s\n", pe.State)
-			}
-		} else {
-			fmt.Fprintln(os.Stderr, "simulation failed:", err)
-		}
+		printRunError(err)
 		os.Exit(1)
 	}
 
@@ -170,4 +247,87 @@ func main() {
 		fmt.Println("\nstatistics:")
 		res.Stats.Dump(os.Stdout)
 	}
+}
+
+// runSweep executes the benchmark x system cross product on a bounded
+// worker pool and prints one row per cell, in cell order.
+func runSweep(benches, sysNames []string, configure func(fusion.System) fusion.Config, workers int, verify bool) {
+	var items []fusion.SweepItem
+	goldens := make(map[string]map[fusion.VAddr]uint64)
+	for _, bn := range benches {
+		b := fusion.LoadBenchmark(bn)
+		if verify {
+			goldens[bn] = fusion.ExpectedVersions(b)
+		}
+		for _, sn := range sysNames {
+			sys, ok := systemOf(sn)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown system %q\n", sn)
+				os.Exit(2)
+			}
+			items = append(items, fusion.SweepItem{
+				Key:    bn + "/" + sn,
+				Bench:  b,
+				Config: configure(sys),
+			})
+		}
+	}
+	results, err := fusion.RunSweep(items, workers)
+	if err != nil {
+		printRunError(err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-18s %12s %12s %12s %10s", "bench/system", "cycles", "dma-cycles", "onchip(uJ)", "total(uJ)")
+	if verify {
+		fmt.Printf(" %8s", "verify")
+	}
+	fmt.Println()
+	failed := false
+	for i, res := range results {
+		fmt.Printf("%-18s %12d %12d %12.2f %10.2f",
+			items[i].Key, res.Cycles, res.DMACycles, res.OnChipPJ()/1e6, res.Energy.Total()/1e6)
+		if verify {
+			bad := 0
+			for va, wv := range goldens[res.Benchmark] {
+				if res.FinalVersions[va] != wv {
+					bad++
+				}
+			}
+			if bad > 0 {
+				fmt.Printf(" %8s", fmt.Sprintf("FAIL(%d)", bad))
+				failed = true
+			} else {
+				fmt.Printf(" %8s", "ok")
+			}
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// printRunError renders a simulation failure, unwrapping the sweep key and
+// the structured protocol diagnostic when present.
+func printRunError(err error) {
+	where := ""
+	var se *fusion.SweepError
+	if errors.As(err, &se) {
+		where = se.Key + ": "
+	}
+	var pe *fusion.ProtocolError
+	if errors.As(err, &pe) {
+		fmt.Fprintf(os.Stderr, "simulation failed: %s%s at cycle %d: %s\n",
+			where, pe.Component, pe.Cycle, pe.Message)
+		if pe.State != "" {
+			fmt.Fprintf(os.Stderr, "--- state dump ---\n%s\n", pe.State)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "simulation failed: %s%v\n", where, err)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -185,8 +185,28 @@ func LoadFaultPlan(r io.Reader) (FaultPlan, error) { return faults.LoadPlan(r) }
 // LoadFaultPlanFile reads a JSON fault plan from a file.
 func LoadFaultPlanFile(path string) (FaultPlan, error) { return faults.LoadPlanFile(path) }
 
+// SweepItem is one independent (benchmark, config) cell of a sweep; see
+// RunSweep.
+type SweepItem = systems.SweepItem
+
+// SweepError attaches the originating sweep cell's key to a failed run.
+// Use errors.As to reach it (and the underlying ProtocolError) from a
+// sweep or experiment failure.
+type SweepError = systems.SweepError
+
+// RunSweep executes every item on a bounded worker pool (workers <= 0:
+// GOMAXPROCS) and returns results in item order, so reports built from
+// them are byte-identical for any worker count. The first failing item in
+// item order is returned as a *SweepError.
+func RunSweep(items []SweepItem, workers int) ([]*Result, error) {
+	return systems.RunAll(items, workers)
+}
+
 // Experiments regenerates the paper's tables and figures. Simulation runs
-// are memoized across experiments within one runner.
+// are memoized across experiments within one runner, which is safe for
+// concurrent use: each distinct cell simulates exactly once no matter how
+// many goroutines request it. SetWorkers bounds the parallel prefetch pool
+// (1 forces sequential execution); worker count never changes output.
 type Experiments = experiments.Runner
 
 // NewExperiments returns an empty experiment runner.

@@ -98,6 +98,11 @@ func (a *Accelerator) Name() string { return a.name }
 // Busy reports whether an invocation is running.
 func (a *Accelerator) Busy() bool { return a.inv != nil }
 
+// Idle implements sim.IdleTicker: with no invocation loaded, Tick returns
+// without touching any state, so the engine may fast-forward across the
+// DMA-bound and drain stretches where the datapath sits unused.
+func (a *Accelerator) Idle() bool { return a.inv == nil }
+
 // Start launches an invocation. onDone fires the cycle the last operation
 // retires. The accelerator must be idle.
 func (a *Accelerator) Start(inv *trace.Invocation, port MemPort, onDone func(now uint64)) {

@@ -85,6 +85,20 @@ func New(eng *sim.Engine, cfg Config, model energy.Model, meter *energy.Meter, s
 // Name implements sim.Ticker.
 func (d *DRAM) Name() string { return "dram" }
 
+// Idle implements sim.IdleTicker: with every command queue empty, Tick
+// cannot issue anything regardless of busyUntil, so skipping its per-cycle
+// polling is safe. A queued command keeps the controller busy even while
+// its channel waits out a burst — issue timing depends on observing
+// busyUntil cycle by cycle.
+func (d *DRAM) Idle() bool {
+	for i := range d.channels {
+		if len(d.channels[i].queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // SetInjector attaches a fault injector; each command's service latency may
 // then spike per the plan (deterministic per channel stream).
 func (d *DRAM) SetInjector(inj *faults.Injector) { d.inj = inj }

@@ -12,6 +12,8 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"fusion/internal/energy"
 	"fusion/internal/systems"
@@ -19,49 +21,104 @@ import (
 	"fusion/internal/workloads"
 )
 
-// runCache memoizes benchmark x config runs within one harness invocation
-// (several experiments share the same baseline runs).
-type runCache struct {
-	results map[string]*systems.Result
-	benches map[string]*workloads.Benchmark
+// runEntry is one memoized simulation, singleflight-style: the first
+// caller of a key owns the execution; everyone else blocks on ready. This
+// is what lets a bounded worker pool and ad-hoc concurrent Run callers
+// share one Runner without ever simulating a cell twice.
+type runEntry struct {
+	ready chan struct{} // closed once res/err are final
+	res   *systems.Result
+	err   error
 }
 
-// NewRunner returns an empty experiment runner.
+type benchEntry struct {
+	ready chan struct{}
+	b     *workloads.Benchmark
+}
+
+// NewRunner returns an empty experiment runner with GOMAXPROCS workers.
 func NewRunner() *Runner {
-	return &Runner{cache: runCache{
-		results: make(map[string]*systems.Result),
-		benches: make(map[string]*workloads.Benchmark),
-	}}
+	return &Runner{
+		results: make(map[string]*runEntry),
+		benches: make(map[string]*benchEntry),
+	}
 }
 
-// Runner executes experiments, memoizing simulation runs.
+// Runner executes experiments, memoizing simulation runs. It is safe for
+// concurrent use: every cached cell runs exactly once (singleflight) no
+// matter how many goroutines ask for it, and report assembly walks cells
+// in a fixed order, so output is byte-identical for any worker count.
 type Runner struct {
-	cache runCache
+	// workers bounds the Prefetch worker pool (<=0: GOMAXPROCS).
+	workers int
+
+	mu      sync.Mutex
+	results map[string]*runEntry
+	benches map[string]*benchEntry
+
+	// simRuns counts actually-executed (non-memoized) simulations.
+	simRuns atomic.Int64
 }
+
+// SetWorkers bounds the parallel sweep's worker pool: 1 forces sequential
+// execution, <=0 restores the GOMAXPROCS default. The choice affects
+// wall-clock time only, never the output.
+func (r *Runner) SetWorkers(n int) { r.workers = n }
+
+// SimRuns reports how many simulations the runner has actually executed
+// (memoized hits excluded).
+func (r *Runner) SimRuns() int64 { return r.simRuns.Load() }
 
 func (r *Runner) bench(name string) *workloads.Benchmark {
-	b, ok := r.cache.benches[name]
+	r.mu.Lock()
+	e, ok := r.benches[name]
 	if !ok {
-		b = workloads.Get(name)
-		r.cache.benches[name] = b
+		e = &benchEntry{ready: make(chan struct{})}
+		r.benches[name] = e
+		r.mu.Unlock()
+		e.b = workloads.Get(name)
+		close(e.ready)
+		return e.b
 	}
-	return b
+	r.mu.Unlock()
+	<-e.ready
+	return e.b
 }
 
-// Run returns the memoized result of benchmark `name` under cfg.
-func (r *Runner) Run(name string, cfg systems.Config) (*systems.Result, error) {
-	key := fmt.Sprintf("%s/%v/large=%v/wt=%v/tiles=%d/ls=%g/dma=%d.%d",
+// runKey canonicalizes the config knobs experiments vary. Knobs the
+// experiment layer never sets (faults, watchdog, tracing, paranoia) are
+// deliberately excluded.
+func runKey(name string, cfg systems.Config) string {
+	return fmt.Sprintf("%s/%v/large=%v/wt=%v/tiles=%d/ls=%g/dma=%d.%d",
 		name, cfg.Kind, cfg.Large, cfg.WriteThrough, cfg.Tiles, cfg.LeaseScale,
 		cfg.DMAOutstanding, cfg.DMAGap)
-	if res, ok := r.cache.results[key]; ok {
-		return res, nil
+}
+
+// Run returns the memoized result of benchmark `name` under cfg, executing
+// the simulation on first request. Concurrent callers of the same cell
+// share one execution. Failures carry the originating cell key as a
+// *systems.SweepError wrapping the underlying error.
+func (r *Runner) Run(name string, cfg systems.Config) (*systems.Result, error) {
+	key := runKey(name, cfg)
+	r.mu.Lock()
+	e, ok := r.results[key]
+	if !ok {
+		e = &runEntry{ready: make(chan struct{})}
+		r.results[key] = e
+		r.mu.Unlock()
+		res, err := systems.Run(r.bench(name), cfg)
+		r.simRuns.Add(1)
+		if err != nil {
+			e.err = &systems.SweepError{Key: key, Err: err}
+		} else {
+			e.res = res
+		}
+		close(e.ready)
+		return e.res, e.err
 	}
-	res, err := systems.Run(r.bench(name), cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", key, err)
-	}
-	r.cache.results[key] = res
-	return res, nil
+	r.mu.Unlock()
+	<-e.ready
+	return e.res, e.err
 }
 
 // ------------------------------------------------------------------ Table 1

@@ -58,11 +58,17 @@ func (r *Runner) PrintJSON(w io.Writer, name string) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if name != "all" {
+		if err := r.Prefetch(name); err != nil {
+			return err
+		}
 		data, err := r.Data(name)
 		if err != nil {
 			return err
 		}
 		return enc.Encode(data)
+	}
+	if err := r.prefetchAll(); err != nil {
+		return err
 	}
 	out := make(map[string]any)
 	for _, e := range r.All() {

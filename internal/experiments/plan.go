@@ -1,0 +1,176 @@
+package experiments
+
+// Up-front sweep planning. Every artifact's (benchmark, config) needs are
+// enumerable before any simulation runs, which is what turns artifact
+// regeneration into an embarrassingly parallel sweep: Prefetch enumerates
+// the union for the requested artifacts in a fixed order, deduplicates
+// cells singleflight-style, fans the misses out over a bounded worker
+// pool, and lets the (sequential, order-fixed) artifact assembly read the
+// memoized results — so reports are byte-identical for any worker count.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fusion/internal/systems"
+	"fusion/internal/workloads"
+)
+
+// Req is one simulation an artifact consumes.
+type Req struct {
+	Name   string
+	Config systems.Config
+}
+
+// requirements enumerates, in a fixed order, every run the named artifact
+// reads. It must stay in lockstep with the artifact bodies in
+// experiments.go/ablations.go — TestRequirementsCoverEveryArtifact fails
+// if an artifact executes a run its requirements did not enumerate.
+func requirements(exp string) []Req {
+	fusionOver := func(names []string) []Req {
+		var reqs []Req
+		for _, n := range names {
+			reqs = append(reqs, Req{n, systems.DefaultConfig(systems.Fusion)})
+		}
+		return reqs
+	}
+	switch exp {
+	case "table1", "table3", "table6":
+		return fusionOver(workloads.Names())
+	case "fig6a", "fig6b", "fig6c", "chart6a", "chart6b":
+		var reqs []Req
+		for _, n := range workloads.Names() {
+			for _, kind := range SystemsCompared() {
+				reqs = append(reqs, Req{n, systems.DefaultConfig(kind)})
+			}
+		}
+		return reqs
+	case "fig6d":
+		var reqs []Req
+		for _, n := range workloads.Names() {
+			reqs = append(reqs, Req{n, systems.DefaultConfig(systems.Scratch)})
+		}
+		return reqs
+	case "table4":
+		var reqs []Req
+		for _, n := range workloads.Names() {
+			wt := systems.DefaultConfig(systems.Fusion)
+			wt.WriteThrough = true
+			reqs = append(reqs, Req{n, systems.DefaultConfig(systems.Fusion)}, Req{n, wt})
+		}
+		return reqs
+	case "table5":
+		var reqs []Req
+		for _, n := range workloads.Names() {
+			reqs = append(reqs,
+				Req{n, systems.DefaultConfig(systems.Fusion)},
+				Req{n, systems.DefaultConfig(systems.FusionDx)})
+		}
+		return reqs
+	case "fig7":
+		var reqs []Req
+		for _, n := range workloads.Names() {
+			large := systems.DefaultConfig(systems.Fusion)
+			large.Large = true
+			reqs = append(reqs, Req{n, systems.DefaultConfig(systems.Fusion)}, Req{n, large})
+		}
+		return reqs
+	case "ablate-lease":
+		var reqs []Req
+		for _, n := range []string{"adpcm", "filt", "fft"} {
+			for _, sc := range []float64{0.25, 0.5, 1.0, 2.0, 4.0} {
+				cfg := systems.DefaultConfig(systems.Fusion)
+				cfg.LeaseScale = sc
+				reqs = append(reqs, Req{n, cfg})
+			}
+		}
+		return reqs
+	case "ablate-dma":
+		var reqs []Req
+		for _, n := range []string{"fft", "disp", "hist"} {
+			reqs = append(reqs, Req{n, systems.DefaultConfig(systems.Fusion)})
+			for _, depth := range []int{1, 2, 4, 8} {
+				cfg := systems.DefaultConfig(systems.Scratch)
+				cfg.DMAOutstanding = depth
+				if depth > 1 {
+					cfg.DMAGap = 4
+				}
+				reqs = append(reqs, Req{n, cfg})
+			}
+		}
+		return reqs
+	case "ablate-tiles":
+		var reqs []Req
+		for _, n := range []string{"fft", "adpcm", "susan"} {
+			for _, tiles := range []int{1, 2} {
+				cfg := systems.DefaultConfig(systems.Fusion)
+				cfg.Tiles = tiles
+				reqs = append(reqs, Req{n, cfg})
+			}
+		}
+		return reqs
+	}
+	return nil
+}
+
+// prefetchAll prefetches the union of every registered artifact's runs.
+func (r *Runner) prefetchAll() error {
+	var names []string
+	for _, e := range r.All() {
+		names = append(names, e.Name)
+	}
+	return r.Prefetch(names...)
+}
+
+// Prefetch simulates every run the named artifacts need, deduplicated
+// across artifacts and fanned out over the runner's worker pool. With one
+// worker it is a no-op: the artifact bodies then execute lazily, exactly
+// as the sequential path always has. On failure it returns the first
+// failing cell in enumeration order (never completion order), wrapped in a
+// *systems.SweepError naming the cell.
+func (r *Runner) Prefetch(names ...string) error {
+	workers := systems.Workers(r.workers)
+	if workers <= 1 {
+		return nil
+	}
+	var reqs []Req
+	seen := make(map[string]bool)
+	for _, name := range names {
+		for _, q := range requirements(name) {
+			key := runKey(q.Name, q.Config)
+			if !seen[key] {
+				seen[key] = true
+				reqs = append(reqs, q)
+			}
+		}
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	errs := make([]error, len(reqs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				_, errs[i] = r.Run(reqs[i].Name, reqs[i].Config)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -202,9 +202,14 @@ func (r *Runner) All() []struct {
 	}
 }
 
-// Print runs the named experiment ("all" runs every one).
+// Print runs the named experiment ("all" runs every one). The needed
+// simulations are prefetched across the worker pool first; rendering then
+// reads memoized results in fixed artifact order.
 func (r *Runner) Print(w io.Writer, name string) error {
 	if name == "all" {
+		if err := r.prefetchAll(); err != nil {
+			return err
+		}
 		for _, e := range r.All() {
 			if err := e.Print(w); err != nil {
 				return fmt.Errorf("%s: %w", e.Name, err)
@@ -215,6 +220,9 @@ func (r *Runner) Print(w io.Writer, name string) error {
 	}
 	for _, e := range r.All() {
 		if e.Name == name {
+			if err := r.Prefetch(name); err != nil {
+				return err
+			}
 			return e.Print(w)
 		}
 	}

@@ -96,6 +96,11 @@ func (c *Core) Name() string { return c.name }
 // Busy reports whether a phase is executing.
 func (c *Core) Busy() bool { return c.inv != nil }
 
+// Idle implements sim.IdleTicker: with no phase loaded, Tick returns
+// without touching any state, so accelerator-phase and DMA stretches can
+// be fast-forwarded past the host core.
+func (c *Core) Idle() bool { return c.inv == nil }
+
 // Start begins executing a host phase. translate maps the program's virtual
 // addresses to physical ones (the host L1 is physically addressed). onDone
 // fires when the last instruction commits.

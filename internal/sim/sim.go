@@ -12,11 +12,14 @@
 // Both orderings are fully deterministic, which matters for a coherence
 // simulator: two runs with the same inputs produce bit-identical message
 // interleavings and statistics.
+//
+// Run additionally fast-forwards over quiescent stretches: when every
+// registered Ticker declares itself idle (see IdleTicker) and no event is
+// due, the clock jumps straight to the next event instead of executing
+// empty cycles. The jump is invisible to components — cycle counts, event
+// ordering, predicate observation points, and watchdog trip cycles are all
+// identical to per-cycle stepping.
 package sim
-
-import (
-	"container/heap"
-)
 
 // Ticker is a component that does work every cycle: drains its inbound
 // queues, advances its pipeline, and sends messages.
@@ -27,6 +30,26 @@ type Ticker interface {
 	Tick(now uint64)
 }
 
+// IdleTicker is optionally implemented by Tickers that can prove their Tick
+// is a no-op until some scheduled event changes their state. While Idle
+// reports true, Tick must neither mutate state nor observe the passage of
+// cycles (no counters, no timeouts) — the engine is then free to skip the
+// ticker's Tick calls entirely during a quiescence fast-forward. Tickers
+// that do not implement the interface conservatively count as always busy,
+// which disables fast-forwarding for the whole engine.
+type IdleTicker interface {
+	Idle() bool
+}
+
+// Waker is optionally implemented by tickers that, even while idle, must be
+// ticked again no later than a specific future cycle (the watchdog's trip
+// deadline is the canonical case). WakeAt returns that cycle; ok=false
+// means the ticker imposes no deadline. A quiescence fast-forward never
+// jumps past any waker's deadline.
+type Waker interface {
+	WakeAt(now uint64) (at uint64, ok bool)
+}
+
 // event is a scheduled callback.
 type event struct {
 	at  uint64
@@ -34,33 +57,78 @@ type event struct {
 	fn  func(now uint64)
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
+// eventHeap is a binary min-heap of events ordered by (at, seq). It is
+// monomorphic on purpose: the previous container/heap implementation boxed
+// every event into an interface{} on Push and Pop, which both allocated and
+// kept retired closures reachable. Pop zeroes the vacated slot so the
+// popped event's fn is collectable as soon as it has run.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hh.less(i, parent) {
+			break
+		}
+		hh[i], hh[parent] = hh[parent], hh[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	hh := *h
+	top := hh[0]
+	n := len(hh) - 1
+	hh[0] = hh[n]
+	hh[n] = event{} // zero the slot so the retired closure is GC-able
+	hh = hh[:n]
+	*h = hh
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && hh.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && hh.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		hh[i], hh[smallest] = hh[smallest], hh[i]
+		i = smallest
+	}
+	return top
 }
 
 // Engine is the simulation clock and event queue. It is not safe for
-// concurrent use; the whole simulator is single-threaded by design.
+// concurrent use; each simulation is single-threaded by design (a sweep
+// parallelizes across engines, never within one).
 type Engine struct {
 	now     uint64
 	seq     uint64
 	events  eventHeap
 	tickers []Ticker
+
+	// idlers[i] is tickers[i]'s IdleTicker view, nil if not implemented.
+	// busyTickers counts the nil entries: fast-forwarding requires every
+	// ticker to be able to prove idleness, so one opaque ticker pins the
+	// engine to per-cycle stepping.
+	idlers      []IdleTicker
+	busyTickers int
+	wakers      []Waker
+	noIdleSkip  bool
 
 	// Stopped is set by Stop; Run returns at the end of the current cycle.
 	stopped bool
@@ -81,14 +149,40 @@ func (e *Engine) Now() uint64 { return e.now }
 // Register adds a Ticker. Tick order is registration order.
 func (e *Engine) Register(t Ticker) {
 	e.tickers = append(e.tickers, t)
+	it, ok := t.(IdleTicker)
+	if !ok {
+		e.busyTickers++
+	}
+	e.idlers = append(e.idlers, it)
+	if w, ok := t.(Waker); ok {
+		e.wakers = append(e.wakers, w)
+	}
+}
+
+// SetIdleSkip enables or disables quiescence fast-forwarding in Run. It is
+// on by default; disabling it forces per-cycle stepping, which is useful
+// for A/B-validating that a skip never changes simulation results.
+func (e *Engine) SetIdleSkip(enabled bool) { e.noIdleSkip = !enabled }
+
+// bumpSeq returns the next event sequence number. seq only ever needs to
+// order events that coexist in the heap, so it rebases to zero whenever the
+// heap drains. Wraparound would otherwise (after 2^64 schedules) violate
+// the FIFO tie-break; with rebasing, a wrap requires 2^64 events in the
+// heap at once, which cannot be represented in memory. See
+// TestSeqRebasesWhenHeapDrains / TestSeqOrderingNearMax.
+func (e *Engine) bumpSeq() uint64 {
+	if len(e.events) == 0 {
+		e.seq = 0
+	}
+	e.seq++
+	return e.seq
 }
 
 // Schedule runs fn delay cycles from now. A delay of zero runs fn later in
 // the current cycle's event phase if that phase is still draining, otherwise
 // at the start of the next cycle's event phase.
 func (e *Engine) Schedule(delay uint64, fn func(now uint64)) {
-	e.seq++
-	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.events.push(event{at: e.now + delay, seq: e.bumpSeq(), fn: fn})
 }
 
 // ScheduleAt runs fn at absolute cycle at, which must not be in the past.
@@ -96,8 +190,7 @@ func (e *Engine) ScheduleAt(at uint64, fn func(now uint64)) {
 	if at < e.now {
 		Failf("sim.engine", e.now, "", "ScheduleAt(%d) is in the past", at)
 	}
-	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	e.events.push(event{at: at, seq: e.bumpSeq(), fn: fn})
 }
 
 // Stop makes Run return at the end of the current cycle. A Stop issued
@@ -119,12 +212,13 @@ func (e *Engine) Progress() {
 	}
 }
 
-// Step advances the clock by exactly one cycle.
+// Step advances the clock by exactly one cycle. It never fast-forwards;
+// manual Step loops retain strict per-cycle semantics.
 func (e *Engine) Step() {
 	// Event phase: drain everything scheduled for the current cycle,
 	// including events scheduled with zero delay while draining.
 	for len(e.events) > 0 && e.events[0].at <= e.now {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		ev.fn(e.now)
 	}
 	// Tick phase.
@@ -134,19 +228,67 @@ func (e *Engine) Step() {
 	e.now++
 }
 
+// skipTarget reports the cycle Run may jump to without executing the
+// intervening cycles, and whether such a jump is possible. A jump is legal
+// only when no event is due at the current cycle and every ticker proves
+// itself idle; it lands on the earliest of the next event, any waker's
+// deadline, and limit (Run's cycle budget).
+func (e *Engine) skipTarget(limit uint64) (uint64, bool) {
+	if e.noIdleSkip || e.busyTickers > 0 {
+		return 0, false
+	}
+	target := limit
+	if len(e.events) > 0 {
+		if at := e.events[0].at; at <= e.now {
+			return 0, false // work is due this cycle
+		} else if at < target {
+			target = at
+		}
+	}
+	if target <= e.now {
+		return 0, false
+	}
+	for _, it := range e.idlers {
+		if !it.Idle() {
+			return 0, false
+		}
+	}
+	for _, w := range e.wakers {
+		if at, ok := w.WakeAt(e.now); ok && at < target {
+			if at <= e.now {
+				return 0, false
+			}
+			target = at
+		}
+	}
+	return target, true
+}
+
 // Run steps the clock until pred returns true, the engine is stopped, or
 // maxCycles elapse. It returns the number of cycles executed and whether the
 // predicate was satisfied. A stop requested before Run (or during it) is
 // consumed on return, so the engine is immediately runnable again.
+//
+// Quiescent stretches — every ticker idle, no event due — are
+// fast-forwarded: the clock jumps to the next event (or waker deadline, or
+// the cycle budget) in one assignment. Skipped cycles count toward
+// maxCycles exactly as if they had been stepped, and pred is next observed
+// at the skipped-to cycle; since no component state can change during a
+// quiescent stretch, pred could not have flipped at any skipped cycle.
 func (e *Engine) Run(maxCycles uint64, pred func() bool) (cycles uint64, done bool) {
 	start := e.now
-	for e.now-start < maxCycles {
+	limit := start + maxCycles
+	for e.now < limit {
 		if pred != nil && pred() {
 			return e.now - start, true
 		}
 		if e.stopped {
 			e.stopped = false
 			return e.now - start, false
+		}
+		if target, ok := e.skipTarget(limit); ok {
+			e.now = target
+			continue
 		}
 		e.Step()
 	}

@@ -44,6 +44,22 @@ func NewWatchdog(eng *Engine, window uint64) *Watchdog {
 // Name implements Ticker.
 func (w *Watchdog) Name() string { return "watchdog" }
 
+// Idle implements IdleTicker: the watchdog's Tick only compares cycle
+// numbers, so it never blocks a quiescence fast-forward on its own.
+func (w *Watchdog) Idle() bool { return true }
+
+// WakeAt implements Waker: the engine must not fast-forward past the cycle
+// at which the current silence would exceed the window, so a wedged run
+// trips at exactly the same cycle under skipping as under per-cycle
+// stepping. A heartbeat during the event phase moves the deadline forward
+// before the next skip is computed.
+func (w *Watchdog) WakeAt(uint64) (uint64, bool) {
+	if w.window == 0 {
+		return 0, false
+	}
+	return w.last + w.window + 1, true
+}
+
 // Window returns the configured stall window in cycles.
 func (w *Watchdog) Window() uint64 { return w.window }
 

@@ -1,0 +1,55 @@
+package systems
+
+// A/B validation of the engine's quiescence fast-forward: a full system
+// run with idle-skip enabled must produce a byte-identical report to the
+// same run forced to step every cycle. Cycle counts, stats, energy, and
+// the final memory image all participate via renderResult.
+
+import (
+	"errors"
+	"testing"
+
+	"fusion/internal/sim"
+	"fusion/internal/workloads"
+)
+
+func TestIdleSkipInvariant(t *testing.T) {
+	const bench = "adpcm"
+	for _, kind := range []Kind{Scratch, Shared, Fusion, FusionDx} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			skipped, err := Run(workloads.Get(bench), DefaultConfig(kind))
+			if err != nil {
+				t.Fatalf("skip run: %v", err)
+			}
+			cfg := DefaultConfig(kind)
+			cfg.NoIdleSkip = true
+			stepped, err := Run(workloads.Get(bench), cfg)
+			if err != nil {
+				t.Fatalf("stepped run: %v", err)
+			}
+			// The configs differ only in the skip knob, which is not part
+			// of the simulated machine; blank it before comparing.
+			skipped.Config.NoIdleSkip = false
+			stepped.Config.NoIdleSkip = false
+			a, b := renderResult(skipped), renderResult(stepped)
+			if a != b {
+				t.Fatalf("idle-skip changed the %v report:\nskip:\n%s\nstep:\n%s",
+					kind, a, b)
+			}
+		})
+	}
+}
+
+// TestIdleSkipWatchdogTrip wedges a FUSION run with a tiny watchdog window
+// and asserts the watchdog still fires (the fast-forward is capped at the
+// trip deadline rather than jumping over it).
+func TestIdleSkipWatchdogTrip(t *testing.T) {
+	cfg := DefaultConfig(Fusion)
+	cfg.WatchdogCycles = 1 // trips during the first legitimate quiet stretch
+	_, err := Run(workloads.Get("adpcm"), cfg)
+	var pe *sim.ProtocolError
+	if !errors.As(err, &pe) || pe.Component != "watchdog" {
+		t.Fatalf("expected a watchdog trip with a 1-cycle window, got %v", err)
+	}
+}

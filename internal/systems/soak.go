@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"fusion/internal/faults"
 	"fusion/internal/mem"
@@ -31,6 +33,11 @@ type SoakConfig struct {
 	WatchdogCycles uint64
 	// Paranoid additionally sweeps protocol invariants during each run.
 	Paranoid bool
+	// Workers bounds the sweep's worker pool (<=0: GOMAXPROCS). Each cell
+	// is an independent simulation with its own engine and its own
+	// plan-seeded randomness, and results are assembled in cell order, so
+	// the report is identical for any worker count.
+	Workers int
 }
 
 // SoakFailure describes one failed soak cell.
@@ -68,30 +75,73 @@ func Soak(sc SoakConfig) SoakResult {
 	if sc.WatchdogCycles == 0 {
 		sc.WatchdogCycles = 2_000_000
 	}
-	var out SoakResult
+	// Enumerate the full cell matrix up front, then fan out over a bounded
+	// worker pool; per-cell outcomes land in index slots, so the report is
+	// assembled in cell order no matter which worker finished first.
+	type cell struct {
+		bench string
+		kind  Kind
+		plan  faults.Plan
+	}
+	benches := make(map[string]*workloads.Benchmark, len(sc.Benchmarks))
+	wants := make(map[string]map[mem.VAddr]uint64, len(sc.Benchmarks))
+	for _, name := range sc.Benchmarks {
+		if _, ok := benches[name]; !ok {
+			b := workloads.Get(name)
+			benches[name] = b
+			wants[name] = ExpectedVersions(b)
+		}
+	}
+	var cells []cell
 	for _, seed := range sc.Seeds {
 		plan := faults.RandomPlan(seed)
 		for _, name := range sc.Benchmarks {
-			b := workloads.Get(name)
-			want := ExpectedVersions(b)
 			for _, kind := range sc.Systems {
-				out.Runs++
-				cfg := DefaultConfig(kind)
-				cfg.Faults = &plan
+				cells = append(cells, cell{bench: name, kind: kind, plan: plan})
+			}
+		}
+	}
+
+	cellErrs := make([]error, len(cells))
+	cellFaults := make([]uint64, len(cells))
+	workers := Workers(sc.Workers)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				c := &cells[i]
+				cfg := DefaultConfig(c.kind)
+				cfg.Faults = &c.plan
 				cfg.WatchdogCycles = sc.WatchdogCycles
 				cfg.Paranoid = sc.Paranoid
-				res, err := Run(b, cfg)
+				res, err := Run(benches[c.bench], cfg)
 				if err != nil {
-					out.Failures = append(out.Failures, SoakFailure{
-						Benchmark: name, System: kind.String(), Plan: plan, Err: err})
+					cellErrs[i] = err
 					continue
 				}
-				out.FaultsInjected += countFaults(res.Stats)
-				if err := diffVersions(want, res.FinalVersions); err != nil {
-					out.Failures = append(out.Failures, SoakFailure{
-						Benchmark: name, System: kind.String(), Plan: plan, Err: err})
-				}
+				cellFaults[i] = countFaults(res.Stats)
+				cellErrs[i] = diffVersions(wants[c.bench], res.FinalVersions)
 			}
+		}()
+	}
+	wg.Wait()
+
+	out := SoakResult{Runs: len(cells)}
+	for i, c := range cells {
+		out.FaultsInjected += cellFaults[i]
+		if cellErrs[i] != nil {
+			out.Failures = append(out.Failures, SoakFailure{
+				Benchmark: c.bench, System: c.kind.String(), Plan: c.plan, Err: cellErrs[i]})
 		}
 	}
 	return out

@@ -1,0 +1,88 @@
+package systems
+
+// Parallel sweep execution. Each systems.Run is an independent,
+// single-threaded simulation with no shared mutable state (the engine,
+// stats, meters, and RNGs are all per-run), so a sweep parallelizes
+// perfectly across runs. RunAll fans a fixed item list out over a bounded
+// worker pool and assembles results in item order, which makes every
+// downstream report byte-identical regardless of worker count or
+// completion order.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fusion/internal/workloads"
+)
+
+// SweepItem is one independent simulation of a sweep.
+type SweepItem struct {
+	// Key names the item in errors (typically "bench/system/knobs...").
+	Key    string
+	Bench  *workloads.Benchmark
+	Config Config
+}
+
+// SweepError attaches the originating sweep key to a failed run, so a
+// *sim.ProtocolError surfacing from an 80-cell sweep still names the
+// (benchmark, config) cell that raised it. Use errors.As to reach the
+// underlying protocol error.
+type SweepError struct {
+	Key string
+	Err error
+}
+
+func (e *SweepError) Error() string { return e.Key + ": " + e.Err.Error() }
+func (e *SweepError) Unwrap() error { return e.Err }
+
+// Workers resolves a worker-count knob: n > 0 is taken as-is, anything
+// else means GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunAll executes every item on a pool of at most `workers` goroutines
+// (<=0: GOMAXPROCS) and returns the results in item order. Benchmarks are
+// never mutated by Run, so items may share *Benchmark values. On failure
+// the returned error is the first failing item in ITEM order — not
+// completion order — wrapped in a *SweepError carrying the item's Key; the
+// results of items that did succeed are still returned.
+func RunAll(items []SweepItem, workers int) ([]*Result, error) {
+	results := make([]*Result, len(items))
+	errs := make([]error, len(items))
+	workers = Workers(workers)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				res, err := Run(items[i].Bench, items[i].Config)
+				if err != nil {
+					errs[i] = &SweepError{Key: items[i].Key, Err: err}
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -119,6 +119,11 @@ type Config struct {
 	// many cycles, the run halts with a diagnostic dump naming the stuck
 	// component. Zero disables the watchdog.
 	WatchdogCycles uint64
+	// NoIdleSkip forces per-cycle stepping, disabling the engine's
+	// quiescence fast-forward. Results are identical either way (asserted
+	// by TestIdleSkipInvariant); the knob exists for that A/B check and for
+	// benchmarking the skip itself.
+	NoIdleSkip bool
 }
 
 // DefaultConfig returns the paper's baseline settings for a system.
@@ -288,6 +293,7 @@ func (m *machine) run(max uint64, pred func() bool) error {
 func Run(b *workloads.Benchmark, cfg Config) (*Result, error) {
 	cfg = cfg.normalize()
 	m := newMachine()
+	m.eng.SetIdleSkip(!cfg.NoIdleSkip)
 	res := &Result{
 		Benchmark:   b.Program.Name,
 		System:      cfg.Kind.String(),
@@ -775,6 +781,9 @@ func runFusion(m *machine, b *workloads.Benchmark, cfg Config, res *Result) erro
 // fixed cadence and latches the first violation. Transient (in-flight)
 // states are skipped by both checkers, so mid-transaction disagreement
 // never false-positives.
+//
+// It deliberately does not implement sim.IdleTicker: a paranoid run keeps
+// the engine stepping every cycle so the sweep cadence is never skipped.
 type invariantChecker struct {
 	tiles      []*acc.Tile
 	dir        *mesi.Directory
