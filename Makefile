@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: tier1 build vet lint test race bench bench-smoke soak-smoke soak clean
+.PHONY: tier1 build vet lint test race bench bench-smoke allocbudget soak-smoke soak clean
 
 # tier1 is the gate every change must pass.
-tier1: vet lint build race
+tier1: vet lint build race allocbudget
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,16 @@ bench:
 	$(GO) run ./cmd/fusionbench -j $(J) -benchout BENCH_$$(date +%F).json
 
 # bench-smoke: one iteration of each Go benchmark — compile/run smoke, not
-# a measurement.
-bench-smoke:
+# a measurement — plus the allocation-budget gate.
+bench-smoke: allocbudget
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# allocbudget: regenerate the budgeted artifacts and fail if any one's
+# allocs/op or bytes/op exceeds BENCH_BUDGET.json by more than its
+# tolerance. After an intentional allocation change, refresh the budget
+# from a fresh `make bench` report.
+allocbudget:
+	$(GO) run ./cmd/fusionbench -j 1 -allocbudget BENCH_BUDGET.json
 
 # soak-smoke: the short-mode fault-injection sweep (a subset of cells).
 soak-smoke:

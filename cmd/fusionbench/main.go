@@ -9,6 +9,7 @@
 //	fusionbench -list           # names of the regenerable artifacts
 //	fusionbench -j 8            # bound the parallel sweep's worker pool
 //	fusionbench -benchout BENCH_2026-08-05.json   # wall-clock/alloc report
+//	fusionbench -allocbudget BENCH_BUDGET.json    # allocs/op regression gate
 //
 // The sweep is deterministic: output is byte-identical for any -j value.
 // Absolute numbers will differ from the paper (this simulator is not the
@@ -39,6 +40,7 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchOt = flag.String("benchout", "", "time each artifact's regeneration and write a JSON report to this file")
+		budget  = flag.String("allocbudget", "", "compare each artifact's allocs/op and bytes/op against this budget JSON; exit nonzero above tolerance")
 	)
 	flag.Parse()
 
@@ -60,7 +62,9 @@ func main() {
 	}
 
 	var err error
-	if *benchOt != "" {
+	if *budget != "" {
+		err = checkAllocBudget(*budget, *workers)
+	} else if *benchOt != "" {
 		err = writeBenchReport(*benchOt, *workers)
 	} else {
 		r := fusion.NewExperiments()
@@ -115,6 +119,29 @@ type benchReport struct {
 	Entries    []benchEntry `json:"entries"`
 }
 
+// measureArtifact cold-regenerates one artifact (a fresh runner, so nothing
+// is memoized across entries) and reports its wall clock and heap cost.
+func measureArtifact(name string, workers int) (benchEntry, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	r := fusion.NewExperiments()
+	r.SetWorkers(workers)
+	if err := r.Print(io.Discard, name); err != nil {
+		return benchEntry{}, fmt.Errorf("%s: %w", name, err)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	fmt.Fprintf(os.Stderr, "%-14s %12.1f ms\n", name, float64(elapsed.Nanoseconds())/1e6)
+	return benchEntry{
+		Name:        name,
+		NsPerOp:     elapsed.Nanoseconds(),
+		AllocsPerOp: after.Mallocs - before.Mallocs,
+		BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+	}, nil
+}
+
 // writeBenchReport measures every artifact's cold regeneration cost plus
 // the full-set cost and writes the JSON report. Wall-clock numbers depend
 // on -j and the host; the artifact bytes themselves never do.
@@ -125,34 +152,12 @@ func writeBenchReport(path string, workers int) error {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Workers:    workers,
 	}
-	measure := func(name string) error {
-		var before, after runtime.MemStats
-		runtime.GC()
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		r := fusion.NewExperiments()
-		r.SetWorkers(workers)
-		if err := r.Print(io.Discard, name); err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&after)
-		report.Entries = append(report.Entries, benchEntry{
-			Name:        name,
-			NsPerOp:     elapsed.Nanoseconds(),
-			AllocsPerOp: after.Mallocs - before.Mallocs,
-			BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
-		})
-		fmt.Fprintf(os.Stderr, "%-14s %12.1f ms\n", name, float64(elapsed.Nanoseconds())/1e6)
-		return nil
-	}
-	for _, name := range fusion.ExperimentNames() {
-		if err := measure(name); err != nil {
+	for _, name := range append(fusion.ExperimentNames(), "all") {
+		e, err := measureArtifact(name, workers)
+		if err != nil {
 			return err
 		}
-	}
-	if err := measure("all"); err != nil {
-		return err
+		report.Entries = append(report.Entries, e)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -162,4 +167,66 @@ func writeBenchReport(path string, workers int) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// budgetFile is the checked-in allocation budget (BENCH_BUDGET.json): per
+// artifact, the allocs/op and bytes/op ceilings, with a shared headroom
+// percentage. Wall clock is deliberately not budgeted (host-dependent).
+type budgetFile struct {
+	// TolerancePct is the allowed overshoot above each budgeted value
+	// before the gate fails (absorbs run-to-run and Go-version noise).
+	TolerancePct float64       `json:"tolerance_pct"`
+	Entries      []budgetEntry `json:"entries"`
+}
+
+type budgetEntry struct {
+	Name        string `json:"name"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+}
+
+// checkAllocBudget regenerates every budgeted artifact and fails if its
+// measured allocs/op or bytes/op exceed the budget by more than the
+// tolerance. An improvement well under budget passes (with a hint to
+// ratchet the budget down via -benchout).
+func checkAllocBudget(path string, workers int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var b budgetFile
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Entries) == 0 {
+		return fmt.Errorf("%s: no budget entries", path)
+	}
+	tol := 1 + b.TolerancePct/100
+	var failures []string
+	for _, want := range b.Entries {
+		got, err := measureArtifact(want.Name, workers)
+		if err != nil {
+			return err
+		}
+		check := func(metric string, gotV, budgetV uint64) {
+			limit := uint64(float64(budgetV) * tol)
+			status := "ok"
+			if gotV > limit {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf(
+					"%s %s: %d > %d (budget %d +%.0f%%)",
+					want.Name, metric, gotV, limit, budgetV, b.TolerancePct))
+			}
+			fmt.Fprintf(os.Stderr, "  %-14s %-9s %14d budget %14d  %s\n",
+				want.Name, metric, gotV, budgetV, status)
+		}
+		check("allocs/op", got.AllocsPerOp, want.AllocsPerOp)
+		check("bytes/op", got.BytesPerOp, want.BytesPerOp)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation budget exceeded:\n  %s\nregenerate the budget with -benchout after an intentional change",
+			strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintln(os.Stderr, "allocation budget: all artifacts within budget")
+	return nil
 }

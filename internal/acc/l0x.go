@@ -28,8 +28,13 @@ type L0XConfig struct {
 	// AccessPJ is the per-access energy; the ACC timestamp-check overhead
 	// must already be folded in by the caller.
 	AccessPJ float64
+	// StatPrefix distinguishes multiple tiles' counters ("" keeps the
+	// canonical "l0x.N." names).
+	StatPrefix string
 }
 
+// l0txn is one outstanding miss. Completed txns recycle through a free list
+// (waiters capacity included).
 type l0txn struct {
 	addr    uint64
 	write   bool
@@ -40,6 +45,11 @@ type l0waiter struct {
 	kind mem.AccessKind
 	done func(now uint64)
 }
+
+// L0X HandleEvent opcodes.
+const (
+	opL0XSelfDowngrade = 0 // close the write epoch on line arg if still open
+)
 
 // L0X is a private, write-caching, lease-based accelerator cache. It talks
 // only to its tile's shared L1X (and, under FUSION-Dx, directly to sibling
@@ -52,19 +62,34 @@ type L0X struct {
 	arr  *cache.Array
 	mshr *cache.MSHR
 
-	eng   *sim.Engine
-	toL1X *interconnect.Link
-	fwdTo map[AXCID]*interconnect.Link
-	txns  map[uint64]*l0txn
+	eng      *sim.Engine
+	toL1X    *interconnect.Link
+	fwdTo    map[AXCID]*interconnect.Link
+	txns     map[uint64]*l0txn
+	freeTxns []*l0txn
 
 	// fwdTable maps line addresses to the consumer accelerator that should
 	// receive the dirty line directly (FUSION-Dx, Section 3.2). It is
 	// populated by trace post-processing before the producer runs.
 	fwdTable map[uint64]AXCID
 
+	pool TileMsgPool
+
 	meter  *energy.Meter
-	stats  *stats.Set
 	tracer ptrace.Tracer
+
+	cAccesses     *stats.Counter
+	cWriteThrough *stats.Counter
+	cSelfInval    *stats.Counter
+	cMSHRFull     *stats.Counter
+	cMisses       *stats.Counter
+	cHits         *stats.Counter
+	cDeadGrants   *stats.Counter
+	cSelfDown     *stats.Counter
+	cFwdOut       *stats.Counter
+	cWBs          *stats.Counter
+	cDeadFwds     *stats.Counter
+	cFwdIn        *stats.Counter
 }
 
 // SetTracer attaches a protocol tracer (nil disables tracing).
@@ -80,19 +105,31 @@ func (c *L0X) emit(k ptrace.Kind, addr uint64, detail string) {
 // NewL0X builds a private cache for accelerator id.
 func NewL0X(eng *sim.Engine, id AXCID, pid mem.PID, cfg L0XConfig,
 	meter *energy.Meter, st *stats.Set) *L0X {
+	name := fmt.Sprintf("%sl0x.%d", cfg.StatPrefix, id)
 	return &L0X{
-		id:       id,
-		pid:      pid,
-		name:     fmt.Sprintf("l0x.%d", id),
-		cfg:      cfg,
-		arr:      cache.NewArray(cfg.Cache),
-		mshr:     cache.NewMSHR(cfg.MSHRs),
-		eng:      eng,
-		fwdTo:    make(map[AXCID]*interconnect.Link),
-		txns:     make(map[uint64]*l0txn),
-		fwdTable: make(map[uint64]AXCID),
-		meter:    meter,
-		stats:    st,
+		id:            id,
+		pid:           pid,
+		name:          name,
+		cfg:           cfg,
+		arr:           cache.NewArray(cfg.Cache),
+		mshr:          cache.NewMSHR(cfg.MSHRs),
+		eng:           eng,
+		fwdTo:         make(map[AXCID]*interconnect.Link),
+		txns:          make(map[uint64]*l0txn),
+		fwdTable:      make(map[uint64]AXCID),
+		meter:         meter,
+		cAccesses:     st.Counter(name + ".accesses"),
+		cWriteThrough: st.Counter(name + ".write_through"),
+		cSelfInval:    st.Counter(name + ".self_invalidations"),
+		cMSHRFull:     st.Counter(name + ".mshr_full"),
+		cMisses:       st.Counter(name + ".misses"),
+		cHits:         st.Counter(name + ".hits"),
+		cDeadGrants:   st.Counter(name + ".dead_grants"),
+		cSelfDown:     st.Counter(name + ".self_downgrades"),
+		cFwdOut:       st.Counter(name + ".fwd_out"),
+		cWBs:          st.Counter(name + ".writebacks"),
+		cDeadFwds:     st.Counter(name + ".dead_forwards"),
+		cFwdIn:        st.Counter(name + ".fwd_in"),
 	}
 }
 
@@ -122,8 +159,22 @@ func (c *L0X) access() {
 	if c.meter != nil {
 		c.meter.Add(energy.CatL0X, c.cfg.AccessPJ)
 	}
-	if c.stats != nil {
-		c.stats.Inc(c.name + ".accesses")
+	c.cAccesses.Inc()
+}
+
+// sendWB pushes a writeback (or epoch release) up to the L1X.
+func (c *L0X) sendWB(a uint64, ver, lease uint64, through bool) {
+	wb := c.pool.Get()
+	wb.Type, wb.Addr, wb.PID, wb.Src = MsgWB, mem.VAddr(a), c.pid, c.id
+	wb.Ver, wb.Lease, wb.Through = ver, lease, through
+	c.toL1X.Send(wb)
+}
+
+// HandleEvent dispatches the L0X's closure-free events.
+func (c *L0X) HandleEvent(now uint64, op uint8, arg uint64) {
+	switch op {
+	case opL0XSelfDowngrade:
+		c.selfDowngrade(arg, now)
 	}
 }
 
@@ -146,11 +197,8 @@ func (c *L0X) Access(kind mem.AccessKind, va mem.VAddr, done func(now uint64)) b
 			l.Ver++
 			if c.cfg.WriteThrough {
 				// Push the store straight through; the line stays clean.
-				c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(a), PID: c.pid,
-					Src: c.id, Ver: l.Ver, Lease: l.WTime, Through: true})
-				if c.stats != nil {
-					c.stats.Inc(c.name + ".write_through")
-				}
+				c.sendWB(a, l.Ver, l.WTime, true)
+				c.cWriteThrough.Inc()
 			} else {
 				l.Dirty = true
 			}
@@ -159,9 +207,7 @@ func (c *L0X) Access(kind mem.AccessKind, va mem.VAddr, done func(now uint64)) b
 		default:
 			// Lease expired (self-invalidated) or insufficient: miss path.
 			if l.LTime <= now && l.WTime <= now {
-				if c.stats != nil {
-					c.stats.Inc(c.name + ".self_invalidations")
-				}
+				c.cSelfInval.Inc()
 				c.emit(ptrace.SelfInvalidate, a, "")
 				c.dropLine(l) // expired; writeback if a dirty epoch lapsed
 			}
@@ -173,33 +219,50 @@ func (c *L0X) Access(kind mem.AccessKind, va mem.VAddr, done func(now uint64)) b
 		return true
 	}
 	if c.mshr.Full() {
-		if c.stats != nil {
-			c.stats.Inc(c.name + ".mshr_full")
-		}
+		c.cMSHRFull.Inc()
 		return false
 	}
 	c.mshr.Allocate(a)
-	t := &l0txn{addr: a, write: kind == mem.Store}
+	t := c.newTxn()
+	t.addr, t.write = a, kind == mem.Store
 	t.waiters = append(t.waiters, l0waiter{kind, done})
 	c.txns[a] = t
-	if c.stats != nil {
-		c.stats.Inc(c.name + ".misses")
-	}
+	c.cMisses.Inc()
 	mt := MsgGetL
 	if t.write {
 		mt = MsgGetW
 	}
 	c.emit(ptrace.L0XMiss, a, mt.String())
-	c.toL1X.Send(&TileMsg{Type: mt, Addr: mem.VAddr(a), PID: c.pid, Src: c.id,
-		Lease: c.cfg.LeaseTime}) // duration; the L1X anchors it at grant time
+	req := c.pool.Get()
+	req.Type, req.Addr, req.PID, req.Src = mt, mem.VAddr(a), c.pid, c.id
+	req.Lease = c.cfg.LeaseTime // duration; the L1X anchors it at grant time
+	c.toL1X.Send(req)
 	return true
 }
 
-func (c *L0X) hit(done func(uint64)) {
-	if c.stats != nil {
-		c.stats.Inc(c.name + ".hits")
+// newTxn returns a zeroed miss record, reusing a recycled one if possible.
+func (c *L0X) newTxn() *l0txn {
+	if n := len(c.freeTxns); n > 0 {
+		t := c.freeTxns[n-1]
+		c.freeTxns[n-1] = nil
+		c.freeTxns = c.freeTxns[:n-1]
+		w := t.waiters[:0]
+		*t = l0txn{waiters: w}
+		return t
 	}
-	c.eng.Schedule(c.cfg.HitLatency, func(now uint64) { done(now) })
+	return &l0txn{}
+}
+
+func (c *L0X) freeTxn(t *l0txn) {
+	for i := range t.waiters {
+		t.waiters[i] = l0waiter{}
+	}
+	c.freeTxns = append(c.freeTxns, t)
+}
+
+func (c *L0X) hit(done func(uint64)) {
+	c.cHits.Inc()
+	c.eng.Schedule(c.cfg.HitLatency, done)
 }
 
 // Handle receives a message from the L1X or a sibling L0X.
@@ -218,7 +281,8 @@ func (c *L0X) Handle(msg interconnect.Message) {
 	}
 }
 
-// fill installs a granted lease and replays waiters. A grant with no
+// fill installs a granted lease and replays waiters, releasing m at every
+// terminal path (the all-ways-busy retry retains it). A grant with no
 // transaction is possible under FUSION-Dx — a forward raced ahead of the
 // L1X's (stalled) grant and already satisfied the miss — and just refreshes
 // the lease.
@@ -229,6 +293,7 @@ func (c *L0X) fill(m *TileMsg) {
 		if l := c.arr.LookupPID(a, c.pid); l != nil && m.Lease > l.LTime {
 			l.LTime = m.Lease
 		}
+		c.pool.Put(m)
 		return
 	}
 	if m.Lease <= c.eng.Now() {
@@ -238,20 +303,19 @@ func (c *L0X) fill(m *TileMsg) {
 		// epoch lock and must be returned or stalled requesters would wait
 		// forever; the release is a plain (clean) writeback.
 		if m.Write {
-			c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(a), PID: c.pid,
-				Src: c.id, Ver: m.Ver, Lease: m.Lease})
+			c.sendWB(a, m.Ver, m.Lease, false)
 		}
 		// No Progress beat here: this is a retry loop, and a persistent
 		// dead-grant spin must still trip the watchdog.
 		delete(c.txns, a)
 		c.mshr.Free(a)
-		if c.stats != nil {
-			c.stats.Inc(c.name + ".dead_grants")
-		}
+		c.cDeadGrants.Inc()
 		for _, w := range t.waiters {
 			w := w
 			c.eng.Schedule(1, func(uint64) { c.retryAccess(w.kind, mem.VAddr(a), w.done) })
 		}
+		c.freeTxn(t)
+		c.pool.Put(m)
 		return
 	}
 	l := c.installLine(a, m.Lease, m.Write, m.Ver)
@@ -265,28 +329,27 @@ func (c *L0X) fill(m *TileMsg) {
 	c.eng.Progress() // miss resolved: heartbeat
 
 	for _, w := range t.waiters {
-		w := w
 		if w.kind == mem.Store {
 			if m.Write {
 				l.Ver++
 				if c.cfg.WriteThrough {
-					c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(a), PID: c.pid,
-						Src: c.id, Ver: l.Ver, Lease: l.WTime, Through: true})
-					if c.stats != nil {
-						c.stats.Inc(c.name + ".write_through")
-					}
+					c.sendWB(a, l.Ver, l.WTime, true)
+					c.cWriteThrough.Inc()
 				} else {
 					l.Dirty = true
 				}
-				c.eng.Schedule(c.cfg.HitLatency, func(now uint64) { w.done(now) })
+				c.eng.Schedule(c.cfg.HitLatency, w.done)
 			} else {
 				// A store merged behind a read-lease miss: upgrade now.
+				w := w
 				c.eng.Schedule(1, func(uint64) { c.retryAccess(w.kind, mem.VAddr(a), w.done) })
 			}
 			continue
 		}
-		c.eng.Schedule(c.cfg.HitLatency, func(now uint64) { w.done(now) })
+		c.eng.Schedule(c.cfg.HitLatency, w.done)
 	}
+	c.freeTxn(t)
+	c.pool.Put(m)
 }
 
 func (c *L0X) retryAccess(kind mem.AccessKind, va mem.VAddr, done func(uint64)) {
@@ -318,8 +381,10 @@ func (c *L0X) installLine(a uint64, lease uint64, write bool, ver uint64) *cache
 		l.WTime = lease
 		// Self-downgrade: the write epoch must end with a writeback by its
 		// expiry (the paper implements this with per-set writeback
-		// timestamps; an event is the simulation equivalent).
-		c.eng.ScheduleAt(lease, func(uint64) { c.selfDowngrade(a, lease) })
+		// timestamps; an event is the simulation equivalent). The handler
+		// checks WTime against the fire cycle, so a re-leased line is left
+		// alone.
+		c.eng.ScheduleCallAt(lease, c, opL0XSelfDowngrade, a)
 	}
 	return l
 }
@@ -350,8 +415,7 @@ func (c *L0X) dropLine(l *cache.Line) {
 	if l.Dirty {
 		c.flushLine(l)
 	} else if l.WTime > c.eng.Now() {
-		c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(l.Addr), PID: c.pid,
-			Src: c.id, Ver: l.Ver, Lease: l.WTime})
+		c.sendWB(l.Addr, l.Ver, l.WTime, false)
 	}
 	*l = cache.Line{}
 }
@@ -367,22 +431,21 @@ func (c *L0X) dropLine(l *cache.Line) {
 func (c *L0X) flushLine(l *cache.Line) {
 	if consumer, ok := c.fwdTable[l.Addr]; ok && l.State != cache.Shared {
 		if link, up := c.fwdTo[consumer]; up {
-			c.emit(ptrace.DxForward, l.Addr, fmt.Sprintf("to axc%d lease=%d", consumer, maxU64(l.WTime, l.LTime)))
-			link.Send(&TileMsg{Type: MsgFwdData, Addr: mem.VAddr(l.Addr), PID: c.pid,
-				Src: c.id, Lease: maxU64(l.WTime, l.LTime), Dirty: true, Ver: l.Ver})
-			if c.stats != nil {
-				c.stats.Inc(c.name + ".fwd_out")
+			if c.tracer != nil {
+				c.emit(ptrace.DxForward, l.Addr, fmt.Sprintf("to axc%d lease=%d", consumer, maxU64(l.WTime, l.LTime)))
 			}
+			fwd := c.pool.Get()
+			fwd.Type, fwd.Addr, fwd.PID, fwd.Src = MsgFwdData, mem.VAddr(l.Addr), c.pid, c.id
+			fwd.Lease, fwd.Dirty, fwd.Ver = maxU64(l.WTime, l.LTime), true, l.Ver
+			link.Send(fwd)
+			c.cFwdOut.Inc()
 			l.Dirty = false
 			return
 		}
 	}
 	c.emit(ptrace.Writeback, l.Addr, "")
-	c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(l.Addr), PID: c.pid,
-		Src: c.id, Ver: l.Ver, Lease: l.WTime})
-	if c.stats != nil {
-		c.stats.Inc(c.name + ".writebacks")
-	}
+	c.sendWB(l.Addr, l.Ver, l.WTime, false)
+	c.cWBs.Inc()
 	l.Dirty = false
 }
 
@@ -393,24 +456,22 @@ func (c *L0X) selfDowngrade(a uint64, expiry uint64) {
 	if l == nil || !l.Valid || l.WTime != expiry {
 		return // already drained, evicted, or re-leased
 	}
-	if c.stats != nil {
-		c.stats.Inc(c.name + ".self_downgrades")
-	}
+	c.cSelfDown.Inc()
 	c.emit(ptrace.SelfDowngrade, a, "")
 	if l.Dirty {
 		c.flushLine(l)
 	} else if c.cfg.WriteThrough {
 		// Written-through epochs still need an explicit release so the L1X
 		// can unlock the line; the final WB doubles as the release.
-		c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(a), PID: c.pid,
-			Src: c.id, Ver: l.Ver, Lease: l.WTime})
+		c.sendWB(a, l.Ver, l.WTime, false)
 	}
 	*l = cache.Line{}
 }
 
 // receiveForward installs a line pushed by a producer L0X (FUSION-Dx). The
 // data arrives dirty, with the producer's remaining lease; this consumer
-// now owes the eventual writeback to the L1X.
+// now owes the eventual writeback to the L1X. m is released at every
+// terminal path (the all-ways-busy retry retains it).
 func (c *L0X) receiveForward(m *TileMsg) {
 	a := uint64(m.Addr.LineAddr())
 	if m.Lease <= c.eng.Now() {
@@ -419,11 +480,9 @@ func (c *L0X) receiveForward(m *TileMsg) {
 		// installing an already-expired line. Any outstanding miss here is
 		// stalled at the L1X behind the epoch lock and resolves once this
 		// writeback closes it.
-		c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(a), PID: c.pid,
-			Src: c.id, Ver: m.Ver, Lease: m.Lease})
-		if c.stats != nil {
-			c.stats.Inc(c.name + ".dead_forwards")
-		}
+		c.sendWB(a, m.Ver, m.Lease, false)
+		c.cDeadFwds.Inc()
+		c.pool.Put(m)
 		return
 	}
 	l := c.installLine(a, m.Lease, true, m.Ver)
@@ -433,9 +492,7 @@ func (c *L0X) receiveForward(m *TileMsg) {
 	}
 	l.Dirty = true
 	l.State = cache.Shared // marks an imported line: never re-forward it
-	if c.stats != nil {
-		c.stats.Inc(c.name + ".fwd_in")
-	}
+	c.cFwdIn.Inc()
 	// A miss may already be outstanding for this line (the consumer raced
 	// ahead of the push). The forward satisfies it; the L1X's eventual
 	// grant, if any, arrives with no transaction and is ignored by fill.
@@ -444,15 +501,14 @@ func (c *L0X) receiveForward(m *TileMsg) {
 		c.mshr.Free(a)
 		c.eng.Progress()
 		for _, w := range t.waiters {
-			w := w
 			if w.kind == mem.Store {
 				l.Ver++
-				c.eng.Schedule(c.cfg.HitLatency, func(now uint64) { w.done(now) })
-				continue
 			}
-			c.eng.Schedule(c.cfg.HitLatency, func(now uint64) { w.done(now) })
+			c.eng.Schedule(c.cfg.HitLatency, w.done)
 		}
+		c.freeTxn(t)
 	}
+	c.pool.Put(m)
 }
 
 // Drain writes back (or forwards) every dirty line and releases epochs —
@@ -468,8 +524,7 @@ func (c *L0X) Drain() {
 			*l = cache.Line{}
 		} else if l.WTime > c.eng.Now() {
 			// Unwritten or written-through epoch: release the L1X lock.
-			c.toL1X.Send(&TileMsg{Type: MsgWB, Addr: mem.VAddr(l.Addr), PID: c.pid,
-				Src: c.id, Ver: l.Ver, Lease: l.WTime})
+			c.sendWB(l.Addr, l.Ver, l.WTime, false)
 			*l = cache.Line{}
 		}
 	})

@@ -24,9 +24,13 @@ type L1XConfig struct {
 	AccessPJ  float64
 	// LeaseSlack pads retries when waiting for epochs to lapse.
 	LeaseSlack uint64
+	// StatPrefix distinguishes multiple tiles' counters ("" keeps the
+	// canonical "l1x." names).
+	StatPrefix string
 }
 
-// l1txn is one outstanding host-side (MESI) fetch.
+// l1txn is one outstanding host-side (MESI) fetch. Completed txns recycle
+// through a free list (waiters capacity included).
 type l1txn struct {
 	va         uint64 // virtual line address
 	pa         mem.PAddr
@@ -41,6 +45,12 @@ type l1txn struct {
 const (
 	holderNone     = -2
 	holderMultiple = -1
+)
+
+// L1X HandleEvent opcodes.
+const (
+	opL1XProcess  = 0 // process the TileMsg parked in slot arg
+	opL1XSendGetM = 1 // send GetM for the physical line address in arg
 )
 
 // L1X is the shared accelerator-tile cache: the ACC ordering point, the
@@ -61,15 +71,36 @@ type L1X struct {
 
 	toL0X map[AXCID]*interconnect.Link
 
-	txns    map[uint64]*l1txn      // by virtual line address
-	byPA    map[mem.PAddr]uint64   // pending fetch: physical -> virtual
-	waiting map[uint64][]*TileMsg  // lease requests stalled on WLock
-	holder  map[uint64]int         // sole read-lease holder per line
-	evict   map[mem.PAddr]evictBuf // awaiting PutAck; can serve host Fwds
+	txns     map[uint64]*l1txn      // by virtual line address
+	freeTxns []*l1txn               // recycled fetch records
+	byPA     map[mem.PAddr]uint64   // pending fetch: physical -> virtual
+	waiting  map[uint64][]*TileMsg  // lease requests stalled on WLock
+	holder   map[uint64]int         // sole read-lease holder per line
+	evict    map[mem.PAddr]evictBuf // awaiting PutAck; can serve host Fwds
+
+	tilePool TileMsgPool
+	mesiPool mesi.MsgPool
+	// parked holds TileMsgs between scheduling and processing; the
+	// closure-free event carries the slot index.
+	parked    []*TileMsg
+	freeSlots []uint32
 
 	meter  *energy.Meter
-	stats  *stats.Set
 	tracer ptrace.Tracer
+
+	cAccesses   *stats.Counter
+	cStallWLock *stats.Counter
+	cStallGTime *stats.Counter
+	cGrantsW    *stats.Counter
+	cGrantsR    *stats.Counter
+	cWBOrphan   *stats.Counter
+	cWBIn       *stats.Counter
+	cMSHRFull   *stats.Counter
+	cMisses     *stats.Counter
+	cSynEvict   *stats.Counter
+	cEvictions  *stats.Counter
+	cHostFwds   *stats.Counter
+	cFwdStalled *stats.Counter
 }
 
 // SetTracer attaches a protocol tracer (nil disables tracing).
@@ -110,24 +141,37 @@ type ReversePointer struct {
 func NewL1X(eng *sim.Engine, fabric *mesi.Fabric, agent mesi.AgentID,
 	cfg L1XConfig, tlb Translator, rmap ReverseMap,
 	meter *energy.Meter, st *stats.Set) *L1X {
+	name := cfg.StatPrefix + "l1x"
 	x := &L1X{
-		name:    "l1x",
-		cfg:     cfg,
-		arr:     cache.NewArray(cfg.Cache),
-		mshr:    cache.NewMSHR(cfg.MSHRs),
-		eng:     eng,
-		fabric:  fabric,
-		agent:   agent,
-		tlb:     tlb,
-		rmap:    rmap,
-		toL0X:   make(map[AXCID]*interconnect.Link),
-		txns:    make(map[uint64]*l1txn),
-		byPA:    make(map[mem.PAddr]uint64),
-		waiting: make(map[uint64][]*TileMsg),
-		holder:  make(map[uint64]int),
-		evict:   make(map[mem.PAddr]evictBuf),
-		meter:   meter,
-		stats:   st,
+		name:        name,
+		cfg:         cfg,
+		arr:         cache.NewArray(cfg.Cache),
+		mshr:        cache.NewMSHR(cfg.MSHRs),
+		eng:         eng,
+		fabric:      fabric,
+		agent:       agent,
+		tlb:         tlb,
+		rmap:        rmap,
+		toL0X:       make(map[AXCID]*interconnect.Link),
+		txns:        make(map[uint64]*l1txn),
+		byPA:        make(map[mem.PAddr]uint64),
+		waiting:     make(map[uint64][]*TileMsg),
+		holder:      make(map[uint64]int),
+		evict:       make(map[mem.PAddr]evictBuf),
+		meter:       meter,
+		cAccesses:   st.Counter(name + ".accesses"),
+		cStallWLock: st.Counter(name + ".stall_wlock"),
+		cStallGTime: st.Counter(name + ".stall_gtime"),
+		cGrantsW:    st.Counter(name + ".grants_write"),
+		cGrantsR:    st.Counter(name + ".grants_read"),
+		cWBOrphan:   st.Counter(name + ".wb_orphan"),
+		cWBIn:       st.Counter(name + ".writebacks_in"),
+		cMSHRFull:   st.Counter(name + ".mshr_full"),
+		cMisses:     st.Counter(name + ".misses"),
+		cSynEvict:   st.Counter(name + ".synonym_evictions"),
+		cEvictions:  st.Counter(name + ".evictions"),
+		cHostFwds:   st.Counter(name + ".host_fwds"),
+		cFwdStalled: st.Counter(name + ".fwd_stalled"),
 	}
 	if cfg.LeaseSlack == 0 {
 		x.cfg.LeaseSlack = 1
@@ -146,8 +190,41 @@ func (x *L1X) access() {
 	if x.meter != nil {
 		x.meter.Add(energy.CatL1X, x.cfg.AccessPJ)
 	}
-	if x.stats != nil {
-		x.stats.Inc(x.name + ".accesses")
+	x.cAccesses.Inc()
+}
+
+// park stores m and returns its slot for a closure-free process event.
+func (x *L1X) park(m *TileMsg) uint64 {
+	if n := len(x.freeSlots); n > 0 {
+		s := x.freeSlots[n-1]
+		x.freeSlots = x.freeSlots[:n-1]
+		x.parked[s] = m
+		return uint64(s)
+	}
+	x.parked = append(x.parked, m)
+	return uint64(len(x.parked) - 1)
+}
+
+func (x *L1X) scheduleProcess(delay uint64, m *TileMsg) {
+	x.eng.ScheduleCall(delay, x, opL1XProcess, x.park(m))
+}
+
+func (x *L1X) scheduleProcessAt(at uint64, m *TileMsg) {
+	x.eng.ScheduleCallAt(at, x, opL1XProcess, x.park(m))
+}
+
+// HandleEvent dispatches the L1X's closure-free events.
+func (x *L1X) HandleEvent(now uint64, op uint8, arg uint64) {
+	switch op {
+	case opL1XProcess:
+		m := x.parked[arg]
+		x.parked[arg] = nil
+		x.freeSlots = append(x.freeSlots, uint32(arg))
+		x.process(m)
+	case opL1XSendGetM:
+		g := x.mesiPool.Get()
+		g.Type, g.Addr, g.Src, g.Dst = mesi.MsgGetM, mem.PAddr(arg), x.agent, mesi.DirID
+		x.fabric.Send(g)
 	}
 }
 
@@ -157,7 +234,7 @@ func (x *L1X) HandleTile(msg interconnect.Message) {
 	if !ok {
 		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "foreign message %v", msg)
 	}
-	x.eng.Schedule(x.cfg.AccessLat, func(uint64) { x.process(m) })
+	x.scheduleProcess(x.cfg.AccessLat, m)
 }
 
 func (x *L1X) process(m *TileMsg) {
@@ -166,12 +243,14 @@ func (x *L1X) process(m *TileMsg) {
 		x.lease(m)
 	case MsgWB:
 		x.writeback(m)
+		x.tilePool.Put(m)
 	default:
 		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "unexpected tile %s", m)
 	}
 }
 
-// lease serves a read-lease or write-epoch request.
+// lease serves a read-lease or write-epoch request. Granted requests release
+// m; stalled or missing ones retain it for replay.
 func (x *L1X) lease(m *TileMsg) {
 	a := uint64(m.Addr.LineAddr())
 	x.access()
@@ -186,10 +265,10 @@ func (x *L1X) lease(m *TileMsg) {
 		// An outstanding write epoch: everyone stalls at the L1X until the
 		// writeback lands (Section 3.2, Figure 4).
 		x.waiting[a] = append(x.waiting[a], m)
-		if x.stats != nil {
-			x.stats.Inc(x.name + ".stall_wlock")
+		x.cStallWLock.Inc()
+		if x.tracer != nil {
+			x.emit(ptrace.WLockStall, a, fmt.Sprintf("axc%d %s", m.Src, m.Type))
 		}
-		x.emit(ptrace.WLockStall, a, fmt.Sprintf("axc%d %s", m.Src, m.Type))
 		return
 	}
 	// Requests carry a lease duration; anchor it now so a request that
@@ -200,11 +279,11 @@ func (x *L1X) lease(m *TileMsg) {
 		if !soleOK {
 			// Another accelerator may still be reading under its lease;
 			// the write epoch cannot open until GTIME passes.
-			if x.stats != nil {
-				x.stats.Inc(x.name + ".stall_gtime")
+			x.cStallGTime.Inc()
+			if x.tracer != nil {
+				x.emit(ptrace.GTimeStall, a, fmt.Sprintf("axc%d until %d", m.Src, l.GTime))
 			}
-			x.emit(ptrace.GTimeStall, a, fmt.Sprintf("axc%d until %d", m.Src, l.GTime))
-			x.eng.ScheduleAt(l.GTime+x.cfg.LeaseSlack, func(uint64) { x.process(m) })
+			x.scheduleProcessAt(l.GTime+x.cfg.LeaseSlack, m)
 			return
 		}
 		l.WLock = true
@@ -213,6 +292,7 @@ func (x *L1X) lease(m *TileMsg) {
 			l.GTime = expiry
 		}
 		x.grant(m, l, true, expiry)
+		x.tilePool.Put(m)
 		return
 	}
 	// Read lease. If every previously granted lease has lapsed (GTIME in
@@ -227,6 +307,7 @@ func (x *L1X) lease(m *TileMsg) {
 		l.GTime = expiry
 	}
 	x.grant(m, l, false, expiry)
+	x.tilePool.Put(m)
 }
 
 // grant sends a lease response back to the requesting L0X.
@@ -235,20 +316,22 @@ func (x *L1X) grant(m *TileMsg, l *cache.Line, write bool, expiry uint64) {
 	if !ok {
 		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "no downlink to axc %d", m.Src)
 	}
-	if x.stats != nil {
-		if write {
-			x.stats.Inc(x.name + ".grants_write")
-		} else {
-			x.stats.Inc(x.name + ".grants_read")
-		}
-	}
-	kind := ptrace.LeaseGrant
 	if write {
-		kind = ptrace.EpochGrant
+		x.cGrantsW.Inc()
+	} else {
+		x.cGrantsR.Inc()
 	}
-	x.emit(kind, uint64(m.Addr.LineAddr()), fmt.Sprintf("axc%d until %d", m.Src, expiry))
-	link.Send(&TileMsg{Type: MsgLease, Addr: m.Addr, PID: m.PID, Src: -1,
-		Lease: expiry, Write: write, Ver: l.Ver})
+	if x.tracer != nil {
+		kind := ptrace.LeaseGrant
+		if write {
+			kind = ptrace.EpochGrant
+		}
+		x.emit(kind, uint64(m.Addr.LineAddr()), fmt.Sprintf("axc%d until %d", m.Src, expiry))
+	}
+	g := x.tilePool.Get()
+	g.Type, g.Addr, g.PID, g.Src = MsgLease, m.Addr, m.PID, -1
+	g.Lease, g.Write, g.Ver = expiry, write, l.Ver
+	link.Send(g)
 }
 
 // writeback accepts dirty data (or an epoch release) from an L0X.
@@ -259,12 +342,12 @@ func (x *L1X) writeback(m *TileMsg) {
 	if l == nil {
 		// The line was reclaimed by a host forward while the L0X held it;
 		// the data must still reach the host side. Rare but legal.
-		if x.stats != nil {
-			x.stats.Inc(x.name + ".wb_orphan")
-		}
+		x.cWBOrphan.Inc()
 		pa, _ := x.tlb.Translate(m.PID, m.Addr)
-		x.fabric.Send(&mesi.Msg{Type: mesi.MsgPutM, Addr: pa.LineAddr(),
-			Src: x.agent, Dst: mesi.DirID, Ver: m.Ver})
+		put := x.mesiPool.Get()
+		put.Type, put.Addr, put.Src, put.Dst, put.Ver =
+			mesi.MsgPutM, pa.LineAddr(), x.agent, mesi.DirID, m.Ver
+		x.fabric.Send(put)
 		return
 	}
 	if m.Ver > l.Ver {
@@ -278,9 +361,7 @@ func (x *L1X) writeback(m *TileMsg) {
 		l.WLock = false
 		x.holder[a] = holderNone
 	}
-	if x.stats != nil {
-		x.stats.Inc(x.name + ".writebacks_in")
-	}
+	x.cWBIn.Inc()
 	if !m.Through {
 		x.wake(a)
 	}
@@ -294,9 +375,21 @@ func (x *L1X) wake(a uint64) {
 	}
 	delete(x.waiting, a)
 	for _, m := range q {
-		m := m
-		x.eng.Schedule(1, func(uint64) { x.process(m) })
+		x.scheduleProcess(1, m)
 	}
+}
+
+// newTxn returns a zeroed fetch record, reusing a recycled one if possible.
+func (x *L1X) newTxn() *l1txn {
+	if n := len(x.freeTxns); n > 0 {
+		t := x.freeTxns[n-1]
+		x.freeTxns[n-1] = nil
+		x.freeTxns = x.freeTxns[:n-1]
+		w := t.waiters[:0]
+		*t = l1txn{waiters: w}
+		return t
+	}
+	return &l1txn{}
 }
 
 // missFetch starts (or joins) a host-side fetch. The tile always requests
@@ -309,10 +402,8 @@ func (x *L1X) missFetch(a uint64, m *TileMsg) {
 	}
 	if x.mshr.Full() {
 		// Retry the request later rather than dropping it.
-		x.eng.Schedule(4, func(uint64) { x.process(m) })
-		if x.stats != nil {
-			x.stats.Inc(x.name + ".mshr_full")
-		}
+		x.scheduleProcess(4, m)
+		x.cMSHRFull.Inc()
 		return
 	}
 	// AX-TLB sits here, on the miss path (Lesson 8).
@@ -330,17 +421,16 @@ func (x *L1X) missFetch(a uint64, m *TileMsg) {
 	}
 
 	x.mshr.Allocate(a)
-	if x.stats != nil {
-		x.stats.Inc(x.name + ".misses")
-	}
-	t := &l1txn{va: a, pa: pa, pid: m.PID, waiters: []*TileMsg{m}, acksNeeded: -1}
+	x.cMisses.Inc()
+	t := x.newTxn()
+	t.va, t.pa, t.pid, t.acksNeeded = a, pa, m.PID, -1
+	t.waiters = append(t.waiters, m)
 	x.txns[a] = t
 	x.byPA[pa] = a
-	x.emit(ptrace.L1XFetch, a, fmt.Sprintf("pa=%#x", uint64(pa)))
-	x.eng.Schedule(walk+1, func(uint64) {
-		x.fabric.Send(&mesi.Msg{Type: mesi.MsgGetM, Addr: pa, Src: x.agent,
-			Dst: mesi.DirID})
-	})
+	if x.tracer != nil {
+		x.emit(ptrace.L1XFetch, a, fmt.Sprintf("pa=%#x", uint64(pa)))
+	}
+	x.eng.ScheduleCall(walk+1, x, opL1XSendGetM, uint64(pa))
 }
 
 // resolveSynonym rehomes a physical line cached under another virtual alias.
@@ -359,9 +449,7 @@ func (x *L1X) resolveSynonym(a uint64, m *TileMsg, pa mem.PAddr, ptr ReversePoin
 		x.waiting[oldVA] = append(x.waiting[oldVA], m)
 		return true
 	}
-	if x.stats != nil {
-		x.stats.Inc(x.name + ".synonym_evictions")
-	}
+	x.cSynEvict.Inc()
 	ver, dirty, gtime := old.Ver, old.Dirty, old.GTime
 	x.rmap.Remove(pa)
 	delete(x.holder, oldVA)
@@ -369,35 +457,41 @@ func (x *L1X) resolveSynonym(a uint64, m *TileMsg, pa mem.PAddr, ptr ReversePoin
 
 	l := x.install(a, m.PID, pa, ver)
 	if l == nil {
-		x.eng.Schedule(2, func(uint64) { x.process(m) })
+		x.scheduleProcess(2, m)
 		return true
 	}
 	l.Dirty = dirty
 	if gtime > l.GTime {
 		l.GTime = gtime // stale leases on the old alias must still be honored
 	}
-	x.eng.Schedule(1, func(uint64) { x.process(m) })
+	x.scheduleProcess(1, m)
 	return true
 }
 
-// HandleMESI is the tile's endpoint on the host fabric.
+// HandleMESI is the tile's endpoint on the host fabric. Messages consumed
+// synchronously are released here; forwards hand ownership to respondHost.
 func (x *L1X) HandleMESI(m *mesi.Msg) {
 	switch m.Type {
 	case mesi.MsgData, mesi.MsgDataE, mesi.MsgDataM:
 		x.fillFromHost(m)
+		x.mesiPool.Put(m)
 	case mesi.MsgFwdGetS, mesi.MsgFwdGetM:
 		x.hostForward(m)
 	case mesi.MsgInv:
 		// The tile is never a MESI sharer, but a DMA-write invalidation can
 		// target it in mixed configurations; ack and drop defensively.
-		x.fabric.Send(&mesi.Msg{Type: mesi.MsgInvAck, Addr: m.Addr,
-			Src: x.agent, Dst: m.Requester})
+		ack := x.mesiPool.Get()
+		ack.Type, ack.Addr, ack.Src, ack.Dst = mesi.MsgInvAck, m.Addr, x.agent, m.Requester
+		x.fabric.Send(ack)
+		x.mesiPool.Put(m)
 	case mesi.MsgPutAck:
 		delete(x.evict, m.Addr.LineAddr())
+		x.mesiPool.Put(m)
 	case mesi.MsgInvAck:
 		// GetM with requester-collected acks: the tile counts them like any
 		// other requester. Tracked on the txn below.
 		x.invAck(m)
+		x.mesiPool.Put(m)
 	default:
 		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "unexpected host %s", m)
 	}
@@ -443,12 +537,14 @@ func (x *L1X) maybeFill(t *l1txn) {
 	delete(x.byPA, t.pa)
 	x.mshr.Free(t.va)
 	x.eng.Progress() // host fetch resolved: heartbeat
-	x.fabric.Send(&mesi.Msg{Type: mesi.MsgUnblock, Addr: t.pa, Src: x.agent,
-		Dst: mesi.DirID, Excl: true})
+	unb := x.mesiPool.Get()
+	unb.Type, unb.Addr, unb.Src, unb.Dst, unb.Excl =
+		mesi.MsgUnblock, t.pa, x.agent, mesi.DirID, true
+	x.fabric.Send(unb)
 	for _, w := range t.waiters {
-		w := w
-		x.eng.Schedule(1, func(uint64) { x.process(w) })
+		x.scheduleProcess(1, w)
 	}
+	x.freeTxns = append(x.freeTxns, t)
 }
 
 // install places a host-fetched line in the array.
@@ -468,9 +564,7 @@ func (x *L1X) install(va uint64, pid mem.PID, pa mem.PAddr, ver uint64) *cache.L
 		if old := x.arr.Peek(uint64(prev.VAddr.LineAddr())); old != nil && old.PAddr == pa {
 			x.evictNoNotice(old)
 		}
-		if x.stats != nil {
-			x.stats.Inc(x.name + ".synonym_evictions")
-		}
+		x.cSynEvict.Inc()
 	}
 	return v
 }
@@ -500,28 +594,29 @@ func (x *L1X) evictLine(v *cache.Line) {
 	if !v.Valid {
 		return
 	}
-	if x.stats != nil {
-		x.stats.Inc(x.name + ".evictions")
-	}
+	x.cEvictions.Inc()
 	x.rmap.Remove(v.PAddr)
 	delete(x.holder, v.Addr)
+	put := x.mesiPool.Get()
 	if v.Dirty {
 		x.evict[v.PAddr] = evictBuf{ver: v.Ver, dirty: true}
-		x.fabric.Send(&mesi.Msg{Type: mesi.MsgPutM, Addr: v.PAddr, Src: x.agent,
-			Dst: mesi.DirID, Ver: v.Ver})
+		put.Type, put.Addr, put.Src, put.Dst, put.Ver =
+			mesi.MsgPutM, v.PAddr, x.agent, mesi.DirID, v.Ver
 	} else {
 		x.evict[v.PAddr] = evictBuf{ver: v.Ver}
-		x.fabric.Send(&mesi.Msg{Type: mesi.MsgPutE, Addr: v.PAddr, Src: x.agent,
-			Dst: mesi.DirID})
+		put.Type, put.Addr, put.Src, put.Dst = mesi.MsgPutE, v.PAddr, x.agent, mesi.DirID
 	}
+	x.fabric.Send(put)
 	*v = cache.Line{}
 }
 
 // evictNoNotice drops a synonym duplicate, writing back dirty data.
 func (x *L1X) evictNoNotice(v *cache.Line) {
 	if v.Dirty {
-		x.fabric.Send(&mesi.Msg{Type: mesi.MsgPutM, Addr: v.PAddr, Src: x.agent,
-			Dst: mesi.DirID, Ver: v.Ver})
+		put := x.mesiPool.Get()
+		put.Type, put.Addr, put.Src, put.Dst, put.Ver =
+			mesi.MsgPutM, v.PAddr, x.agent, mesi.DirID, v.Ver
+		x.fabric.Send(put)
 	}
 	x.rmap.Remove(v.PAddr)
 	*v = cache.Line{}
@@ -533,16 +628,14 @@ func (x *L1X) evictNoNotice(v *cache.Line) {
 // has drained (Figure 4, right).
 func (x *L1X) hostForward(m *mesi.Msg) {
 	pa := m.Addr.LineAddr()
-	if x.stats != nil {
-		x.stats.Inc(x.name + ".host_fwds")
-	}
+	x.cHostFwds.Inc()
 	x.emit(ptrace.HostFwdIn, uint64(pa), m.Type.String())
 	ptr, ok := x.rmap.Lookup(pa)
 	if !ok {
 		if buf, ev := x.evict[pa]; ev {
 			// Eviction raced with the forward: serve from the buffer.
-			x.respondHost(m, buf.ver, buf.dirty)
 			delete(x.evict, pa)
+			x.respondHost(m, buf.ver, buf.dirty)
 			return
 		}
 		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "host fwd for unmapped line %s", m)
@@ -558,8 +651,8 @@ func (x *L1X) tryRelinquish(m *mesi.Msg, ptr ReversePointer, first bool) {
 	l := x.arr.LookupPID(va, ptr.PID)
 	if l == nil {
 		if buf, ev := x.evict[pa]; ev {
-			x.respondHost(m, buf.ver, buf.dirty)
 			delete(x.evict, pa)
+			x.respondHost(m, buf.ver, buf.dirty)
 			return
 		}
 		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "rmap points at absent line %s", m)
@@ -570,10 +663,10 @@ func (x *L1X) tryRelinquish(m *mesi.Msg, ptr ReversePointer, first bool) {
 		// L1X alone absorbs the stall; no message ever disturbs an L0X
 		// (Figure 4, right: the writeback buffer).
 		if first {
-			if x.stats != nil {
-				x.stats.Inc(x.name + ".fwd_stalled")
+			x.cFwdStalled.Inc()
+			if x.tracer != nil {
+				x.emit(ptrace.FwdParked, va, fmt.Sprintf("until GTIME %d", l.GTime))
 			}
-			x.emit(ptrace.FwdParked, va, fmt.Sprintf("until GTIME %d", l.GTime))
 		}
 		wake := l.GTime + x.cfg.LeaseSlack
 		if wake <= now {
@@ -583,25 +676,33 @@ func (x *L1X) tryRelinquish(m *mesi.Msg, ptr ReversePointer, first bool) {
 		return
 	}
 	x.access()
-	x.respondHost(m, l.Ver, l.Dirty)
+	ver, dirty := l.Ver, l.Dirty
 	x.rmap.Remove(pa)
 	delete(x.holder, va)
 	*l = cache.Line{}
+	x.respondHost(m, ver, dirty)
 }
 
 // respondHost relinquishes a line to the host requester: data directly to
 // the requester, an eviction notice (OwnerAck, dropped) to the directory.
+// It consumes (releases) the forwarded request m.
 func (x *L1X) respondHost(m *mesi.Msg, ver uint64, dirty bool) {
-	x.emit(ptrace.Relinquish, uint64(m.Addr.LineAddr()),
-		fmt.Sprintf("to agent%d dirty=%v", m.Requester, dirty))
+	if x.tracer != nil {
+		x.emit(ptrace.Relinquish, uint64(m.Addr.LineAddr()),
+			fmt.Sprintf("to agent%d dirty=%v", m.Requester, dirty))
+	}
 	dt := mesi.MsgData
 	if m.Type == mesi.MsgFwdGetM {
 		dt = mesi.MsgDataM
 	}
-	x.fabric.Send(&mesi.Msg{Type: dt, Addr: m.Addr, Src: x.agent,
-		Dst: m.Requester, Ver: ver})
-	x.fabric.Send(&mesi.Msg{Type: mesi.MsgOwnerAck, Addr: m.Addr, Src: x.agent,
-		Dst: mesi.DirID, Dirty: dirty, Dropped: true, Ver: ver})
+	data := x.mesiPool.Get()
+	data.Type, data.Addr, data.Src, data.Dst, data.Ver = dt, m.Addr, x.agent, m.Requester, ver
+	x.fabric.Send(data)
+	ack := x.mesiPool.Get()
+	ack.Type, ack.Addr, ack.Src, ack.Dst = mesi.MsgOwnerAck, m.Addr, x.agent, mesi.DirID
+	ack.Dirty, ack.Dropped, ack.Ver = dirty, true, ver
+	x.fabric.Send(ack)
+	x.mesiPool.Put(m)
 }
 
 // FlushAll writes every dirty line back to the host and invalidates the

@@ -78,6 +78,10 @@ type TileMsg struct {
 	// Through marks a write-through store's WB: it updates the L1X data but
 	// leaves the write epoch open (the final drain WB closes it).
 	Through bool
+
+	// pooled marks a message sitting in a TileMsgPool free list; the pool's
+	// double-release guard checks it.
+	pooled bool
 }
 
 // Bytes implements interconnect.Message: requests are single control flits;

@@ -1,0 +1,45 @@
+package acc
+
+import "fusion/internal/sim"
+
+// tileMsgPoison overwrites a released message's Type so use-after-release is
+// caught by the receiving controller's unexpected-message diagnostics.
+const tileMsgPoison TileMsgType = 0xFD
+
+// TileMsgPool is a free list of intra-tile messages. Each controller (every
+// L0X and the L1X) owns one: it draws the messages it creates from its own
+// pool and releases the messages it consumes into it. Messages migrate
+// between pools — a GetL allocated by an L0X is released by the L1X — which
+// is fine: the engine is single-threaded and a pooled TileMsg carries no
+// owner state. The double-release guard (one flag check) is always on; see
+// mesi.MsgPool for the same design on the host fabric.
+type TileMsgPool struct {
+	free []*TileMsg
+}
+
+// Get returns a zeroed message. A nil pool degrades to plain allocation.
+func (p *TileMsgPool) Get() *TileMsg {
+	if p == nil || len(p.free) == 0 {
+		return &TileMsg{}
+	}
+	n := len(p.free) - 1
+	m := p.free[n]
+	p.free[n] = nil
+	p.free = p.free[:n]
+	*m = TileMsg{}
+	return m
+}
+
+// Put releases m for reuse, failing loudly (sim.Failf) on a double release
+// and poisoning the Type so retained aliases are caught.
+func (p *TileMsgPool) Put(m *TileMsg) {
+	if m.pooled {
+		sim.Failf("acc.pool", 0, "", "double release of %s", m)
+	}
+	m.pooled = true
+	m.Type = tileMsgPoison
+	if p == nil {
+		return
+	}
+	p.free = append(p.free, m)
+}

@@ -113,14 +113,19 @@ func NewTile(eng *sim.Engine, fabric *mesi.Fabric, pt *vm.PageTable,
 	tlb := vm.NewTLB(cfg.StatPrefix+"axtlb", cfg.TLBEntries, cfg.TLBWalkLat, pt, model, meter, st)
 	rmap := vm.NewRMAP(cfg.StatPrefix+"axrmap", model, meter, st)
 
-	l1x := NewL1X(eng, fabric, cfg.Agent, cfg.L1X, tlb, rmapAdapter{rmap}, meter, st)
-	l1x.name = cfg.StatPrefix + "l1x"
+	// Sub-configs inherit the tile's stat prefix so counters intern with
+	// their final names at construction.
+	l1cfg := cfg.L1X
+	l1cfg.StatPrefix = cfg.StatPrefix
+	l0cfg := cfg.L0X
+	l0cfg.StatPrefix = cfg.StatPrefix
+
+	l1x := NewL1X(eng, fabric, cfg.Agent, l1cfg, tlb, rmapAdapter{rmap}, meter, st)
 
 	t := &Tile{L1X: l1x, TLB: tlb, RMAP: rmap}
 
 	for i := 0; i < cfg.NumAXCs; i++ {
-		l0 := NewL0X(eng, AXCID(i), cfg.PID, cfg.L0X, meter, st)
-		l0.name = fmt.Sprintf("%sl0x.%d", cfg.StatPrefix, i)
+		l0 := NewL0X(eng, AXCID(i), cfg.PID, l0cfg, meter, st)
 		// Uplink: L0X -> L1X.
 		up := interconnect.NewLink(eng, interconnect.Config{
 			Name:          fmt.Sprintf("%slink.l0x%d.up", cfg.StatPrefix, i),

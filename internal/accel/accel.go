@@ -44,7 +44,8 @@ func DefaultConfig() Config {
 	return Config{IntALUs: 4, FPUs: 2, MemPorts: 4, MLP: 6, PipelineDepth: 16}
 }
 
-// iterState tracks one in-flight iteration.
+// iterState tracks one in-flight iteration. Retired states recycle through
+// a free list (every callback referencing one has fired by retirement).
 type iterState struct {
 	idx          int
 	loadsIssued  int
@@ -52,6 +53,28 @@ type iterState struct {
 	computeLeft  int // cycles of compute remaining once loads complete
 	storesIssued int
 	storesDone   int
+}
+
+// memCb is a pooled completion callback for one memory access: it replaces
+// the per-access closure (which allocated on every load/store issue). fn
+// caches the bound method value so reuse allocates nothing.
+type memCb struct {
+	a    *Accelerator
+	st   *iterState
+	line uint64
+	load bool
+	fn   func(now uint64)
+}
+
+func (cb *memCb) done(uint64) {
+	if cb.load {
+		cb.st.loadsDone++
+	} else {
+		cb.st.storesDone++
+	}
+	a := cb.a
+	a.release(cb.line)
+	a.freeCbs = append(a.freeCbs, cb)
 }
 
 // Accelerator executes invocations against a MemPort. It is a sim.Ticker.
@@ -64,8 +87,10 @@ type Accelerator struct {
 	port   MemPort
 	onDone func(now uint64)
 
-	inflight []*iterState
-	nextIter int
+	inflight  []*iterState
+	freeIters []*iterState
+	freeCbs   []*memCb
+	nextIter  int
 	// outstanding tracks in-flight memory requests at cache-line
 	// granularity: several word accesses to one line count as a single
 	// outstanding request (they merge in the cache's MSHR), matching how
@@ -76,7 +101,14 @@ type Accelerator struct {
 
 	model energy.Model
 	meter *energy.Meter
-	stats *stats.Set
+
+	cInvocations *stats.Counter
+	cIntOps      *stats.Counter
+	cFPOps       *stats.Counter
+	cLoads       *stats.Counter
+	cStores      *stats.Counter
+	cCycles      *stats.Counter
+	cMLPMilli    *stats.Counter
 
 	// accumulated measurements
 	busyCycles uint64
@@ -87,7 +119,15 @@ type Accelerator struct {
 // New builds an accelerator and registers it with the engine.
 func New(eng *sim.Engine, name string, cfg Config,
 	model energy.Model, meter *energy.Meter, st *stats.Set) *Accelerator {
-	a := &Accelerator{name: name, cfg: cfg, eng: eng, model: model, meter: meter, stats: st}
+	a := &Accelerator{name: name, cfg: cfg, eng: eng, model: model, meter: meter,
+		cInvocations: st.Counter(name + ".invocations"),
+		cIntOps:      st.Counter(name + ".int_ops"),
+		cFPOps:       st.Counter(name + ".fp_ops"),
+		cLoads:       st.Counter(name + ".loads"),
+		cStores:      st.Counter(name + ".stores"),
+		cCycles:      st.Counter(name + ".cycles"),
+		cMLPMilli:    st.Counter(name + ".mlp_milli"),
+	}
 	eng.Register(a)
 	return a
 }
@@ -114,11 +154,41 @@ func (a *Accelerator) Start(inv *trace.Invocation, port MemPort, onDone func(now
 	a.onDone = onDone
 	a.nextIter = 0
 	a.inflight = a.inflight[:0]
-	a.outstanding = make(map[uint64]int)
-	a.startCycle = a.eng.Now()
-	if a.stats != nil {
-		a.stats.Inc(a.name + ".invocations")
+	if a.outstanding == nil {
+		a.outstanding = make(map[uint64]int)
 	}
+	a.startCycle = a.eng.Now()
+	a.cInvocations.Inc()
+}
+
+// getIter returns a zeroed iterState, reusing a retired one if possible.
+func (a *Accelerator) getIter(idx, computeLeft int) *iterState {
+	var st *iterState
+	if n := len(a.freeIters); n > 0 {
+		st = a.freeIters[n-1]
+		a.freeIters[n-1] = nil
+		a.freeIters = a.freeIters[:n-1]
+		*st = iterState{}
+	} else {
+		st = &iterState{}
+	}
+	st.idx, st.computeLeft = idx, computeLeft
+	return st
+}
+
+// getCb returns a ready-to-issue completion callback from the pool.
+func (a *Accelerator) getCb(st *iterState, line uint64, load bool) *memCb {
+	var cb *memCb
+	if n := len(a.freeCbs); n > 0 {
+		cb = a.freeCbs[n-1]
+		a.freeCbs[n-1] = nil
+		a.freeCbs = a.freeCbs[:n-1]
+	} else {
+		cb = &memCb{a: a}
+		cb.fn = cb.done
+	}
+	cb.st, cb.line, cb.load = st, line, load
+	return cb
 }
 
 // computeCycles returns how many cycles the compute phase of it occupies,
@@ -160,15 +230,13 @@ func (a *Accelerator) Tick(now uint64) {
 			break
 		}
 		it := &a.inv.Iterations[a.nextIter]
-		st := &iterState{idx: a.nextIter, computeLeft: a.computeCycles(it)}
+		st := a.getIter(a.nextIter, a.computeCycles(it))
 		if a.meter != nil {
 			a.meter.Add(energy.CatCompute,
 				float64(it.IntOps)*a.model.IntOp+float64(it.FPOps)*a.model.FPOp)
 		}
-		if a.stats != nil {
-			a.stats.Add(a.name+".int_ops", int64(it.IntOps))
-			a.stats.Add(a.name+".fp_ops", int64(it.FPOps))
-		}
+		a.cIntOps.Add(int64(it.IntOps))
+		a.cFPOps.Add(int64(it.FPOps))
 		a.inflight = append(a.inflight, st)
 		a.nextIter++
 	}
@@ -185,20 +253,15 @@ func (a *Accelerator) Tick(now uint64) {
 			if _, merged := a.outstanding[line]; !merged && len(a.outstanding) >= a.cfg.MLP {
 				break // a fresh line would exceed the MLP cap
 			}
-			stRef := st
-			ok := a.port.Access(mem.Load, addr, func(uint64) {
-				stRef.loadsDone++
-				a.release(line)
-			})
-			if !ok {
+			cb := a.getCb(st, line, true)
+			if !a.port.Access(mem.Load, addr, cb.fn) {
+				a.freeCbs = append(a.freeCbs, cb)
 				break // port back-pressure; retry next cycle
 			}
 			a.outstanding[line]++
 			st.loadsIssued++
 			memIssued++
-			if a.stats != nil {
-				a.stats.Inc(a.name + ".loads")
-			}
+			a.cLoads.Inc()
 		}
 	}
 
@@ -220,20 +283,15 @@ func (a *Accelerator) Tick(now uint64) {
 			if _, merged := a.outstanding[line]; !merged && len(a.outstanding) >= a.cfg.MLP {
 				break
 			}
-			stRef := st
-			ok := a.port.Access(mem.Store, addr, func(uint64) {
-				stRef.storesDone++
-				a.release(line)
-			})
-			if !ok {
+			cb := a.getCb(st, line, false)
+			if !a.port.Access(mem.Store, addr, cb.fn) {
+				a.freeCbs = append(a.freeCbs, cb)
 				break
 			}
 			a.outstanding[line]++
 			st.storesIssued++
 			memIssued++
-			if a.stats != nil {
-				a.stats.Inc(a.name + ".stores")
-			}
+			a.cStores.Inc()
 		}
 	}
 
@@ -244,6 +302,7 @@ func (a *Accelerator) Tick(now uint64) {
 		if st.loadsDone == len(it.Loads) && st.computeLeft == 0 &&
 			st.storesDone == len(it.Stores) {
 			a.inflight = a.inflight[1:]
+			a.freeIters = append(a.freeIters, st)
 			a.eng.Progress() // an iteration retiring is forward progress
 			continue
 		}
@@ -252,12 +311,10 @@ func (a *Accelerator) Tick(now uint64) {
 
 	if len(a.inflight) == 0 && a.nextIter == len(a.inv.Iterations) && len(a.outstanding) == 0 {
 		done := a.onDone
-		if a.stats != nil {
-			a.stats.Add(a.name+".cycles", int64(now-a.startCycle))
-			// Emergent MLP in thousandths — the measured counterpart of
-			// Table 1's MLP column (cumulative over invocations).
-			a.stats.Put(a.name+".mlp_milli", int64(a.AvgMLP()*1000))
-		}
+		a.cCycles.Add(int64(now - a.startCycle))
+		// Emergent MLP in thousandths — the measured counterpart of
+		// Table 1's MLP column (cumulative over invocations).
+		a.cMLPMilli.Set(int64(a.AvgMLP() * 1000))
 		a.inv, a.port, a.onDone = nil, nil, nil
 		if done != nil {
 			done(now)

@@ -63,20 +63,33 @@ type DRAM struct {
 	eng      *sim.Engine
 	meter    *energy.Meter
 	model    energy.Model
-	stats    *stats.Set
 	channels []channel
 	inj      *faults.Injector
+
+	cQueueFull   *stats.Counter
+	cSubmitted   *stats.Counter
+	cRowHit      *stats.Counter
+	cRowMiss     *stats.Counter
+	cFaultSpikes *stats.Counter
+	cReads       *stats.Counter
+	cWrites      *stats.Counter
 }
 
 // New builds a DRAM and registers it with the engine.
 func New(eng *sim.Engine, cfg Config, model energy.Model, meter *energy.Meter, st *stats.Set) *DRAM {
 	d := &DRAM{
-		cfg:      cfg,
-		eng:      eng,
-		meter:    meter,
-		model:    model,
-		stats:    st,
-		channels: make([]channel, cfg.Channels),
+		cfg:          cfg,
+		eng:          eng,
+		meter:        meter,
+		model:        model,
+		channels:     make([]channel, cfg.Channels),
+		cQueueFull:   st.Counter("dram.queue_full"),
+		cSubmitted:   st.Counter("dram.submitted"),
+		cRowHit:      st.Counter("dram.row_hit"),
+		cRowMiss:     st.Counter("dram.row_miss"),
+		cFaultSpikes: st.Counter("dram.fault_spikes"),
+		cReads:       st.Counter("dram.reads"),
+		cWrites:      st.Counter("dram.writes"),
 	}
 	eng.Register(d)
 	return d
@@ -118,15 +131,11 @@ func (d *DRAM) rowOf(a mem.PAddr) uint64 {
 func (d *DRAM) Submit(r Request) bool {
 	ch := &d.channels[d.channelOf(r.Addr)]
 	if len(ch.queue) >= d.cfg.QueueDepth {
-		if d.stats != nil {
-			d.stats.Inc("dram.queue_full")
-		}
+		d.cQueueFull.Inc()
 		return false
 	}
 	ch.queue = append(ch.queue, r)
-	if d.stats != nil {
-		d.stats.Inc("dram.submitted")
-	}
+	d.cSubmitted.Inc()
 	return true
 }
 
@@ -144,17 +153,13 @@ func (d *DRAM) Tick(now uint64) {
 		lat := d.cfg.RowMissLat
 		if ch.rowValid && ch.openRow == row {
 			lat = d.cfg.RowHitLat
-			if d.stats != nil {
-				d.stats.Inc("dram.row_hit")
-			}
-		} else if d.stats != nil {
-			d.stats.Inc("dram.row_miss")
+			d.cRowHit.Inc()
+		} else {
+			d.cRowMiss.Inc()
 		}
 		if extra := d.inj.DRAMDelay(i); extra > 0 {
 			lat += extra
-			if d.stats != nil {
-				d.stats.Inc("dram.fault_spikes")
-			}
+			d.cFaultSpikes.Inc()
 		}
 		d.eng.Progress() // a command issuing is forward progress
 		ch.openRow = row
@@ -165,12 +170,10 @@ func (d *DRAM) Tick(now uint64) {
 			d.meter.Add(energy.CatDRAM, d.model.DRAMAccess)
 			d.meter.Add(energy.CatLinkMem, d.model.LinkL2DRAM*float64(mem.LineBytes))
 		}
-		if d.stats != nil {
-			if req.Write {
-				d.stats.Inc("dram.writes")
-			} else {
-				d.stats.Inc("dram.reads")
-			}
+		if req.Write {
+			d.cWrites.Inc()
+		} else {
+			d.cReads.Inc()
 		}
 		done := req.Done
 		if done != nil {

@@ -57,6 +57,35 @@ type hostOp struct {
 	state opState
 }
 
+// Core HandleEvent opcodes.
+const (
+	opHostComputeDone = 0 // compute op at index arg retires
+)
+
+// memCb is a pooled completion callback for one L1 access, replacing the
+// per-access closure. fn caches the bound method value so reuse allocates
+// nothing. The op index is stable: c.ops only changes in Start, and a phase
+// cannot end with callbacks outstanding.
+type memCb struct {
+	c    *Core
+	idx  int
+	load bool
+	fn   func(now uint64)
+}
+
+func (cb *memCb) done(uint64) {
+	c := cb.c
+	op := &c.ops[cb.idx]
+	op.state = opDone
+	if cb.load {
+		c.loadsLeft[op.iter]--
+		c.inLQ--
+	} else {
+		c.inSQ--
+	}
+	c.freeCbs = append(c.freeCbs, cb)
+}
+
 // Core is the host OOO processor. It is a sim.Ticker.
 type Core struct {
 	name string
@@ -79,13 +108,24 @@ type Core struct {
 	loadsLeft   []int
 	computeLeft []int
 
-	stats *stats.Set
-	busy  uint64
+	freeCbs []*memCb
+
+	busy uint64
+
+	cPhases    *stats.Counter
+	cLoads     *stats.Counter
+	cStores    *stats.Counter
+	cCommitted *stats.Counter
 }
 
 // New builds a core over its L1 client and registers it with the engine.
 func New(eng *sim.Engine, name string, cfg Config, l1 *mesi.Client, st *stats.Set) *Core {
-	c := &Core{name: name, cfg: cfg, eng: eng, l1: l1, stats: st}
+	c := &Core{name: name, cfg: cfg, eng: eng, l1: l1,
+		cPhases:    st.Counter(name + ".phases"),
+		cLoads:     st.Counter(name + ".loads"),
+		cStores:    st.Counter(name + ".stores"),
+		cCommitted: st.Counter(name + ".committed"),
+	}
 	eng.Register(c)
 	return c
 }
@@ -112,8 +152,8 @@ func (c *Core) Start(inv *trace.Invocation, translate func(mem.VAddr) mem.PAddr,
 	c.translate = translate
 	c.onDone = onDone
 	c.ops = c.ops[:0]
-	c.loadsLeft = make([]int, len(inv.Iterations))
-	c.computeLeft = make([]int, len(inv.Iterations))
+	c.loadsLeft = resize(c.loadsLeft, len(inv.Iterations))
+	c.computeLeft = resize(c.computeLeft, len(inv.Iterations))
 	for i := range inv.Iterations {
 		it := &inv.Iterations[i]
 		for _, a := range it.Loads {
@@ -132,9 +172,41 @@ func (c *Core) Start(inv *trace.Invocation, translate func(mem.VAddr) mem.PAddr,
 		c.computeLeft[i] = it.IntOps + it.FPOps
 	}
 	c.head, c.dispatch, c.inROB, c.inLQ, c.inSQ = 0, 0, 0, 0, 0
-	if c.stats != nil {
-		c.stats.Inc(c.name + ".phases")
+	c.cPhases.Inc()
+}
+
+// resize returns s with length n, reusing capacity (contents undefined; the
+// caller overwrites every element).
+func resize(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
 	}
+	return make([]int, n)
+}
+
+// HandleEvent retires compute ops (closure-free events).
+func (c *Core) HandleEvent(now uint64, op uint8, arg uint64) {
+	switch op {
+	case opHostComputeDone:
+		o := &c.ops[arg]
+		o.state = opDone
+		c.computeLeft[o.iter]--
+	}
+}
+
+// getCb returns a ready-to-issue L1 completion callback from the pool.
+func (c *Core) getCb(idx int, load bool) *memCb {
+	var cb *memCb
+	if n := len(c.freeCbs); n > 0 {
+		cb = c.freeCbs[n-1]
+		c.freeCbs[n-1] = nil
+		c.freeCbs = c.freeCbs[:n-1]
+	} else {
+		cb = &memCb{c: c}
+		cb.fn = cb.done
+	}
+	cb.idx, cb.load = idx, load
+	return cb
 }
 
 // ready reports whether op's dependencies are satisfied: loads are always
@@ -182,62 +254,42 @@ func (c *Core) Tick(now uint64) {
 			}
 			alu--
 			op.state = opIssued
-			iter := op.iter
-			opRef := op
-			c.eng.Schedule(1, func(uint64) {
-				opRef.state = opDone
-				c.computeLeft[iter]--
-			})
+			c.eng.ScheduleCall(1, c, opHostComputeDone, uint64(i))
 		case opFP:
 			if fpu == 0 {
 				continue
 			}
 			fpu--
 			op.state = opIssued
-			iter := op.iter
-			opRef := op
-			c.eng.Schedule(3, func(uint64) {
-				opRef.state = opDone
-				c.computeLeft[iter]--
-			})
+			c.eng.ScheduleCall(3, c, opHostComputeDone, uint64(i))
 		case opLoad:
 			if memOps == 0 || c.inLQ >= c.cfg.LQ {
 				continue
 			}
 			pa := c.translate(op.addr)
-			opRef := op
-			iter := op.iter
-			if !c.l1.Access(mem.Load, pa, func(uint64) {
-				opRef.state = opDone
-				c.loadsLeft[iter]--
-				c.inLQ--
-			}) {
+			cb := c.getCb(i, true)
+			if !c.l1.Access(mem.Load, pa, cb.fn) {
+				c.freeCbs = append(c.freeCbs, cb)
 				continue // L1 MSHR full; retry next cycle
 			}
 			memOps--
 			c.inLQ++
 			op.state = opIssued
-			if c.stats != nil {
-				c.stats.Inc(c.name + ".loads")
-			}
+			c.cLoads.Inc()
 		case opStore:
 			if memOps == 0 || c.inSQ >= c.cfg.SQ {
 				continue
 			}
 			pa := c.translate(op.addr)
-			opRef := op
-			if !c.l1.Access(mem.Store, pa, func(uint64) {
-				opRef.state = opDone
-				c.inSQ--
-			}) {
+			cb := c.getCb(i, false)
+			if !c.l1.Access(mem.Store, pa, cb.fn) {
+				c.freeCbs = append(c.freeCbs, cb)
 				continue
 			}
 			memOps--
 			c.inSQ++
 			op.state = opIssued
-			if c.stats != nil {
-				c.stats.Inc(c.name + ".stores")
-			}
+			c.cStores.Inc()
 		}
 	}
 
@@ -249,9 +301,7 @@ func (c *Core) Tick(now uint64) {
 		c.head++
 		c.inROB--
 		c.eng.Progress() // an instruction committing is forward progress
-		if c.stats != nil {
-			c.stats.Inc(c.name + ".committed")
-		}
+		c.cCommitted.Inc()
 	}
 
 	if c.head == len(c.ops) {

@@ -1,0 +1,39 @@
+//go:build !race
+
+// Allocation-discipline tests, excluded under the race detector (the race
+// runtime instruments allocations and makes AllocsPerRun counts meaningless).
+package interconnect
+
+import (
+	"testing"
+
+	"fusion/internal/sim"
+	"fusion/internal/stats"
+)
+
+// TestLinkSendZeroAlloc pins the steady-state cost of delivering a control
+// message over a Link at zero heap allocations: the pending slice and the
+// engine's event heap are warmed once and then reused forever.
+func TestLinkSendZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	st := stats.NewSet()
+	link := NewLink(eng, Config{
+		Name:    "hot",
+		Latency: 1,
+		Stats:   st,
+		Deliver: func(m Message) {},
+	})
+
+	step := func() {
+		link.Send(testMsg(8))
+		eng.Step()
+		eng.Step()
+	}
+	for i := 0; i < 64; i++ { // warm pending slice + event heap
+		step()
+	}
+
+	if avg := testing.AllocsPerRun(1000, step); avg != 0 {
+		t.Fatalf("Link.Send steady state allocated %.1f per op, want 0", avg)
+	}
+}

@@ -49,12 +49,27 @@ type Link struct {
 	pJPerByte float64
 	meter     *energy.Meter
 	meterCat  string
-	stats     *stats.Set
 	deliver   func(Message)
 	inj       *faults.Injector
 
+	// Interned counter handles, resolved once at construction so Send does
+	// no string concatenation or map hashing per message.
+	cMsgs   *stats.Counter
+	cBytes  *stats.Counter
+	cFlits  *stats.Counter
+	cCtrl   *stats.Counter
+	cData   *stats.Counter
+	cFaults *stats.Counter
+
 	nextFree   uint64 // first cycle the head of the link is free
 	lastArrive uint64 // latest delivery scheduled so far (FIFO floor)
+
+	// In-flight messages awaiting delivery, in send order. Arrival cycles
+	// are non-decreasing (lastArrive floor) and the event queue is stable,
+	// so delivery events fire in push order: a plain FIFO replaces one
+	// closure allocation per Send.
+	pending []Message
+	phead   int
 }
 
 // Config holds Link construction parameters.
@@ -86,9 +101,14 @@ func NewLink(eng *sim.Engine, cfg Config) *Link {
 		pJPerByte: cfg.PJPerByte,
 		meter:     cfg.Meter,
 		meterCat:  cfg.MeterCategory,
-		stats:     cfg.Stats,
 		deliver:   cfg.Deliver,
 		inj:       cfg.Injector,
+		cMsgs:     cfg.Stats.Counter(cfg.Name + ".msgs"),
+		cBytes:    cfg.Stats.Counter(cfg.Name + ".bytes"),
+		cFlits:    cfg.Stats.Counter(cfg.Name + ".flits"),
+		cCtrl:     cfg.Stats.Counter(cfg.Name + ".ctrl"),
+		cData:     cfg.Stats.Counter(cfg.Name + ".data"),
+		cFaults:   cfg.Stats.Counter(cfg.Name + ".faults"),
 	}
 }
 
@@ -104,15 +124,13 @@ func (l *Link) Send(m Message) {
 	bytes := m.Bytes()
 	flits := uint64(Flits(bytes))
 
-	if l.stats != nil {
-		l.stats.Inc(l.name + ".msgs")
-		l.stats.Add(l.name+".bytes", int64(bytes))
-		l.stats.Add(l.name+".flits", int64(flits))
-		if bytes <= ControlBytes {
-			l.stats.Inc(l.name + ".ctrl")
-		} else {
-			l.stats.Inc(l.name + ".data")
-		}
+	l.cMsgs.Inc()
+	l.cBytes.Add(int64(bytes))
+	l.cFlits.Add(int64(flits))
+	if bytes <= ControlBytes {
+		l.cCtrl.Inc()
+	} else {
+		l.cData.Inc()
 	}
 	if l.meter != nil {
 		l.meter.Add(l.meterCat, l.pJPerByte*float64(bytes))
@@ -122,9 +140,7 @@ func (l *Link) Send(m Message) {
 	start := now
 	if extra := l.inj.LinkDelay(l.name, now); extra > 0 {
 		start += extra
-		if l.stats != nil {
-			l.stats.Inc(l.name + ".faults")
-		}
+		l.cFaults.Inc()
 	}
 	if l.bwFlits > 0 {
 		if l.nextFree > start {
@@ -147,8 +163,32 @@ func (l *Link) Send(m Message) {
 		arrive = l.lastArrive
 	}
 	l.lastArrive = arrive
-	// A delivery is forward progress: it feeds the watchdog's heartbeat.
-	l.eng.ScheduleAt(arrive, func(uint64) { l.eng.Progress(); l.deliver(m) })
+	if l.phead == len(l.pending) {
+		l.pending = l.pending[:0]
+		l.phead = 0
+	}
+	l.pending = append(l.pending, m)
+	l.eng.ScheduleCallAt(arrive, l, 0, 0)
+}
+
+// HandleEvent delivers the oldest in-flight message. Delivery events fire in
+// send order (non-decreasing arrival cycles, stable event queue), so the
+// head of the pending FIFO is always the message this event was scheduled
+// for. A delivery is forward progress: it feeds the watchdog's heartbeat.
+func (l *Link) HandleEvent(now uint64, op uint8, arg uint64) {
+	m := l.pending[l.phead]
+	l.pending[l.phead] = nil // release for GC / pool reuse
+	l.phead++
+	if l.phead == len(l.pending) {
+		l.pending = l.pending[:0]
+		l.phead = 0
+	} else if l.phead > 64 && l.phead*2 > len(l.pending) {
+		n := copy(l.pending, l.pending[l.phead:])
+		l.pending = l.pending[:n]
+		l.phead = 0
+	}
+	l.eng.Progress()
+	l.deliver(m)
 }
 
 // Ring computes NUCA ring-hop latencies between the LLC banks. The paper's

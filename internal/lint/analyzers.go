@@ -1,9 +1,9 @@
 package lint
 
 // Analyzers returns the full suite in reporting order. Scopes: maporder,
-// wallclock, and rawpanic guard the simulation packages under internal/;
-// globalrand and droppederr apply module-wide (a cmd that drops errors or
-// rolls unseeded dice corrupts experiments just as surely).
+// wallclock, rawpanic, and hotstats guard the simulation packages under
+// internal/; globalrand and droppederr apply module-wide (a cmd that drops
+// errors or rolls unseeded dice corrupts experiments just as surely).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MapOrder,
@@ -11,5 +11,6 @@ func Analyzers() []*Analyzer {
 		GlobalRand,
 		RawPanic,
 		DroppedErr,
+		HotStats,
 	}
 }

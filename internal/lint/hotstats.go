@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotStatMethods are the string-keyed stats.Set entry points. Each call
+// hashes the counter name in the Set's map (and concatenating a dynamic
+// name allocates); the interned-handle API (Set.Counter at construction,
+// Counter.Inc/Add on the hot path) costs one pointer dereference instead.
+var hotStatMethods = map[string]bool{
+	"Counter": true,
+	"Inc":     true,
+	"Add":     true,
+	"Put":     true,
+}
+
+// hotMethodNames are the per-cycle/per-message entry points of simulation
+// components. Anything these bodies do runs millions of times per
+// experiment, so string-keyed stat lookups there dominate allocation
+// profiles (the exact failure PR 4's allocation diet removed).
+var hotMethodNames = map[string]bool{
+	"Tick":        true,
+	"Deliver":     true,
+	"Handle":      true,
+	"HandleTile":  true,
+	"HandleMESI":  true,
+	"HandleEvent": true,
+	"Access":      true,
+	"Send":        true,
+}
+
+// HotStats forbids string-keyed stats.Set calls inside hot method bodies:
+// counters touched per cycle or per message must be interned once at
+// construction (Set.Counter) and bumped through the *stats.Counter handle.
+// Closures declared inside a hot body are checked too — they are typically
+// scheduled per event and run just as often.
+var HotStats = &Analyzer{
+	Name:      "hotstats",
+	Directive: "hotstats",
+	Doc:       "string-keyed stats in a per-cycle hot path",
+	Scope:     internalScope,
+	Run:       runHotStats,
+}
+
+func runHotStats(p *Pass) {
+	statsPath := p.Module.Path + "/internal/stats"
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !hotMethodNames[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := info.Selections[sel]
+				if s == nil || s.Kind() != types.MethodVal || !hotStatMethods[sel.Sel.Name] {
+					return true
+				}
+				recv := s.Recv()
+				if ptr, isPtr := recv.(*types.Pointer); isPtr {
+					recv = ptr.Elem()
+				}
+				named, ok := recv.(*types.Named)
+				if !ok || named.Obj().Name() != "Set" ||
+					named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != statsPath {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"string-keyed stats.Set.%s in hot method %s; intern a *stats.Counter at construction and increment the handle",
+					sel.Sel.Name, fn.Name.Name)
+				return true
+			})
+		}
+	}
+}

@@ -113,6 +113,8 @@ func TestRawPanicDetects(t *testing.T)   { checkFixture(t, RawPanic, "rawpanic_b
 func TestRawPanicClean(t *testing.T)     { checkFixture(t, RawPanic, "rawpanic_clean") }
 func TestDroppedErrDetects(t *testing.T) { checkFixture(t, DroppedErr, "droppederr_bad") }
 func TestDroppedErrClean(t *testing.T)   { checkFixture(t, DroppedErr, "droppederr_clean") }
+func TestHotStatsDetects(t *testing.T)   { checkFixture(t, HotStats, "hotstats_bad") }
+func TestHotStatsClean(t *testing.T)     { checkFixture(t, HotStats, "hotstats_clean") }
 
 // lineContaining returns the 1-based line of the first source line holding
 // marker, failing the test if the marker is absent.
@@ -170,10 +172,10 @@ func TestOrderedWaiver(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRoster pins the suite: exactly these five rules, each with a
+// TestAnalyzerRoster pins the suite: exactly these six rules, each with a
 // waiver directive and a scope.
 func TestAnalyzerRoster(t *testing.T) {
-	want := []string{"droppederr", "globalrand", "maporder", "rawpanic", "wallclock"}
+	want := []string{"droppederr", "globalrand", "hotstats", "maporder", "rawpanic", "wallclock"}
 	var got []string
 	for _, an := range Analyzers() {
 		got = append(got, an.Name)

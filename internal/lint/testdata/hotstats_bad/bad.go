@@ -1,0 +1,27 @@
+// Package hotstatsbad bumps string-keyed counters from per-cycle entry
+// points — every call re-hashes the name where an interned handle would be
+// a pointer dereference.
+package hotstatsbad
+
+import "fusion/internal/stats"
+
+type ctrl struct {
+	st *stats.Set
+}
+
+// Tick is a per-cycle entry point: string-keyed stat calls here run once
+// per simulated cycle.
+func (c *ctrl) Tick(now uint64) {
+	c.st.Inc("ctrl.ticks")          // want "stats.Set.Inc in hot method Tick"
+	c.st.Add("ctrl.work", 3)        // want "stats.Set.Add in hot method Tick"
+	c.st.Counter("ctrl.lazy").Inc() // want "stats.Set.Counter in hot method Tick"
+}
+
+// Deliver is a per-message entry point; closures declared here run per
+// event and are just as hot.
+func (c *ctrl) Deliver(m int) {
+	fire := func() {
+		c.st.Inc("ctrl.msgs") // want "stats.Set.Inc in hot method Deliver"
+	}
+	fire()
+}

@@ -12,7 +12,9 @@ import (
 	"fusion/internal/stats"
 )
 
-// txn tracks one outstanding miss transaction at a client.
+// txn tracks one outstanding miss transaction at a client. Completed txns
+// are recycled through a per-client free list (waiters capacity included),
+// so steady-state misses allocate nothing.
 type txn struct {
 	addr        uint64
 	write       bool // GetM (vs GetS)
@@ -31,7 +33,8 @@ type waiter struct {
 
 // evicting tracks a dirty or exclusive line between PutM/PutE and PutAck; the
 // client can still answer forwarded requests from this buffer, which resolves
-// the eviction/forward race without extra directory states.
+// the eviction/forward race without extra directory states. Stored by value:
+// entries are immutable after insert, so no heap object is needed.
 type evicting struct {
 	ver   uint64
 	dirty bool
@@ -49,13 +52,24 @@ type Client struct {
 	hitLatency uint64
 
 	txns     map[uint64]*txn
-	evicting map[uint64]*evicting
+	freeTxns []*txn
+	evicting map[uint64]evicting
+	pool     MsgPool
 
 	model     energy.Model
 	meter     *energy.Meter
 	energyCat string
 	accessPJ  float64
-	stats     *stats.Set
+
+	cAccesses  *stats.Counter
+	cMerges    *stats.Counter
+	cMSHRFull  *stats.Counter
+	cMisses    *stats.Counter
+	cHits      *stats.Counter
+	cInvals    *stats.Counter
+	cFwdServed *stats.Counter
+	cWBs       *stats.Counter
+	cDrops     *stats.Counter
 }
 
 // ClientConfig sizes a client cache.
@@ -93,12 +107,20 @@ func NewClient(f *Fabric, id AgentID, cfg ClientConfig,
 		mshr:       cache.NewMSHR(cfg.MSHRs),
 		hitLatency: cfg.HitLatency,
 		txns:       make(map[uint64]*txn),
-		evicting:   make(map[uint64]*evicting),
+		evicting:   make(map[uint64]evicting),
 		model:      model,
 		meter:      meter,
 		energyCat:  cfg.EnergyCategory,
 		accessPJ:   cfg.AccessPJ,
-		stats:      st,
+		cAccesses:  st.Counter(cfg.Name + ".accesses"),
+		cMerges:    st.Counter(cfg.Name + ".mshr_merge"),
+		cMSHRFull:  st.Counter(cfg.Name + ".mshr_full"),
+		cMisses:    st.Counter(cfg.Name + ".misses"),
+		cHits:      st.Counter(cfg.Name + ".hits"),
+		cInvals:    st.Counter(cfg.Name + ".invalidations"),
+		cFwdServed: st.Counter(cfg.Name + ".fwd_served"),
+		cWBs:       st.Counter(cfg.Name + ".writebacks"),
+		cDrops:     st.Counter(cfg.Name + ".silent_drops"),
 	}
 	f.Register(id, c.Handle)
 	return c
@@ -111,9 +133,26 @@ func (c *Client) access() {
 	if c.meter != nil {
 		c.meter.Add(c.energyCat, c.accessPJ)
 	}
-	if c.stats != nil {
-		c.stats.Inc(c.name + ".accesses")
+	c.cAccesses.Inc()
+}
+
+// newTxn returns a zeroed transaction from the free list (retaining waiter
+// capacity) or a fresh one.
+func (c *Client) newTxn(a uint64, write bool) *txn {
+	var t *txn
+	if n := len(c.freeTxns); n > 0 {
+		t = c.freeTxns[n-1]
+		c.freeTxns[n-1] = nil
+		c.freeTxns = c.freeTxns[:n-1]
+		w := t.waiters[:0]
+		*t = txn{waiters: w}
+	} else {
+		t = &txn{}
 	}
+	t.addr = a
+	t.write = write
+	t.acksNeeded = -1
+	return t
 }
 
 // Access performs a processor load or store. done fires when the access
@@ -150,40 +189,36 @@ func (c *Client) Access(kind mem.AccessKind, addr mem.PAddr, done func(now uint6
 			// replay will find S/E and upgrade.
 		}
 		t.waiters = append(t.waiters, waiter{kind, done})
-		if c.stats != nil {
-			c.stats.Inc(c.name + ".mshr_merge")
-		}
+		c.cMerges.Inc()
 		return true
 	}
 	if c.mshr.Full() {
-		if c.stats != nil {
-			c.stats.Inc(c.name + ".mshr_full")
-		}
+		c.cMSHRFull.Inc()
 		return false
 	}
 	c.mshr.Allocate(a)
-	t := &txn{addr: a, write: kind == mem.Store, acksNeeded: -1}
+	t := c.newTxn(a, kind == mem.Store)
 	t.waiters = append(t.waiters, waiter{kind, done})
 	c.txns[a] = t
-	if c.stats != nil {
-		c.stats.Inc(c.name + ".misses")
-	}
+	c.cMisses.Inc()
 	mt := MsgGetS
 	if t.write {
 		mt = MsgGetM
 	}
-	c.fabric.Send(&Msg{Type: mt, Addr: mem.PAddr(a), Src: c.id, Dst: DirID})
+	req := c.pool.Get()
+	req.Type, req.Addr, req.Src, req.Dst = mt, mem.PAddr(a), c.id, DirID
+	c.fabric.Send(req)
 	return true
 }
 
 func (c *Client) hit(done func(uint64)) {
-	if c.stats != nil {
-		c.stats.Inc(c.name + ".hits")
-	}
-	c.fabric.Engine().Schedule(c.hitLatency, func(now uint64) { done(now) })
+	c.cHits.Inc()
+	c.fabric.Engine().Schedule(c.hitLatency, done)
 }
 
-// Handle is the fabric endpoint for protocol messages.
+// Handle is the fabric endpoint for protocol messages. Every message is
+// consumed synchronously, so it is released into the client's pool on the
+// way out.
 func (c *Client) Handle(m *Msg) {
 	a := uint64(m.Addr.LineAddr())
 	switch m.Type {
@@ -222,16 +257,13 @@ func (c *Client) Handle(m *Msg) {
 			*l = cache.Line{}
 			c.access()
 		}
-		if ev, ok := c.evicting[a]; ok {
-			// Eviction raced with an invalidation; the buffered data is
-			// superseded, drop it. The in-flight PutM will be stale-acked.
-			_ = ev
-			delete(c.evicting, a)
-		}
-		if c.stats != nil {
-			c.stats.Inc(c.name + ".invalidations")
-		}
-		c.fabric.Send(&Msg{Type: MsgInvAck, Addr: m.Addr, Src: c.id, Dst: m.Requester})
+		// An eviction racing with an invalidation: the buffered data is
+		// superseded, drop it. The in-flight PutM will be stale-acked.
+		delete(c.evicting, a)
+		c.cInvals.Inc()
+		ack := c.pool.Get()
+		ack.Type, ack.Addr, ack.Src, ack.Dst = MsgInvAck, m.Addr, c.id, m.Requester
+		c.fabric.Send(ack)
 
 	case MsgFwdGetS:
 		c.handleFwd(m, a, false)
@@ -245,13 +277,12 @@ func (c *Client) Handle(m *Msg) {
 	default:
 		sim.Failf(c.name, c.fabric.Now(), c.DumpState(), "unexpected %s", m)
 	}
+	c.pool.Put(m)
 }
 
 // handleFwd answers a forwarded request as the current owner.
 func (c *Client) handleFwd(m *Msg, a uint64, exclusive bool) {
-	if c.stats != nil {
-		c.stats.Inc(c.name + ".fwd_served")
-	}
+	c.cFwdServed.Inc()
 	var ver uint64
 	var dirty bool
 	dropped := false
@@ -281,9 +312,13 @@ func (c *Client) handleFwd(m *Msg, a uint64, exclusive bool) {
 	if exclusive {
 		dt = MsgDataM
 	}
-	c.fabric.Send(&Msg{Type: dt, Addr: m.Addr, Src: c.id, Dst: m.Requester, Ver: ver})
-	c.fabric.Send(&Msg{Type: MsgOwnerAck, Addr: m.Addr, Src: c.id, Dst: DirID,
-		Dirty: dirty, Dropped: dropped, Ver: ver})
+	data := c.pool.Get()
+	data.Type, data.Addr, data.Src, data.Dst, data.Ver = dt, m.Addr, c.id, m.Requester, ver
+	c.fabric.Send(data)
+	ack := c.pool.Get()
+	ack.Type, ack.Addr, ack.Src, ack.Dst = MsgOwnerAck, m.Addr, c.id, DirID
+	ack.Dirty, ack.Dropped, ack.Ver = dirty, dropped, ver
+	c.fabric.Send(ack)
 }
 
 // maybeComplete fills the line and replays waiters once data and all
@@ -319,8 +354,10 @@ func (c *Client) maybeComplete(t *txn) {
 	delete(c.txns, a)
 	c.mshr.Free(a)
 	c.fabric.Engine().Progress() // miss resolved: heartbeat
-	c.fabric.Send(&Msg{Type: MsgUnblock, Addr: mem.PAddr(a), Src: c.id, Dst: DirID,
-		Excl: state == cache.Exclusive || state == cache.Modified})
+	unb := c.pool.Get()
+	unb.Type, unb.Addr, unb.Src, unb.Dst = MsgUnblock, mem.PAddr(a), c.id, DirID
+	unb.Excl = state == cache.Exclusive || state == cache.Modified
+	c.fabric.Send(unb)
 
 	// Replay waiters: stores on a non-M fill re-enter Access and upgrade.
 	waiters := t.waiters
@@ -336,8 +373,9 @@ func (c *Client) maybeComplete(t *txn) {
 		if w.kind == mem.Store {
 			v.Ver++
 		}
-		c.fabric.Engine().Schedule(lat, func(now uint64) { w.done(now) })
+		c.fabric.Engine().Schedule(lat, w.done)
 	}
+	c.freeTxns = append(c.freeTxns, t)
 }
 
 // retryAccess re-issues an access until the MSHR accepts it.
@@ -370,20 +408,20 @@ func (c *Client) evict(v *cache.Line) {
 	}
 	switch v.State {
 	case cache.Modified:
-		c.evicting[v.Addr] = &evicting{ver: v.Ver, dirty: true}
-		c.fabric.Send(&Msg{Type: MsgPutM, Addr: mem.PAddr(v.Addr), Src: c.id,
-			Dst: DirID, Ver: v.Ver})
-		if c.stats != nil {
-			c.stats.Inc(c.name + ".writebacks")
-		}
+		c.evicting[v.Addr] = evicting{ver: v.Ver, dirty: true}
+		put := c.pool.Get()
+		put.Type, put.Addr, put.Src, put.Dst, put.Ver =
+			MsgPutM, mem.PAddr(v.Addr), c.id, DirID, v.Ver
+		c.fabric.Send(put)
+		c.cWBs.Inc()
 	case cache.Exclusive:
-		c.evicting[v.Addr] = &evicting{ver: v.Ver, dirty: false}
-		c.fabric.Send(&Msg{Type: MsgPutE, Addr: mem.PAddr(v.Addr), Src: c.id, Dst: DirID})
+		c.evicting[v.Addr] = evicting{ver: v.Ver, dirty: false}
+		put := c.pool.Get()
+		put.Type, put.Addr, put.Src, put.Dst = MsgPutE, mem.PAddr(v.Addr), c.id, DirID
+		c.fabric.Send(put)
 	default:
 		// Shared lines drop silently.
-		if c.stats != nil {
-			c.stats.Inc(c.name + ".silent_drops")
-		}
+		c.cDrops.Inc()
 	}
 	*v = cache.Line{}
 }

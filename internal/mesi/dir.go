@@ -64,6 +64,10 @@ type dirEntry struct {
 	queue      []*Msg
 }
 
+// dirOpRequest is the Directory's sole HandleEvent opcode: admit the request
+// parked in slot arg after its NUCA ring latency.
+const dirOpRequest = 0
+
 // Directory is the shared L2: a NUCA LLC data array plus the MESI directory,
 // backed by DRAM. It registers as agent DirID on the fabric.
 type Directory struct {
@@ -80,7 +84,21 @@ type Directory struct {
 
 	model energy.Model
 	meter *energy.Meter
-	stats *stats.Set
+	pool  MsgPool
+
+	// deferred parks requests between fabric delivery and ring-latency
+	// admission; the closure-free admission event carries the slot index.
+	deferred []*Msg
+	freeDef  []uint32
+
+	cQueued   *stats.Counter
+	cPutStale *stats.Counter
+	cFwd      *stats.Counter
+	cFwdTile  *stats.Counter
+	cL2Acc    *stats.Counter
+	cL2Hits   *stats.Counter
+	cL2Misses *stats.Counter
+	cByType   [256]*stats.Counter // "dir.<MsgType>" per request type
 
 	// TileAgent, when nonzero, marks which agent is the accelerator tile so
 	// forwarded-request counts (Section 3.2: "up to ~800 forwarded requests")
@@ -118,15 +136,24 @@ func DefaultDirConfig() DirConfig {
 func NewDirectory(f *Fabric, cfg DirConfig, d *dram.DRAM,
 	model energy.Model, meter *energy.Meter, st *stats.Set) *Directory {
 	dir := &Directory{
-		fabric:  f,
-		llc:     cache.NewArray(cfg.LLC),
-		dram:    d,
-		ring:    cfg.Ring,
-		ver:     make(map[uint64]uint64),
-		entries: make(map[uint64]*dirEntry),
-		model:   model,
-		meter:   meter,
-		stats:   st,
+		fabric:    f,
+		llc:       cache.NewArray(cfg.LLC),
+		dram:      d,
+		ring:      cfg.Ring,
+		ver:       make(map[uint64]uint64),
+		entries:   make(map[uint64]*dirEntry),
+		model:     model,
+		meter:     meter,
+		cQueued:   st.Counter("dir.queued"),
+		cPutStale: st.Counter("dir.put_stale"),
+		cFwd:      st.Counter("dir.fwd"),
+		cFwdTile:  st.Counter("dir.fwd_to_tile"),
+		cL2Acc:    st.Counter("l2.accesses"),
+		cL2Hits:   st.Counter("l2.hits"),
+		cL2Misses: st.Counter("l2.misses"),
+	}
+	for _, t := range []MsgType{MsgGetS, MsgGetM, MsgPutM, MsgPutE, MsgDMARead, MsgDMAWrite} {
+		dir.cByType[t] = st.Counter("dir." + t.String())
 	}
 	f.Register(DirID, dir.Handle)
 	return dir
@@ -162,21 +189,42 @@ func (dir *Directory) bank(a uint64) int {
 }
 
 // Handle is the fabric endpoint: routes message types to handlers. Requests
-// pay the NUCA ring latency to their bank before processing.
+// pay the NUCA ring latency to their bank before processing; acks complete
+// synchronously and are released here.
 func (dir *Directory) Handle(m *Msg) {
 	switch m.Type {
 	case MsgGetS, MsgGetM, MsgPutM, MsgPutE, MsgDMARead, MsgDMAWrite:
 		lat := dir.ring.Latency(0, dir.bank(uint64(m.Addr)))
-		dir.fabric.Engine().Schedule(lat, func(uint64) { dir.request(m) })
+		var slot uint32
+		if n := len(dir.freeDef); n > 0 {
+			slot = dir.freeDef[n-1]
+			dir.freeDef = dir.freeDef[:n-1]
+			dir.deferred[slot] = m
+		} else {
+			slot = uint32(len(dir.deferred))
+			dir.deferred = append(dir.deferred, m)
+		}
+		dir.fabric.Engine().ScheduleCall(lat, dir, dirOpRequest, uint64(slot))
 	case MsgOwnerAck:
 		dir.ownerAck(m)
+		dir.pool.Put(m)
 	case MsgUnblock:
 		dir.unblock(m)
+		dir.pool.Put(m)
 	case MsgInvAck:
 		dir.invAck(m)
+		dir.pool.Put(m)
 	default:
 		sim.Failf("dir", dir.fabric.Now(), dir.DumpState(), "unexpected %s", m)
 	}
+}
+
+// HandleEvent admits the ring-delayed request parked in slot arg.
+func (dir *Directory) HandleEvent(now uint64, op uint8, arg uint64) {
+	m := dir.deferred[arg]
+	dir.deferred[arg] = nil
+	dir.freeDef = append(dir.freeDef, uint32(arg))
+	dir.request(m)
 }
 
 // request admits a request to the blocking directory.
@@ -185,19 +233,20 @@ func (dir *Directory) request(m *Msg) {
 	e := dir.entry(a)
 	if e.busy {
 		e.queue = append(e.queue, m)
-		if dir.stats != nil {
-			dir.stats.Inc("dir.queued")
-		}
+		dir.cQueued.Inc()
 		return
 	}
 	dir.start(e, m)
 }
 
-// start runs one transaction. The entry is not busy.
+// start runs one transaction. The entry is not busy. Handlers consume the
+// message synchronously (continuations capture field copies, never m), so
+// start releases it on the way out — except DMAWrite, whose handler keeps
+// ownership until commitDMAWrite.
 func (dir *Directory) start(e *dirEntry, m *Msg) {
 	a := uint64(m.Addr.LineAddr())
-	if dir.stats != nil {
-		dir.stats.Inc("dir." + m.Type.String())
+	if c := dir.cByType[m.Type]; c != nil {
+		c.Inc()
 	}
 	if dir.tracer != nil {
 		var k ptrace.Kind
@@ -230,73 +279,83 @@ func (dir *Directory) start(e *dirEntry, m *Msg) {
 		dir.handleDMARead(e, m, a)
 	case MsgDMAWrite:
 		dir.handleDMAWrite(e, m, a)
+		return // released by commitDMAWrite (possibly after inv acks)
 	default:
 		sim.Failf("dir", dir.fabric.Now(), dir.DumpState(), "start %s", m)
 	}
+	dir.pool.Put(m)
 }
 
 func (dir *Directory) handleGetS(e *dirEntry, m *Msg, a uint64) {
+	addr, src := m.Addr, m.Src
 	switch e.state {
 	case dirI:
 		e.busy, e.waitUnblock = true, true
 		dir.readData(a, func(ver uint64) {
-			dir.send(&Msg{Type: MsgDataE, Addr: m.Addr, Src: DirID, Dst: m.Src, Ver: ver})
-			e.state, e.owner = dirE, m.Src
+			d := dir.pool.Get()
+			d.Type, d.Addr, d.Src, d.Dst, d.Ver = MsgDataE, addr, DirID, src, ver
+			dir.send(d)
+			e.state, e.owner = dirE, src
 		})
 	case dirS:
 		e.busy, e.waitUnblock = true, true
 		dir.readData(a, func(ver uint64) {
-			dir.send(&Msg{Type: MsgData, Addr: m.Addr, Src: DirID, Dst: m.Src, Ver: ver})
-			e.sharers.add(m.Src)
+			d := dir.pool.Get()
+			d.Type, d.Addr, d.Src, d.Dst, d.Ver = MsgData, addr, DirID, src, ver
+			dir.send(d)
+			e.sharers.add(src)
 		})
 	case dirE:
 		e.busy, e.waitUnblock, e.waitOwnerAck = true, true, true
 		dir.forward(MsgFwdGetS, e.owner, m)
 		// State settles when OwnerAck arrives (owner may drop or keep S).
-		e.sharers.add(m.Src)
+		e.sharers.add(src)
 	}
 }
 
 func (dir *Directory) handleGetM(e *dirEntry, m *Msg, a uint64) {
+	addr, src := m.Addr, m.Src
 	switch e.state {
 	case dirI:
 		e.busy, e.waitUnblock = true, true
 		dir.readData(a, func(ver uint64) {
-			dir.send(&Msg{Type: MsgDataM, Addr: m.Addr, Src: DirID, Dst: m.Src, Ver: ver})
-			e.state, e.owner, e.sharers = dirE, m.Src, 0
+			d := dir.pool.Get()
+			d.Type, d.Addr, d.Src, d.Dst, d.Ver = MsgDataM, addr, DirID, src, ver
+			dir.send(d)
+			e.state, e.owner, e.sharers = dirE, src, 0
 		})
 	case dirS:
 		e.busy, e.waitUnblock = true, true
 		others := e.sharers
-		others.remove(m.Src)
+		others.remove(src)
 		n := others.count()
 		dir.readData(a, func(ver uint64) {
-			dir.send(&Msg{Type: MsgData, Addr: m.Addr, Src: DirID, Dst: m.Src,
-				AckCount: n, Ver: ver})
+			d := dir.pool.Get()
+			d.Type, d.Addr, d.Src, d.Dst, d.AckCount, d.Ver = MsgData, addr, DirID, src, n, ver
+			dir.send(d)
 			others.forEach(func(s AgentID) {
-				dir.send(&Msg{Type: MsgInv, Addr: m.Addr, Src: DirID, Dst: s,
-					Requester: m.Src})
+				inv := dir.pool.Get()
+				inv.Type, inv.Addr, inv.Src, inv.Dst, inv.Requester = MsgInv, addr, DirID, s, src
+				dir.send(inv)
 			})
-			e.state, e.owner, e.sharers = dirE, m.Src, 0
+			e.state, e.owner, e.sharers = dirE, src, 0
 		})
 	case dirE:
-		if e.owner == m.Src {
+		if e.owner == src {
 			// Cannot happen in MESI: E->M upgrades are silent, and an M
 			// owner never requests. Guard anyway.
-			sim.Failf("dir", dir.fabric.Now(), dir.DumpState(), "GetM from current owner agent%d", m.Src)
+			sim.Failf("dir", dir.fabric.Now(), dir.DumpState(), "GetM from current owner agent%d", src)
 		}
 		e.busy, e.waitUnblock, e.waitOwnerAck = true, true, true
 		dir.forward(MsgFwdGetM, e.owner, m)
-		e.state, e.owner, e.sharers = dirE, m.Src, 0
+		e.state, e.owner, e.sharers = dirE, src, 0
 	}
 }
 
 func (dir *Directory) handlePutM(e *dirEntry, m *Msg, a uint64) {
 	stale := !(e.state == dirE && e.owner == m.Src)
 	if stale {
-		if dir.stats != nil {
-			dir.stats.Inc("dir.put_stale")
-		}
+		dir.cPutStale.Inc()
 	} else {
 		e.state, e.owner = dirI, 0
 	}
@@ -306,7 +365,9 @@ func (dir *Directory) handlePutM(e *dirEntry, m *Msg, a uint64) {
 		dir.ver[a] = m.Ver
 		dir.fillLLC(a, true)
 	}
-	dir.send(&Msg{Type: MsgPutAck, Addr: m.Addr, Src: DirID, Dst: m.Src})
+	ack := dir.pool.Get()
+	ack.Type, ack.Addr, ack.Src, ack.Dst = MsgPutAck, m.Addr, DirID, m.Src
+	dir.send(ack)
 	// Puts complete synchronously and never mark the line busy; when this
 	// one was popped from the queue, the requests behind it must continue
 	// draining or they would sit on a non-busy line forever.
@@ -316,20 +377,24 @@ func (dir *Directory) handlePutM(e *dirEntry, m *Msg, a uint64) {
 func (dir *Directory) handlePutE(e *dirEntry, m *Msg, a uint64) {
 	if e.state == dirE && e.owner == m.Src {
 		e.state, e.owner = dirI, 0
-	} else if dir.stats != nil {
-		dir.stats.Inc("dir.put_stale")
+	} else {
+		dir.cPutStale.Inc()
 	}
-	dir.send(&Msg{Type: MsgPutAck, Addr: m.Addr, Src: DirID, Dst: m.Src})
+	ack := dir.pool.Get()
+	ack.Type, ack.Addr, ack.Src, ack.Dst = MsgPutAck, m.Addr, DirID, m.Src
+	dir.send(ack)
 	dir.finish(e) // see handlePutM: keep draining the queue
 }
 
 func (dir *Directory) handleDMARead(e *dirEntry, m *Msg, a uint64) {
+	addr, src := m.Addr, m.Src
 	switch e.state {
 	case dirI, dirS:
 		e.busy = true // block the line only for the duration of the fetch
 		dir.readData(a, func(ver uint64) {
-			dir.send(&Msg{Type: MsgDMAReadResp, Addr: m.Addr, Src: DirID,
-				Dst: m.Src, Ver: ver})
+			d := dir.pool.Get()
+			d.Type, d.Addr, d.Src, d.Dst, d.Ver = MsgDMAReadResp, addr, DirID, src, ver
+			dir.send(d)
 			dir.finish(e)
 		})
 	case dirE:
@@ -360,11 +425,14 @@ func (dir *Directory) handleDMAWrite(e *dirEntry, m *Msg, a uint64) {
 	e.waitInvAcks = n
 	e.pendingDMA = m
 	targets.forEach(func(s AgentID) {
-		dir.send(&Msg{Type: MsgInv, Addr: m.Addr, Src: DirID, Dst: s,
-			Requester: DirID})
+		inv := dir.pool.Get()
+		inv.Type, inv.Addr, inv.Src, inv.Dst, inv.Requester = MsgInv, m.Addr, DirID, s, DirID
+		dir.send(inv)
 	})
 }
 
+// commitDMAWrite finishes a DMA write and releases the request message it
+// owned (handed over either directly or via pendingDMA).
 func (dir *Directory) commitDMAWrite(e *dirEntry, m *Msg, a uint64) {
 	if m.Delta {
 		dir.ver[a] += m.Ver
@@ -372,7 +440,10 @@ func (dir *Directory) commitDMAWrite(e *dirEntry, m *Msg, a uint64) {
 		dir.ver[a] = m.Ver
 	}
 	dir.fillLLC(a, true)
-	dir.send(&Msg{Type: MsgDMAWriteAck, Addr: m.Addr, Src: DirID, Dst: m.Src})
+	ack := dir.pool.Get()
+	ack.Type, ack.Addr, ack.Src, ack.Dst = MsgDMAWriteAck, m.Addr, DirID, m.Src
+	dir.send(ack)
+	dir.pool.Put(m)
 	dir.finish(e)
 }
 
@@ -455,15 +526,17 @@ func (dir *Directory) finish(e *dirEntry) {
 
 // forward sends a Fwd to the current owner on behalf of requester req.
 func (dir *Directory) forward(t MsgType, owner AgentID, req *Msg) {
-	if dir.stats != nil {
-		dir.stats.Inc("dir.fwd")
-		if owner == dir.TileAgent && dir.TileAgent != 0 {
-			dir.stats.Inc("dir.fwd_to_tile")
-		}
+	dir.cFwd.Inc()
+	if owner == dir.TileAgent && dir.TileAgent != 0 {
+		dir.cFwdTile.Inc()
 	}
-	dir.emit(ptrace.DirForward, req.Addr,
-		fmt.Sprintf("%s to agent%d for agent%d", t, owner, req.Src))
-	dir.send(&Msg{Type: t, Addr: req.Addr, Src: DirID, Dst: owner, Requester: req.Src})
+	if dir.tracer != nil {
+		dir.emit(ptrace.DirForward, req.Addr,
+			fmt.Sprintf("%s to agent%d for agent%d", t, owner, req.Src))
+	}
+	fwd := dir.pool.Get()
+	fwd.Type, fwd.Addr, fwd.Src, fwd.Dst, fwd.Requester = t, req.Addr, DirID, owner, req.Src
+	dir.send(fwd)
 }
 
 func (dir *Directory) send(m *Msg) { dir.fabric.Send(m) }
@@ -473,9 +546,7 @@ func (dir *Directory) accessL2() {
 	if dir.meter != nil {
 		dir.meter.Add(energy.CatL2, dir.model.L2Access)
 	}
-	if dir.stats != nil {
-		dir.stats.Inc("l2.accesses")
-	}
+	dir.cL2Acc.Inc()
 }
 
 // readData obtains the line's data: LLC hit continues after a cycle; a miss
@@ -483,15 +554,11 @@ func (dir *Directory) accessL2() {
 func (dir *Directory) readData(a uint64, cont func(ver uint64)) {
 	dir.accessL2()
 	if dir.llc.Lookup(a) != nil {
-		if dir.stats != nil {
-			dir.stats.Inc("l2.hits")
-		}
+		dir.cL2Hits.Inc()
 		dir.fabric.Engine().Schedule(1, func(uint64) { cont(dir.ver[a]) })
 		return
 	}
-	if dir.stats != nil {
-		dir.stats.Inc("l2.misses")
-	}
+	dir.cL2Misses.Inc()
 	dir.fetchDRAM(a, cont)
 }
 

@@ -13,6 +13,10 @@ import (
 // Endpoint receives messages addressed to one agent.
 type Endpoint func(*Msg)
 
+// MaxAgents bounds the fabric's dense route table. It matches sharerSet's
+// 32-agent bitmask cap, so the bound is already a protocol-wide invariant.
+const MaxAgents = 32
+
 // Route describes the wire between a pair of agents.
 type Route struct {
 	Latency   uint64
@@ -27,22 +31,45 @@ type Route struct {
 	StatName string
 }
 
+// routeState is one dense-table cell: the route itself plus its
+// serialization clock, FIFO floor, and interned traffic counters. Cells are
+// indexed by src*MaxAgents+dst, replacing three map[[2]AgentID] lookups per
+// Send with one slice index.
+type routeState struct {
+	route      Route
+	nextFree   uint64 // bandwidth serialization
+	lastArrive uint64 // FIFO floor under fault-injected jitter
+	init       bool
+	cMsgs      *stats.Counter
+	cBytes     *stats.Counter
+	cFlits     *stats.Counter
+	cCtrl      *stats.Counter
+	cData      *stats.Counter
+}
+
 // Fabric is the host-side message network: a full crossbar with per-pair
 // routes. Delivery preserves per-pair FIFO order (all messages on a route
 // share one latency and the engine's event queue is stable).
 type Fabric struct {
-	eng       *sim.Engine
-	meter     *energy.Meter
-	stats     *stats.Set
-	endpoints map[AgentID]Endpoint
-	routes    map[[2]AgentID]Route
-	nextFree  map[[2]AgentID]uint64 // bandwidth serialization per route
-	// lastArrive is the per-route FIFO floor: with fault-injected delay
-	// jitter, a later message must never overtake an earlier one.
-	lastArrive map[[2]AgentID]uint64
-	inj        *faults.Injector
-	// DefaultRoute applies to pairs without an explicit route.
+	eng     *sim.Engine
+	meter   *energy.Meter
+	stats   *stats.Set
+	cFaults *stats.Counter
+
+	endpoints [MaxAgents]Endpoint
+	rs        []routeState // MaxAgents*MaxAgents cells
+
+	inj *faults.Injector
+	// DefaultRoute applies to pairs without an explicit route. It is
+	// snapshotted into the dense table the first time such a pair sends, so
+	// set it before traffic starts.
 	DefaultRoute Route
+
+	// pending holds in-flight messages; a delivery event carries its slot
+	// index instead of a closure. Unlike a link's FIFO, fabric arrivals
+	// interleave across routes, so slots are addressed, not ordered.
+	pending  []*Msg
+	freeSlot []uint32
 }
 
 // NewFabric builds an empty fabric.
@@ -51,10 +78,8 @@ func NewFabric(eng *sim.Engine, meter *energy.Meter, st *stats.Set) *Fabric {
 		eng:          eng,
 		meter:        meter,
 		stats:        st,
-		endpoints:    make(map[AgentID]Endpoint),
-		routes:       make(map[[2]AgentID]Route),
-		nextFree:     make(map[[2]AgentID]uint64),
-		lastArrive:   make(map[[2]AgentID]uint64),
+		cFaults:      st.Counter("fabric.faults"),
+		rs:           make([]routeState, MaxAgents*MaxAgents),
 		DefaultRoute: Route{Latency: 8, PJPerByte: 6.0, Category: energy.CatLinkHost},
 	}
 }
@@ -63,9 +88,17 @@ func NewFabric(eng *sim.Engine, meter *energy.Meter, st *stats.Set) *Fabric {
 // is then perturbed by the plan's order-preserving link faults.
 func (f *Fabric) SetInjector(inj *faults.Injector) { f.inj = inj }
 
+func (f *Fabric) checkID(id AgentID) {
+	if id >= MaxAgents {
+		sim.Failf("mesi.fabric", f.eng.Now(), "",
+			"agent %d exceeds the %d-agent fabric cap", id, MaxAgents)
+	}
+}
+
 // Register attaches an endpoint for agent id.
 func (f *Fabric) Register(id AgentID, ep Endpoint) {
-	if _, dup := f.endpoints[id]; dup {
+	f.checkID(id)
+	if f.endpoints[id] != nil {
 		sim.Failf("mesi.fabric", f.eng.Now(), "", "agent %d registered twice", id)
 	}
 	f.endpoints[id] = ep
@@ -73,7 +106,9 @@ func (f *Fabric) Register(id AgentID, ep Endpoint) {
 
 // SetRoute installs a route for src->dst (directional).
 func (f *Fabric) SetRoute(src, dst AgentID, r Route) {
-	f.routes[[2]AgentID{src, dst}] = r
+	f.checkID(src)
+	f.checkID(dst)
+	f.initCell(&f.rs[int(src)*MaxAgents+int(dst)], r)
 }
 
 // SetRoutePair installs the same route in both directions.
@@ -82,72 +117,102 @@ func (f *Fabric) SetRoutePair(a, b AgentID, r Route) {
 	f.SetRoute(b, a, r)
 }
 
+// initCell snapshots r into the cell and interns its traffic counters.
+// Counters are keyed by StatName, so both directions of a SetRoutePair (and
+// any routes sharing a name) feed the same cells, exactly as the string API
+// did.
+func (f *Fabric) initCell(rs *routeState, r Route) {
+	rs.route = r
+	rs.init = true
+	name := r.StatName
+	if name == "" {
+		name = "fabric"
+	}
+	rs.cMsgs = f.stats.Counter(name + ".msgs")
+	rs.cBytes = f.stats.Counter(name + ".bytes")
+	rs.cFlits = f.stats.Counter(name + ".flits")
+	rs.cCtrl = f.stats.Counter(name + ".ctrl")
+	rs.cData = f.stats.Counter(name + ".data")
+}
+
 // Send accounts energy/traffic for m and schedules its delivery.
 func (f *Fabric) Send(m *Msg) {
-	route, ok := f.routes[[2]AgentID{m.Src, m.Dst}]
-	if !ok {
-		route = f.DefaultRoute
+	f.checkID(m.Src)
+	f.checkID(m.Dst)
+	rs := &f.rs[int(m.Src)*MaxAgents+int(m.Dst)]
+	if !rs.init {
+		f.initCell(rs, f.DefaultRoute)
 	}
 	bytes := m.Bytes()
-	if f.meter != nil && route.Category != "" {
-		f.meter.Add(route.Category, route.PJPerByte*float64(bytes))
+	if f.meter != nil && rs.route.Category != "" {
+		f.meter.Add(rs.route.Category, rs.route.PJPerByte*float64(bytes))
 	}
-	if f.stats != nil {
-		name := route.StatName
-		if name == "" {
-			name = "fabric"
-		}
-		f.stats.Inc(name + ".msgs")
-		f.stats.Add(name+".bytes", int64(bytes))
-		f.stats.Add(name+".flits", int64(interconnect.Flits(bytes)))
-		if bytes <= interconnect.ControlBytes {
-			f.stats.Inc(name + ".ctrl")
-		} else {
-			f.stats.Inc(name + ".data")
-		}
+	rs.cMsgs.Inc()
+	rs.cBytes.Add(int64(bytes))
+	rs.cFlits.Add(int64(interconnect.Flits(bytes)))
+	if bytes <= interconnect.ControlBytes {
+		rs.cCtrl.Inc()
+	} else {
+		rs.cData.Inc()
 	}
-	ep, ok := f.endpoints[m.Dst]
-	if !ok {
+	if f.endpoints[m.Dst] == nil {
 		sim.Failf("mesi.fabric", f.eng.Now(), "",
 			"no endpoint for agent %d (msg %s)", m.Dst, m)
 	}
 	now := f.eng.Now()
 	start := now
-	key := [2]AgentID{m.Src, m.Dst}
 	if f.inj != nil {
-		site := route.StatName
+		site := rs.route.StatName
 		if site == "" {
 			site = fmt.Sprintf("fabric.%d.%d", m.Src, m.Dst)
 		}
 		if extra := f.inj.LinkDelay(site, now); extra > 0 {
 			start += extra
-			if f.stats != nil {
-				f.stats.Inc("fabric.faults")
-			}
+			f.cFaults.Inc()
 		}
 	}
-	if route.FlitsPerCycle > 0 {
-		if nf := f.nextFree[key]; nf > start {
-			start = nf
+	if r := &rs.route; r.FlitsPerCycle > 0 {
+		if rs.nextFree > start {
+			start = rs.nextFree
 		}
 		flits := uint64(interconnect.Flits(bytes))
-		occupancy := (flits + route.FlitsPerCycle - 1) / route.FlitsPerCycle
+		occupancy := (flits + r.FlitsPerCycle - 1) / r.FlitsPerCycle
 		if occupancy == 0 {
 			occupancy = 1
 		}
-		f.nextFree[key] = start + occupancy
+		rs.nextFree = start + occupancy
 	}
-	arrive := start + route.Latency
+	arrive := start + rs.route.Latency
 	if arrive <= now {
 		arrive = now + 1
 	}
 	// Per-route FIFO floor (see interconnect.Link): jitter delays, never
 	// reorders.
-	if arrive < f.lastArrive[key] {
-		arrive = f.lastArrive[key]
+	if arrive < rs.lastArrive {
+		arrive = rs.lastArrive
 	}
-	f.lastArrive[key] = arrive
-	f.eng.ScheduleAt(arrive, func(uint64) { f.eng.Progress(); ep(m) })
+	rs.lastArrive = arrive
+
+	var slot uint32
+	if n := len(f.freeSlot); n > 0 {
+		slot = f.freeSlot[n-1]
+		f.freeSlot = f.freeSlot[:n-1]
+		f.pending[slot] = m
+	} else {
+		slot = uint32(len(f.pending))
+		f.pending = append(f.pending, m)
+	}
+	f.eng.ScheduleCallAt(arrive, f, 0, uint64(slot))
+}
+
+// HandleEvent delivers the in-flight message parked in slot arg. A delivery
+// is forward progress: it feeds the watchdog's heartbeat.
+func (f *Fabric) HandleEvent(now uint64, op uint8, arg uint64) {
+	m := f.pending[arg]
+	f.pending[arg] = nil
+	f.freeSlot = append(f.freeSlot, uint32(arg))
+	f.eng.Progress()
+	f.endpoints[m.Dst](m)
 }
 
 // Now exposes the engine clock to protocol controllers.

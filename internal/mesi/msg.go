@@ -109,6 +109,10 @@ type Msg struct {
 	// for write-allocated scratchpad lines whose base version was never
 	// fetched (only read data is DMA'd in, Section 4).
 	Delta bool
+
+	// pooled marks a message currently sitting in a MsgPool free list; the
+	// pool's double-release guard checks it.
+	pooled bool
 }
 
 // Bytes implements interconnect.Message: one 8-byte control flit, plus a

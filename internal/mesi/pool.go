@@ -1,0 +1,53 @@
+package mesi
+
+import "fusion/internal/sim"
+
+// msgTypePoison overwrites a released message's Type so any use-after-release
+// trips the receiving controller's unexpected-message diagnostics instead of
+// silently replaying a stale transaction.
+const msgTypePoison MsgType = 0xFD
+
+// MsgPool is a free list of coherence messages. Every hot sender (client,
+// directory, tile L1X, oracle DMA) owns one and draws fresh messages from it
+// instead of allocating; the receiver releases a message into its own pool
+// once the handler is done with it. Pool identity does not matter — a Msg
+// may be created by one pool and released into another (messages migrate
+// between agents' free lists), because the engine is single-threaded and a
+// pooled Msg carries no owner state.
+//
+// Put panics (via sim.Failf, a *ProtocolError) on double release — the guard
+// is a single flag check, cheap enough to stay on in every build, not just
+// under -paranoid.
+type MsgPool struct {
+	free []*Msg
+}
+
+// Get returns a zeroed message. A nil pool degrades to plain allocation.
+func (p *MsgPool) Get() *Msg {
+	if p == nil || len(p.free) == 0 {
+		return &Msg{}
+	}
+	n := len(p.free) - 1
+	m := p.free[n]
+	p.free[n] = nil
+	p.free = p.free[:n]
+	*m = Msg{}
+	return m
+}
+
+// Put releases m for reuse. Releasing the same message twice is a protocol
+// bug (two handlers both believed they owned it) and fails loudly. The
+// released message's Type is poisoned so a retained alias is caught the next
+// time anything inspects it. A nil pool accepts the release (the message
+// falls back to the garbage collector) but still enforces the guard.
+func (p *MsgPool) Put(m *Msg) {
+	if m.pooled {
+		sim.Failf("mesi.pool", 0, "", "double release of %s", m)
+	}
+	m.pooled = true
+	m.Type = msgTypePoison
+	if p == nil {
+		return
+	}
+	p.free = append(p.free, m)
+}

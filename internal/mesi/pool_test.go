@@ -1,0 +1,45 @@
+package mesi
+
+import (
+	"testing"
+
+	"fusion/internal/sim"
+)
+
+func TestMsgPoolReuse(t *testing.T) {
+	var p MsgPool
+	m := p.Get()
+	m.Type, m.Addr = MsgGetM, 0x40
+	p.Put(m)
+	if m.Type != msgTypePoison {
+		t.Fatalf("released message Type = %v, want poison", m.Type)
+	}
+	m2 := p.Get()
+	if m2 != m {
+		t.Fatal("pool did not reuse the released message")
+	}
+	if m2.Type != 0 || m2.Addr != 0 || m2.pooled {
+		t.Fatalf("reused message not zeroed: %+v", m2)
+	}
+}
+
+func TestMsgPoolDoubleReleasePanics(t *testing.T) {
+	var p MsgPool
+	m := p.Get()
+	p.Put(m)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double release did not panic")
+		}
+		perr, ok := r.(*sim.ProtocolError)
+		if !ok {
+			t.Fatalf("panic value %T, want *sim.ProtocolError", r)
+		}
+		if perr.Component != "mesi.pool" {
+			t.Fatalf("component = %q, want mesi.pool", perr.Component)
+		}
+	}()
+	p.Put(m)
+}

@@ -17,7 +17,11 @@ import (
 type DMA struct {
 	agent  mesi.AgentID
 	fabric *mesi.Fabric
-	stats  *stats.Set
+	pool   mesi.MsgPool
+	pumpFn func(now uint64) // cached retry callback
+
+	cReads  *stats.Counter
+	cWrites *stats.Counter
 
 	maxOutstanding int
 	outstanding    int
@@ -50,12 +54,14 @@ func NewDMA(fabric *mesi.Fabric, id mesi.AgentID, maxOutstanding int, gap uint64
 	d := &DMA{
 		agent:          id,
 		fabric:         fabric,
-		stats:          st,
 		maxOutstanding: maxOutstanding,
 		gap:            gap,
 		pendingReads:   make(map[mem.PAddr]*readCtx),
 		pendingWrites:  make(map[mem.PAddr]func(uint64)),
+		cReads:         st.Counter("dma.reads"),
+		cWrites:        st.Counter("dma.writes"),
 	}
+	d.pumpFn = func(uint64) { d.pump() }
 	fabric.Register(id, d.Handle)
 	return d
 }
@@ -63,9 +69,7 @@ func NewDMA(fabric *mesi.Fabric, id mesi.AgentID, maxOutstanding int, gap uint64
 // ReadLine fetches one line; onVer fires with the coherent data version.
 func (d *DMA) ReadLine(pa mem.PAddr, onVer func(ver uint64)) {
 	d.queue = append(d.queue, dmaOp{pa: pa.LineAddr(), onVer: onVer})
-	if d.stats != nil {
-		d.stats.Inc("dma.reads")
-	}
+	d.cReads.Inc()
 	d.pump()
 }
 
@@ -73,9 +77,7 @@ func (d *DMA) ReadLine(pa mem.PAddr, onVer func(ver uint64)) {
 // ver as an increment for write-allocated lines (see scratchpad.DirtyLine).
 func (d *DMA) WriteLine(pa mem.PAddr, ver uint64, delta bool, done func(now uint64)) {
 	d.queue = append(d.queue, dmaOp{write: true, pa: pa.LineAddr(), ver: ver, delta: delta, done: done})
-	if d.stats != nil {
-		d.stats.Inc("dma.writes")
-	}
+	d.cWrites.Inc()
 	d.pump()
 }
 
@@ -90,7 +92,7 @@ func (d *DMA) pump() {
 	for d.outstanding < d.maxOutstanding && len(d.queue) > 0 {
 		now := d.fabric.Now()
 		if now < d.nextIssue {
-			d.fabric.Engine().ScheduleAt(d.nextIssue, func(uint64) { d.pump() })
+			d.fabric.Engine().ScheduleAt(d.nextIssue, d.pumpFn)
 			return
 		}
 		d.nextIssue = now + d.gap
@@ -102,16 +104,19 @@ func (d *DMA) pump() {
 				sim.Failf("dma", d.fabric.Now(), d.DumpState(), "overlapping writes to %s", op.pa)
 			}
 			d.pendingWrites[op.pa] = op.done
-			d.fabric.Send(&mesi.Msg{Type: mesi.MsgDMAWrite, Addr: op.pa,
-				Src: d.agent, Dst: mesi.DirID, Ver: op.ver, Delta: op.delta})
+			w := d.pool.Get()
+			w.Type, w.Addr, w.Src, w.Dst = mesi.MsgDMAWrite, op.pa, d.agent, mesi.DirID
+			w.Ver, w.Delta = op.ver, op.delta
+			d.fabric.Send(w)
 			continue
 		}
 		ctx := d.pendingReads[op.pa]
 		if ctx == nil {
 			ctx = &readCtx{}
 			d.pendingReads[op.pa] = ctx
-			d.fabric.Send(&mesi.Msg{Type: mesi.MsgDMARead, Addr: op.pa,
-				Src: d.agent, Dst: mesi.DirID})
+			r := d.pool.Get()
+			r.Type, r.Addr, r.Src, r.Dst = mesi.MsgDMARead, op.pa, d.agent, mesi.DirID
+			d.fabric.Send(r)
 		} else {
 			// Merged duplicate read; it resolves with the first response.
 			d.outstanding--
@@ -120,10 +125,12 @@ func (d *DMA) pump() {
 	}
 }
 
-// Handle receives directory responses. A read for a line owned modified by
-// a cache arrives as a plain Data message from the owner (3-hop), so both
-// forms resolve the same pending read.
+// Handle receives directory responses and releases them after the (fully
+// synchronous) handling. A read for a line owned modified by a cache arrives
+// as a plain Data message from the owner (3-hop), so both forms resolve the
+// same pending read.
 func (d *DMA) Handle(m *mesi.Msg) {
+	defer d.pool.Put(m)
 	switch m.Type {
 	case mesi.MsgDMAReadResp, mesi.MsgData, mesi.MsgDataE, mesi.MsgDataM:
 		pa := m.Addr.LineAddr()

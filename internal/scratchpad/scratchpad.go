@@ -46,19 +46,20 @@ type Scratchpad struct {
 	eng   *sim.Engine
 	lines map[uint64]*padLine
 	meter *energy.Meter
-	stats *stats.Set
+
+	cAccesses *stats.Counter
 }
 
 // New builds an empty scratchpad.
 func New(eng *sim.Engine, name string, cfg Config,
 	meter *energy.Meter, st *stats.Set) *Scratchpad {
 	return &Scratchpad{
-		name:  name,
-		cfg:   cfg,
-		eng:   eng,
-		lines: make(map[uint64]*padLine),
-		meter: meter,
-		stats: st,
+		name:      name,
+		cfg:       cfg,
+		eng:       eng,
+		lines:     make(map[uint64]*padLine),
+		meter:     meter,
+		cAccesses: st.Counter(name + ".accesses"),
 	}
 }
 
@@ -100,14 +101,12 @@ func (s *Scratchpad) Access(kind mem.AccessKind, va mem.VAddr, done func(now uin
 	if s.meter != nil {
 		s.meter.Add(energy.CatScratch, s.cfg.AccessPJ)
 	}
-	if s.stats != nil {
-		s.stats.Inc(s.name + ".accesses")
-	}
+	s.cAccesses.Inc()
 	if kind == mem.Store {
 		l.delta++
 		l.dirty = true
 	}
-	s.eng.Schedule(s.cfg.AccessLat, func(now uint64) { done(now) })
+	s.eng.Schedule(s.cfg.AccessLat, done)
 	return true
 }
 

@@ -50,11 +50,24 @@ type Waker interface {
 	WakeAt(now uint64) (at uint64, ok bool)
 }
 
-// event is a scheduled callback.
+// EventHandler is the closure-free event target. Hot components (link
+// delivery, fabric delivery, directory request intake, lease expiry)
+// implement it once; ScheduleCall then carries only an interface pointer, a
+// handler-private opcode, and one integer argument — no func allocation per
+// event. Cold paths keep using Schedule with closures.
+type EventHandler interface {
+	HandleEvent(now uint64, op uint8, arg uint64)
+}
+
+// event is a scheduled callback: either a closure (fn) or a closure-free
+// handler dispatch (h/op/arg) — exactly one of fn and h is non-nil.
 type event struct {
 	at  uint64
 	seq uint64 // tie-break: schedule order
 	fn  func(now uint64)
+	h   EventHandler
+	op  uint8
+	arg uint64
 }
 
 // eventHeap is a binary min-heap of events ordered by (at, seq). It is
@@ -193,6 +206,23 @@ func (e *Engine) ScheduleAt(at uint64, fn func(now uint64)) {
 	e.events.push(event{at: at, seq: e.bumpSeq(), fn: fn})
 }
 
+// ScheduleCall runs h.HandleEvent(now, op, arg) delay cycles from now. It is
+// the closure-free twin of Schedule: the event carries no func value, so a
+// steady-state schedule allocates nothing once the heap's backing array has
+// warmed up. op and arg are opaque to the engine.
+func (e *Engine) ScheduleCall(delay uint64, h EventHandler, op uint8, arg uint64) {
+	e.events.push(event{at: e.now + delay, seq: e.bumpSeq(), h: h, op: op, arg: arg})
+}
+
+// ScheduleCallAt is ScheduleCall with an absolute cycle, which must not be
+// in the past.
+func (e *Engine) ScheduleCallAt(at uint64, h EventHandler, op uint8, arg uint64) {
+	if at < e.now {
+		Failf("sim.engine", e.now, "", "ScheduleCallAt(%d) is in the past", at)
+	}
+	e.events.push(event{at: at, seq: e.bumpSeq(), h: h, op: op, arg: arg})
+}
+
 // Stop makes Run return at the end of the current cycle. A Stop issued
 // before Run is honored: the next Run returns immediately, consuming the
 // stop (so a subsequent Run proceeds normally).
@@ -219,7 +249,11 @@ func (e *Engine) Step() {
 	// including events scheduled with zero delay while draining.
 	for len(e.events) > 0 && e.events[0].at <= e.now {
 		ev := e.events.pop()
-		ev.fn(e.now)
+		if ev.fn != nil {
+			ev.fn(e.now)
+		} else {
+			ev.h.HandleEvent(e.now, ev.op, ev.arg)
+		}
 	}
 	// Tick phase.
 	for _, t := range e.tickers {

@@ -1,0 +1,29 @@
+//go:build !race
+
+// Allocation-discipline tests. They are excluded under the race detector:
+// the race runtime instruments allocations and makes AllocsPerRun counts
+// meaningless.
+package stats
+
+import "testing"
+
+func TestCounterAddZeroAlloc(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("hot.counter")
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		c.Inc()
+	}); avg != 0 {
+		t.Fatalf("Counter.Add/Inc allocated %.1f per op, want 0", avg)
+	}
+}
+
+func TestCounterHandleOnNilSetZeroAllocAfterResolve(t *testing.T) {
+	var s *Set
+	c := s.Counter("anything") // private sink; increments must still be free
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+	}); avg != 0 {
+		t.Fatalf("nil-set Counter.Inc allocated %.1f per op, want 0", avg)
+	}
+}

@@ -1,6 +1,11 @@
 // Package stats provides the counter registry every simulated component
 // reports into. Counters are named hierarchically ("l1x.read.hit") and kept
 // in insertion order so dumps are deterministic.
+//
+// Hot components do not pay the string-map cost per event: they resolve a
+// *Counter handle once at construction (Set.Counter) and increment through
+// the pointer. The string-keyed Add/Inc/Put/Get API remains for cold paths
+// and tests; both views share the same underlying cells.
 package stats
 
 import (
@@ -10,42 +15,84 @@ import (
 	"strings"
 )
 
+// Counter is a single interned counter cell. Handles stay valid for the
+// lifetime of the Set that interned them; incrementing through a handle is
+// a plain pointer write with no map hashing and no allocation.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by v.
+func (c *Counter) Add(v int64) { c.v += v }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Set overwrites the counter with v (gauge semantics).
+func (c *Counter) Set(v int64) { c.v = v }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
 // Set is an ordered collection of named int64 counters.
 type Set struct {
 	order []string
-	vals  map[string]int64
+	vals  map[string]*Counter
 }
 
 // NewSet returns an empty counter set.
 func NewSet() *Set {
-	return &Set{vals: make(map[string]int64)}
+	return &Set{vals: make(map[string]*Counter)}
+}
+
+// Counter interns name and returns its handle, creating the counter (at
+// zero) if needed. A nil receiver returns a private throwaway cell, so
+// components built without a stats set can still resolve handles at
+// construction and increment unconditionally on the hot path. Each nil-set
+// call returns a distinct cell: sharing one global sink would be a data
+// race across the parallel sweep's engines.
+func (s *Set) Counter(name string) *Counter {
+	if s == nil {
+		return new(Counter)
+	}
+	c, ok := s.vals[name]
+	if !ok {
+		c = new(Counter)
+		s.vals[name] = c
+		s.order = append(s.order, name)
+	}
+	return c
 }
 
 // Add increments counter name by v, creating it if needed.
-func (s *Set) Add(name string, v int64) {
-	if _, ok := s.vals[name]; !ok {
-		s.order = append(s.order, name)
-	}
-	s.vals[name] += v
-}
+func (s *Set) Add(name string, v int64) { s.Counter(name).v += v }
 
 // Inc increments counter name by one.
-func (s *Set) Inc(name string) { s.Add(name, 1) }
+func (s *Set) Inc(name string) { s.Counter(name).v++ }
 
 // Put overwrites counter name with v (gauge semantics).
-func (s *Set) Put(name string, v int64) {
-	if _, ok := s.vals[name]; !ok {
-		s.order = append(s.order, name)
-	}
-	s.vals[name] = v
-}
+func (s *Set) Put(name string, v int64) { s.Counter(name).v = v }
 
 // Get returns the value of counter name (zero if absent).
-func (s *Set) Get(name string) int64 { return s.vals[name] }
+func (s *Set) Get(name string) int64 {
+	if c, ok := s.vals[name]; ok {
+		return c.v
+	}
+	return 0
+}
 
-// Names returns the counter names in insertion order.
+// Names returns the counter names in insertion order. The slice is a copy;
+// prefer ForEach where the caller only iterates.
 func (s *Set) Names() []string {
 	return append([]string(nil), s.order...)
+}
+
+// ForEach calls fn for every counter in insertion order without copying the
+// name slice. fn must not mutate the set.
+func (s *Set) ForEach(fn func(name string, v int64)) {
+	for _, n := range s.order {
+		fn(n, s.vals[n].v)
+	}
 }
 
 // Merge adds every counter from other into s, prefixing names with prefix
@@ -56,7 +103,7 @@ func (s *Set) Merge(prefix string, other *Set) {
 		if prefix != "" {
 			name = prefix + "." + n
 		}
-		s.Add(name, other.vals[n])
+		s.Counter(name).v += other.vals[n].v
 	}
 }
 
@@ -65,7 +112,7 @@ func (s *Set) Sum(prefix string) int64 {
 	var total int64
 	for _, n := range s.order {
 		if strings.HasPrefix(n, prefix) {
-			total += s.vals[n]
+			total += s.vals[n].v
 		}
 	}
 	return total
@@ -76,14 +123,15 @@ func (s *Set) Dump(w io.Writer) {
 	names := append([]string(nil), s.order...)
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(w, "%-48s %12d\n", n, s.vals[n])
+		fmt.Fprintf(w, "%-48s %12d\n", n, s.vals[n].v)
 	}
 }
 
-// Reset zeroes and removes every counter.
+// Reset zeroes and removes every counter. Handles interned before the reset
+// are orphaned: they keep working but no longer feed the set.
 func (s *Set) Reset() {
 	s.order = s.order[:0]
-	s.vals = make(map[string]int64)
+	s.vals = make(map[string]*Counter)
 }
 
 // Len reports the number of distinct counters.

@@ -150,11 +150,11 @@ func Soak(sc SoakConfig) SoakResult {
 // countFaults totals the per-site fault counters a run accumulated.
 func countFaults(st *stats.Set) uint64 {
 	var n int64
-	for _, name := range st.Names() {
+	st.ForEach(func(name string, v int64) {
 		if strings.HasSuffix(name, ".faults") || name == "dram.fault_spikes" {
-			n += st.Get(name)
+			n += v
 		}
-	}
+	})
 	return uint64(n)
 }
 

@@ -557,6 +557,7 @@ type sharedPort struct {
 	client *mesi.Client
 	tlb    *vm.TLB
 	eng    *sim.Engine
+	cMsgs  *stats.Counter
 }
 
 // Switch-crossing sizes for one SHARED access: an 8-byte request and a
@@ -571,7 +572,7 @@ func (p *sharedPort) Access(kind mem.AccessKind, va mem.VAddr, done func(uint64)
 		p.m.mt.Add(energy.CatLinkTile,
 			p.m.model.LinkL0XL1X*float64(sharedReqBytes+sharedRespBytes))
 	}
-	p.m.st.Inc("sharedswitch.msgs")
+	p.cMsgs.Inc()
 	pa, walk := p.tlb.Translate(p.m.pid, va)
 	if walk == 0 {
 		return p.client.Access(kind, pa, done)
@@ -611,7 +612,8 @@ func runShared(m *machine, b *workloads.Benchmark, cfg Config, res *Result) erro
 		m.wd.AddDump("sharedl1x", client.DumpState)
 	}
 	tlb := vm.NewTLB("sharedtlb", 32, 40, m.pt, m.model, m.mt, m.st)
-	port := &sharedPort{m: m, client: client, tlb: tlb, eng: m.eng}
+	port := &sharedPort{m: m, client: client, tlb: tlb, eng: m.eng,
+		cMsgs: m.st.Counter("sharedswitch.msgs")}
 	axcs := accelFor(m, b)
 
 	for i := range b.Program.Phases {

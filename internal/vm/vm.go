@@ -88,10 +88,13 @@ type TLB struct {
 	// WalkLatency is the extra cycles a TLB miss adds (page-table walk).
 	WalkLatency uint64
 
-	stats *stats.Set
 	meter *energy.Meter
 	model energy.Model
 	name  string
+
+	cLookups *stats.Counter
+	cHits    *stats.Counter
+	cMisses  *stats.Counter
 }
 
 // NewTLB builds a TLB with the given entry count over the page table.
@@ -101,10 +104,12 @@ func NewTLB(name string, entries int, walkLatency uint64, pt *PageTable,
 		entries:     make([]tlbEntry, entries),
 		pt:          pt,
 		WalkLatency: walkLatency,
-		stats:       st,
 		meter:       meter,
 		model:       model,
 		name:        name,
+		cLookups:    st.Counter(name + ".lookups"),
+		cHits:       st.Counter(name + ".hits"),
+		cMisses:     st.Counter(name + ".misses"),
 	}
 }
 
@@ -112,9 +117,7 @@ func NewTLB(name string, entries int, walkLatency uint64, pt *PageTable,
 // translation cost (0 on a TLB hit, WalkLatency on a miss). Every call is
 // one AX-TLB lookup for Table 6 accounting.
 func (t *TLB) Translate(pid mem.PID, va mem.VAddr) (mem.PAddr, uint64) {
-	if t.stats != nil {
-		t.stats.Inc(t.name + ".lookups")
-	}
+	t.cLookups.Inc()
 	if t.meter != nil {
 		t.meter.Add(energy.CatVM, t.model.TLBLookup)
 	}
@@ -124,16 +127,12 @@ func (t *TLB) Translate(pid mem.PID, va mem.VAddr) (mem.PAddr, uint64) {
 		e := &t.entries[i]
 		if e.valid && e.pid == pid && e.vpn == vpn {
 			e.lru = t.stamp
-			if t.stats != nil {
-				t.stats.Inc(t.name + ".hits")
-			}
+			t.cHits.Inc()
 			return mem.PAddr(e.pfn<<mem.PageShift | va.PageOffset()), 0
 		}
 	}
 	// Miss: walk, then fill the LRU entry.
-	if t.stats != nil {
-		t.stats.Inc(t.name + ".misses")
-	}
+	t.cMisses.Inc()
 	pa := t.pt.Translate(pid, va)
 	victim := &t.entries[0]
 	for i := range t.entries {
@@ -162,15 +161,19 @@ type Pointer struct {
 // RMAP is the AX-RMAP: physical line address -> L1X pointer.
 type RMAP struct {
 	m     map[mem.PAddr]Pointer
-	stats *stats.Set
 	meter *energy.Meter
 	model energy.Model
 	name  string
+
+	cSynEvict *stats.Counter
+	cLookups  *stats.Counter
 }
 
 // NewRMAP builds an empty reverse map.
 func NewRMAP(name string, model energy.Model, meter *energy.Meter, st *stats.Set) *RMAP {
-	return &RMAP{m: make(map[mem.PAddr]Pointer), stats: st, meter: meter, model: model, name: name}
+	return &RMAP{m: make(map[mem.PAddr]Pointer), meter: meter, model: model, name: name,
+		cSynEvict: st.Counter(name + ".synonym_evictions"),
+		cLookups:  st.Counter(name + ".lookups")}
 }
 
 // Insert records that physical line pa is cached at ptr. If another virtual
@@ -181,9 +184,7 @@ func (r *RMAP) Insert(pa mem.PAddr, ptr Pointer) (prev Pointer, dup bool) {
 	pa = pa.LineAddr()
 	if old, ok := r.m[pa]; ok && old.VAddr.LineAddr() != ptr.VAddr.LineAddr() {
 		r.m[pa] = ptr
-		if r.stats != nil {
-			r.stats.Inc(r.name + ".synonym_evictions")
-		}
+		r.cSynEvict.Inc()
 		return old, true
 	}
 	r.m[pa] = ptr
@@ -193,9 +194,7 @@ func (r *RMAP) Insert(pa mem.PAddr, ptr Pointer) (prev Pointer, dup bool) {
 // Lookup finds the L1X pointer for physical line pa. Each call is one
 // AX-RMAP lookup (Table 6).
 func (r *RMAP) Lookup(pa mem.PAddr) (Pointer, bool) {
-	if r.stats != nil {
-		r.stats.Inc(r.name + ".lookups")
-	}
+	r.cLookups.Inc()
 	if r.meter != nil {
 		r.meter.Add(energy.CatVM, r.model.RMAPLookup)
 	}
