@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet lint test race bench bench-smoke allocbudget soak-smoke soak clean
+.PHONY: tier1 build vet lint test race bench bench-smoke allocbudget soak-smoke soak fuzz-smoke cover cover-baseline litmus clean
 
 # tier1 is the gate every change must pass.
 tier1: vet lint build race allocbudget
@@ -16,11 +16,13 @@ vet:
 lint:
 	$(GO) run ./cmd/fusionlint ./...
 
+# -shuffle=on randomizes test (and subtest) execution order so hidden
+# inter-test state dependence fails loudly instead of by luck of ordering.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # bench: time every artifact's regeneration (plus the full set) and write
 # the per-artifact wall-clock/alloc report to BENCH_<date>.json. J bounds
@@ -49,6 +51,31 @@ soak-smoke:
 # soak: the full randomized fault-injection sweep across all four systems.
 soak:
 	$(GO) test -run 'TestSoak|TestFaulted|TestWatchdog' -timeout 30m ./internal/systems/
+
+# fuzz-smoke: run each native fuzzer briefly. The committed seed corpora
+# (testdata/fuzz/) replay on every plain `go test`; this target additionally
+# explores new seeds for ~10s per fuzzer.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzRandomWorkloadGolden -fuzztime $(FUZZTIME) ./internal/systems/
+	$(GO) test -run '^$$' -fuzz FuzzLitmusRandom -fuzztime $(FUZZTIME) ./internal/litmus/
+
+# cover: per-package statement coverage gated against COVERAGE_BASELINE
+# (fail on a >2-point regression in any package; see cmd/covergate).
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	$(GO) run ./cmd/covergate -profile cover.out -baseline COVERAGE_BASELINE
+
+# cover-baseline: refresh the checked-in baseline after a deliberate
+# coverage change (new package, added/removed tests).
+cover-baseline:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	$(GO) run ./cmd/covergate -profile cover.out -baseline COVERAGE_BASELINE -write
+
+# litmus: the directed coherence litmus suite via the CLI (the same cases
+# run as tests in internal/litmus; this prints the per-run table).
+litmus:
+	$(GO) run ./cmd/fusionsim -litmus all
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,8 @@
 //	fusionsim -bench disp -system fusion -large
 //	fusionsim -bench all -system all -j 8       # full sweep, one line per cell
 //	fusionsim -bench fft,adpcm -system fusion,shared
+//	fusionsim -litmus all                        # directed coherence litmus suite
+//	fusionsim -litmus lease-expiry               # one case, all its systems
 //
 // Systems: scratch, shared, fusion, fusion-dx.
 // Benchmarks: fft, disp, track, adpcm, susan, filt, hist.
@@ -83,6 +85,7 @@ func main() {
 		watchdog  = flag.Uint64("watchdog", 1_000_000, "halt with a diagnostic dump after this many cycles without forward progress (0 disables)")
 		faultSeed = flag.Uint64("faultseed", 0, "inject a random fault plan derived from this seed (0 disables)")
 		faultPlan = flag.String("faultplan", "", "inject the JSON fault plan loaded from this file (overrides -faultseed)")
+		litmusArg = flag.String("litmus", "", "run a directed coherence litmus case (or all) instead of a benchmark")
 		workers   = flag.Int("j", 0, "parallel sweep workers when multiple cells are named (0: GOMAXPROCS)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -113,6 +116,11 @@ func main() {
 		}
 		f.Close()
 	}()
+
+	if *litmusArg != "" {
+		runLitmus(*litmusArg)
+		return
+	}
 
 	var basePlan *fusion.FaultPlan
 	if *faultPlan != "" {
@@ -246,6 +254,44 @@ func main() {
 	if *stats {
 		fmt.Println("\nstatistics:")
 		res.Stats.Dump(os.Stdout)
+	}
+}
+
+// runLitmus runs the named directed coherence litmus case (or "all") on
+// each of its declared systems and prints one row per run; a failing run
+// prints its structured report — every visibility-model violation names
+// the agent, line, cycle, and the write it should have observed — and the
+// process exits 1.
+func runLitmus(name string) {
+	reps, err := fusion.RunLitmus(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "litmus: %v\n", err)
+		os.Exit(2)
+	}
+	failed := false
+	fmt.Printf("%-16s %-10s %8s %12s %s\n",
+		"case", "system", "cycles", "observations", "result")
+	for _, rep := range reps {
+		verdict := "ok"
+		if rep.Failed() {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-16s %-10s %8d %12d %s\n",
+			rep.Case, rep.System, rep.Cycles, rep.Observations, verdict)
+		for _, v := range rep.Violations {
+			fmt.Printf("    violation: %s\n", v)
+		}
+		if rep.FinalMismatches > 0 {
+			fmt.Printf("    final image: %d lines diverge from sequential semantics\n",
+				rep.FinalMismatches)
+		}
+		if rep.ScenarioErr != nil {
+			fmt.Printf("    scenario: %v\n", rep.ScenarioErr)
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

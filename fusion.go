@@ -49,6 +49,7 @@ import (
 
 	"fusion/internal/experiments"
 	"fusion/internal/faults"
+	"fusion/internal/litmus"
 	"fusion/internal/mem"
 	"fusion/internal/ptrace"
 	"fusion/internal/sim"
@@ -223,3 +224,19 @@ func ExperimentNames() []string {
 func RunExperiment(w io.Writer, name string) error {
 	return experiments.NewRunner().Print(w, name)
 }
+
+// LitmusReport is the outcome of one coherence litmus run: the recorded
+// observation count plus every visibility-model violation (each naming the
+// agent, line, cycle, and the write it should have observed).
+type (
+	LitmusReport    = litmus.Report
+	LitmusViolation = litmus.Violation
+)
+
+// LitmusCaseNames lists the directed litmus cases in suite order.
+func LitmusCaseNames() []string { return litmus.CaseNames() }
+
+// RunLitmus runs the directed litmus case `name` (or "all") on each of its
+// declared systems, value-checking every recorded load and store against
+// the system's visibility model (see internal/litmus).
+func RunLitmus(name string) ([]*LitmusReport, error) { return litmus.RunNamed(name) }

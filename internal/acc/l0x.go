@@ -9,6 +9,7 @@ import (
 	"fusion/internal/energy"
 	"fusion/internal/interconnect"
 	"fusion/internal/mem"
+	"fusion/internal/obs"
 	"fusion/internal/ptrace"
 	"fusion/internal/sim"
 	"fusion/internal/stats"
@@ -43,6 +44,7 @@ type l0txn struct {
 
 type l0waiter struct {
 	kind mem.AccessKind
+	va   mem.VAddr // original (offset-carrying) address, for observations
 	done func(now uint64)
 }
 
@@ -77,6 +79,8 @@ type L0X struct {
 
 	meter  *energy.Meter
 	tracer ptrace.Tracer
+	obsv   obs.Observer
+	mut    *Mutations
 
 	cAccesses     *stats.Counter
 	cWriteThrough *stats.Counter
@@ -94,6 +98,19 @@ type L0X struct {
 
 // SetTracer attaches a protocol tracer (nil disables tracing).
 func (c *L0X) SetTracer(t ptrace.Tracer) { c.tracer = t }
+
+// SetObserver attaches a litmus observer (nil disables observation; the
+// hot path then pays only a nil check).
+func (c *L0X) SetObserver(o obs.Observer) { c.obsv = o }
+
+// SetMutations arms test-only protocol mutations (nil disables them).
+func (c *L0X) SetMutations(m *Mutations) { c.mut = m }
+
+// observe reports one agent-visible load or store to the attached observer.
+func (c *L0X) observe(k obs.Kind, va mem.VAddr, ver, lease uint64) {
+	c.obsv.Record(obs.Observation{Cycle: c.eng.Now(), Agent: c.name,
+		Addr: uint64(va), Ver: ver, Lease: lease, Kind: k})
+}
 
 func (c *L0X) emit(k ptrace.Kind, addr uint64, detail string) {
 	if c.tracer != nil {
@@ -189,12 +206,23 @@ func (c *L0X) Access(kind mem.AccessKind, va mem.VAddr, done func(now uint64)) b
 	if l := c.arr.LookupPID(a, c.pid); l != nil {
 		readable := l.LTime > now || l.WTime > now
 		writable := l.WTime > now
+		if c.mut != nil && c.mut.SkipSelfInvalidate && kind == mem.Load {
+			readable = true // mutant: keep serving a lapsed lease
+		}
 		switch {
 		case kind == mem.Load && readable:
+			if c.obsv != nil {
+				c.observe(obs.Load, va, l.Ver, maxU64(l.LTime, l.WTime))
+			}
 			c.hit(done)
 			return true
 		case kind == mem.Store && writable:
-			l.Ver++
+			if c.mut == nil || !c.mut.LostStore {
+				l.Ver++
+			}
+			if c.obsv != nil {
+				c.observe(obs.Store, va, l.Ver, l.WTime)
+			}
 			if c.cfg.WriteThrough {
 				// Push the store straight through; the line stays clean.
 				c.sendWB(a, l.Ver, l.WTime, true)
@@ -215,7 +243,7 @@ func (c *L0X) Access(kind mem.AccessKind, va mem.VAddr, done func(now uint64)) b
 	}
 
 	if t, ok := c.txns[a]; ok {
-		t.waiters = append(t.waiters, l0waiter{kind, done})
+		t.waiters = append(t.waiters, l0waiter{kind, va, done})
 		return true
 	}
 	if c.mshr.Full() {
@@ -225,7 +253,7 @@ func (c *L0X) Access(kind mem.AccessKind, va mem.VAddr, done func(now uint64)) b
 	c.mshr.Allocate(a)
 	t := c.newTxn()
 	t.addr, t.write = a, kind == mem.Store
-	t.waiters = append(t.waiters, l0waiter{kind, done})
+	t.waiters = append(t.waiters, l0waiter{kind, va, done})
 	c.txns[a] = t
 	c.cMisses.Inc()
 	mt := MsgGetL
@@ -312,7 +340,7 @@ func (c *L0X) fill(m *TileMsg) {
 		c.cDeadGrants.Inc()
 		for _, w := range t.waiters {
 			w := w
-			c.eng.Schedule(1, func(uint64) { c.retryAccess(w.kind, mem.VAddr(a), w.done) })
+			c.eng.Schedule(1, func(uint64) { c.retryAccess(w.kind, w.va, w.done) })
 		}
 		c.freeTxn(t)
 		c.pool.Put(m)
@@ -331,7 +359,12 @@ func (c *L0X) fill(m *TileMsg) {
 	for _, w := range t.waiters {
 		if w.kind == mem.Store {
 			if m.Write {
-				l.Ver++
+				if c.mut == nil || !c.mut.LostStore {
+					l.Ver++
+				}
+				if c.obsv != nil {
+					c.observe(obs.Store, w.va, l.Ver, l.WTime)
+				}
 				if c.cfg.WriteThrough {
 					c.sendWB(a, l.Ver, l.WTime, true)
 					c.cWriteThrough.Inc()
@@ -342,9 +375,12 @@ func (c *L0X) fill(m *TileMsg) {
 			} else {
 				// A store merged behind a read-lease miss: upgrade now.
 				w := w
-				c.eng.Schedule(1, func(uint64) { c.retryAccess(w.kind, mem.VAddr(a), w.done) })
+				c.eng.Schedule(1, func(uint64) { c.retryAccess(w.kind, w.va, w.done) })
 			}
 			continue
+		}
+		if c.obsv != nil {
+			c.observe(obs.Load, w.va, l.Ver, maxU64(l.LTime, l.WTime))
 		}
 		c.eng.Schedule(c.cfg.HitLatency, w.done)
 	}
@@ -437,6 +473,9 @@ func (c *L0X) flushLine(l *cache.Line) {
 			fwd := c.pool.Get()
 			fwd.Type, fwd.Addr, fwd.PID, fwd.Src = MsgFwdData, mem.VAddr(l.Addr), c.pid, c.id
 			fwd.Lease, fwd.Dirty, fwd.Ver = maxU64(l.WTime, l.LTime), true, l.Ver
+			if c.mut != nil && c.mut.StaleForward && fwd.Ver > 0 {
+				fwd.Ver-- // mutant: the forward drops the producer's last store
+			}
 			link.Send(fwd)
 			c.cFwdOut.Inc()
 			l.Dirty = false
@@ -502,7 +541,14 @@ func (c *L0X) receiveForward(m *TileMsg) {
 		c.eng.Progress()
 		for _, w := range t.waiters {
 			if w.kind == mem.Store {
-				l.Ver++
+				if c.mut == nil || !c.mut.LostStore {
+					l.Ver++
+				}
+				if c.obsv != nil {
+					c.observe(obs.Store, w.va, l.Ver, l.WTime)
+				}
+			} else if c.obsv != nil {
+				c.observe(obs.Load, w.va, l.Ver, maxU64(l.LTime, l.WTime))
 			}
 			c.eng.Schedule(c.cfg.HitLatency, w.done)
 		}

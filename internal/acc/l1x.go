@@ -10,6 +10,7 @@ import (
 	"fusion/internal/interconnect"
 	"fusion/internal/mem"
 	"fusion/internal/mesi"
+	"fusion/internal/obs"
 	"fusion/internal/ptrace"
 	"fusion/internal/sim"
 	"fusion/internal/stats"
@@ -87,6 +88,7 @@ type L1X struct {
 
 	meter  *energy.Meter
 	tracer ptrace.Tracer
+	obsv   obs.Observer
 
 	cAccesses   *stats.Counter
 	cStallWLock *stats.Counter
@@ -105,6 +107,12 @@ type L1X struct {
 
 // SetTracer attaches a protocol tracer (nil disables tracing).
 func (x *L1X) SetTracer(t ptrace.Tracer) { x.tracer = t }
+
+// SetObserver attaches a litmus observer (nil disables observation). L1X
+// grants are recorded as diagnostics: the value checker keys on L0X and
+// host-side observations, but a grant pinpoints where a stale version
+// entered the tile.
+func (x *L1X) SetObserver(o obs.Observer) { x.obsv = o }
 
 func (x *L1X) emit(k ptrace.Kind, addr uint64, detail string) {
 	if x.tracer != nil {
@@ -327,6 +335,11 @@ func (x *L1X) grant(m *TileMsg, l *cache.Line, write bool, expiry uint64) {
 			kind = ptrace.EpochGrant
 		}
 		x.emit(kind, uint64(m.Addr.LineAddr()), fmt.Sprintf("axc%d until %d", m.Src, expiry))
+	}
+	if x.obsv != nil {
+		x.obsv.Record(obs.Observation{Cycle: x.eng.Now(), Agent: x.name,
+			Addr: uint64(m.Addr.LineAddr()), Ver: l.Ver, Lease: expiry,
+			Kind: obs.Grant})
 	}
 	g := x.tilePool.Get()
 	g.Type, g.Addr, g.PID, g.Src = MsgLease, m.Addr, m.PID, -1

@@ -10,6 +10,7 @@ import (
 	"fusion/internal/interconnect"
 	"fusion/internal/mem"
 	"fusion/internal/mesi"
+	"fusion/internal/obs"
 	"fusion/internal/ptrace"
 	"fusion/internal/sim"
 	"fusion/internal/stats"
@@ -182,6 +183,23 @@ func (t *Tile) SetTracer(tr ptrace.Tracer) {
 	t.L1X.SetTracer(tr)
 	for _, l0 := range t.L0Xs {
 		l0.SetTracer(tr)
+	}
+}
+
+// SetObserver attaches a litmus observer to every controller in the tile
+// (nil disables observation).
+func (t *Tile) SetObserver(o obs.Observer) {
+	t.L1X.SetObserver(o)
+	for _, l0 := range t.L0Xs {
+		l0.SetObserver(o)
+	}
+}
+
+// SetMutations arms test-only protocol mutations on every L0X in the tile
+// (nil disables them; see Mutations).
+func (t *Tile) SetMutations(m *Mutations) {
+	for _, l0 := range t.L0Xs {
+		l0.SetMutations(m)
 	}
 }
 

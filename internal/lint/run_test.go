@@ -1,0 +1,95 @@
+package lint
+
+// Coverage for the whole-module entry points the fixture tests bypass:
+// Run's scope filtering and deterministic ordering, Finding.String's
+// relative/absolute rendering, and ListPackageDirs's tree walk.
+
+import (
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestRunMergesAndSortsFindings(t *testing.T) {
+	pkg := fixture(t, "maporder_bad")
+	findings := Run(Analyzers(), []*Package{pkg}, fixMod)
+	if len(findings) == 0 {
+		t.Fatal("no findings on the maporder bad fixture")
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Fatalf("findings out of order: %v before %v", a, b)
+		}
+	}
+}
+
+func TestRunScopeFilter(t *testing.T) {
+	pkg := fixture(t, "maporder_bad")
+	skipAll := &Analyzer{
+		Name:      "never",
+		Directive: "never",
+		Scope:     func(importPath string) bool { return false },
+		Run: func(p *Pass) {
+			t.Error("out-of-scope analyzer ran")
+		},
+	}
+	if got := Run([]*Analyzer{skipAll}, []*Package{pkg}, fixMod); len(got) != 0 {
+		t.Fatalf("out-of-scope analyzer produced %d findings", len(got))
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Analyzer: "maporder",
+		Pos:      token.Position{Filename: "/mod/internal/x/a.go", Line: 7},
+		Message:  "map iteration",
+	}
+	if got := f.String(""); got != "/mod/internal/x/a.go:7: [maporder] map iteration" {
+		t.Fatalf("absolute form = %q", got)
+	}
+	rel := f.String("/mod")
+	if !strings.HasPrefix(rel, filepath.Join("internal", "x", "a.go")) {
+		t.Fatalf("relative form = %q", rel)
+	}
+	// A file outside dir stays absolute.
+	if got := f.String("/elsewhere/deeper"); !strings.HasPrefix(got, "/mod/") {
+		t.Fatalf("outside-dir form = %q", got)
+	}
+}
+
+func TestListPackageDirs(t *testing.T) {
+	mod, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ListPackageDirs(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(dirs) {
+		t.Fatal("dirs not sorted")
+	}
+	var haveLint, haveTestdata bool
+	for _, d := range dirs {
+		rel, err := filepath.Rel(mod.Dir, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel == filepath.Join("internal", "lint") {
+			haveLint = true
+		}
+		if strings.Contains(rel, "testdata") {
+			haveTestdata = true
+		}
+	}
+	if !haveLint {
+		t.Error("internal/lint missing from package dirs")
+	}
+	if haveTestdata {
+		t.Error("testdata directories must be skipped")
+	}
+}

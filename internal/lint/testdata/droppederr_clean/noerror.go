@@ -1,0 +1,25 @@
+package droppederrclean
+
+// Calls whose results carry no error are fine to use as bare statements,
+// whatever shape they take: no results, non-error results, tuples without
+// an error, methods, deferred calls, and dynamic callees.
+
+type gauge struct{ n int }
+
+func (g *gauge) bump()             { g.n++ }
+func (g *gauge) read() int         { return g.n }
+func (g *gauge) both() (int, bool) { return g.n, g.n > 0 }
+
+func note(int) {}
+
+// Bare runs every no-error call form as a statement.
+func Bare(g *gauge) {
+	g.bump()
+	g.read()
+	g.both()
+	note(g.read())
+	defer g.bump()
+	go note(0)
+	f := func() int { return 1 }
+	f()
+}

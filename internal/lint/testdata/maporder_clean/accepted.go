@@ -1,0 +1,70 @@
+package maporderclean
+
+import "sort"
+
+const sentinel = -1
+
+// Locals exercises the loop-local machinery: var declarations, :=
+// definitions, writes and increments to locals, field and element writes
+// rooted at locals, and pure-builtin calls — all order-insensitive.
+func Locals(m map[string][]int) []string {
+	type acc struct {
+		n    int
+		tags [2]int
+	}
+	keys := make([]string, 0, len(m))
+	for k, vs := range m {
+		var a acc
+		limit := len(vs)
+		a.n = min(limit, cap(vs))
+		a.tags[0] = max(a.n, 0)
+		limit++
+		total := a.n + int(uint8(limit))
+		if total == 0 {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Branches exercises if-with-init, else chains, nested blocks, and early
+// returns of named constants and nil.
+func Branches(m map[string]int) int {
+	for _, v := range m {
+		if w := v * 2; w > 10 {
+			return sentinel
+		} else if w < -10 {
+			{
+				return sentinel
+			}
+		}
+	}
+	return 0
+}
+
+// Nothing early-returns nil, a constantish value.
+func Nothing(m map[string]int) error {
+	for range m {
+		return nil
+	}
+	return nil
+}
+
+// Pairs set-inserts under a key derived from the range variable through
+// arithmetic, with a multi-argument append into a sorted collection.
+func Pairs(m map[int]int) []int {
+	out := make(map[int]bool)
+	var order []int
+	for k, v := range m {
+		out[k*2+1] = true
+		order = append(order, k, v)
+	}
+	sort.Ints(order)
+	n := 0
+	for range out {
+		n++
+	}
+	return order[:n*0]
+}

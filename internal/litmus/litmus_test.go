@@ -1,0 +1,174 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"fusion/internal/systems"
+)
+
+// TestDirectedSuite runs every directed case on each of its declared
+// systems: no violations, no final-image mismatches, and every scenario
+// assertion (the counter floors proving the exercised path) holds.
+func TestDirectedSuite(t *testing.T) {
+	for _, c := range Cases() {
+		for _, kind := range c.Systems {
+			t.Run(c.Name+"/"+kind.String(), func(t *testing.T) {
+				rep, err := RunCase(c, kind, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Observations == 0 {
+					t.Fatal("no observations recorded")
+				}
+				for _, v := range rep.Violations {
+					t.Errorf("violation: %s", v)
+				}
+				if rep.FinalMismatches > 0 {
+					t.Errorf("%d final-image mismatches", rep.FinalMismatches)
+				}
+				if rep.ScenarioErr != nil {
+					t.Errorf("scenario: %v", rep.ScenarioErr)
+				}
+			})
+		}
+	}
+}
+
+// TestMutationKill proves the harness detects every deliberate protocol
+// break: each mutant's designated run must produce at least one violation
+// naming the agent, line, cycle, and expected write — and the same
+// (case, system) pair unmutated must be clean, so the kill is attributable
+// to the mutation alone.
+func TestMutationKill(t *testing.T) {
+	for _, m := range Mutations() {
+		t.Run(m.Name, func(t *testing.T) {
+			c := caseByName(m.Case)
+			if c == nil {
+				t.Fatalf("mutation references unknown case %q", m.Case)
+			}
+			clean, err := RunCase(c, m.System, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if clean.Failed() {
+				t.Fatalf("unmutated %s on %s already fails (violations %d, "+
+					"mismatches %d, scenario %v) — kill not attributable",
+					m.Case, m.System, len(clean.Violations),
+					clean.FinalMismatches, clean.ScenarioErr)
+			}
+			mutated, err := RunCase(c, m.System, m.Apply)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(mutated.Violations) == 0 {
+				t.Fatalf("mutant %s survived: %s on %s recorded %d observations, "+
+					"0 violations", m.Name, m.Case, m.System, mutated.Observations)
+			}
+			v := mutated.Violations[0]
+			if v.Obs.Agent == "" {
+				t.Errorf("violation does not name the agent: %s", v)
+			}
+			if v.Obs.Cycle == 0 {
+				t.Errorf("violation does not carry a cycle: %s", v)
+			}
+			if v.Line == 0 {
+				t.Errorf("violation does not name the line: %s", v)
+			}
+			if v.Expected == 0 {
+				t.Errorf("violation does not name the expected write: %s", v)
+			}
+			if !strings.Contains(v.String(), v.Obs.Agent) {
+				t.Errorf("String() omits the agent: %s", v)
+			}
+			t.Logf("killed by: %s", v)
+		})
+	}
+}
+
+// TestMutationByName exercises the lookup used by cmd/fusionsim.
+func TestMutationByName(t *testing.T) {
+	if m := mutationByName("stale-forward"); m == nil || m.Case != "dx-forward" {
+		t.Fatalf("mutationByName(stale-forward) = %+v", m)
+	}
+	if m := mutationByName("no-such"); m != nil {
+		t.Fatalf("mutationByName(no-such) = %+v, want nil", m)
+	}
+}
+
+// TestRandomSuite drives randomized workloads through all four systems
+// with the checker attached.
+func TestRandomSuite(t *testing.T) {
+	kinds := []systems.Kind{systems.Scratch, systems.Shared,
+		systems.Fusion, systems.FusionDx}
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, kind := range kinds {
+			rep, err := RunRandom(seed, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("seed %d on %s: %s", seed, kind, v)
+			}
+			if rep.FinalMismatches > 0 {
+				t.Errorf("seed %d on %s: %d final mismatches",
+					seed, kind, rep.FinalMismatches)
+			}
+		}
+	}
+}
+
+// TestRunNamed covers the name dispatch used by cmd/fusionsim -litmus.
+func TestRunNamed(t *testing.T) {
+	reps, err := RunNamed("mp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(caseByName("mp").Systems) {
+		t.Fatalf("mp produced %d reports", len(reps))
+	}
+	if _, err := RunNamed("bogus"); err == nil {
+		t.Fatal("RunNamed(bogus) did not error")
+	}
+	all, err := RunNamed("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, c := range Cases() {
+		want += len(c.Systems)
+	}
+	if len(all) != want {
+		t.Fatalf("all produced %d reports, want %d", len(all), want)
+	}
+	for _, rep := range all {
+		if rep.Failed() {
+			t.Errorf("%s on %s failed", rep.Case, rep.System)
+		}
+	}
+}
+
+// FuzzLitmusRandom fuzzes the randomized litmus layer: any seed must
+// produce a violation-free trace and a golden final image on every system.
+func FuzzLitmusRandom(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	kinds := []systems.Kind{systems.Scratch, systems.Shared,
+		systems.Fusion, systems.FusionDx}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		for _, kind := range kinds {
+			rep, err := RunRandom(seed, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failed() {
+				for _, v := range rep.Violations {
+					t.Errorf("seed %d on %s: %s", seed, kind, v)
+				}
+				t.Fatalf("seed %d on %s: %d final mismatches, scenario %v",
+					seed, kind, rep.FinalMismatches, rep.ScenarioErr)
+			}
+		}
+	})
+}

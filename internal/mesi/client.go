@@ -8,6 +8,7 @@ import (
 	"fusion/internal/cache"
 	"fusion/internal/energy"
 	"fusion/internal/mem"
+	"fusion/internal/obs"
 	"fusion/internal/sim"
 	"fusion/internal/stats"
 )
@@ -28,6 +29,7 @@ type txn struct {
 
 type waiter struct {
 	kind mem.AccessKind
+	addr mem.PAddr // original (offset-carrying) address, for observations
 	done func(now uint64)
 }
 
@@ -60,6 +62,7 @@ type Client struct {
 	meter     *energy.Meter
 	energyCat string
 	accessPJ  float64
+	obsv      obs.Observer
 
 	cAccesses  *stats.Counter
 	cMerges    *stats.Counter
@@ -129,6 +132,17 @@ func NewClient(f *Fabric, id AgentID, cfg ClientConfig,
 // ID returns the client's agent ID.
 func (c *Client) ID() AgentID { return c.id }
 
+// SetObserver attaches a litmus observer (nil disables observation; the
+// hot path then pays only a nil check). A MESI client is a strict agent:
+// every recorded load must observe the latest globally-ordered write.
+func (c *Client) SetObserver(o obs.Observer) { c.obsv = o }
+
+// observe reports one agent-visible load or store to the attached observer.
+func (c *Client) observe(k obs.Kind, addr mem.PAddr, ver uint64) {
+	c.obsv.Record(obs.Observation{Cycle: c.fabric.Now(), Agent: c.name,
+		Addr: uint64(addr), Ver: ver, Kind: k, Phys: true})
+}
+
 func (c *Client) access() {
 	if c.meter != nil {
 		c.meter.Add(c.energyCat, c.accessPJ)
@@ -165,16 +179,25 @@ func (c *Client) Access(kind mem.AccessKind, addr mem.PAddr, done func(now uint6
 	if l := c.arr.Lookup(a); l != nil {
 		switch {
 		case kind == mem.Load:
+			if c.obsv != nil {
+				c.observe(obs.Load, addr, l.Ver)
+			}
 			c.hit(done)
 			return true
 		case l.State == cache.Modified:
 			l.Ver++
+			if c.obsv != nil {
+				c.observe(obs.Store, addr, l.Ver)
+			}
 			c.hit(done)
 			return true
 		case l.State == cache.Exclusive:
 			l.State = cache.Modified // silent E->M upgrade
 			l.Dirty = true
 			l.Ver++
+			if c.obsv != nil {
+				c.observe(obs.Store, addr, l.Ver)
+			}
 			c.hit(done)
 			return true
 		default:
@@ -188,7 +211,7 @@ func (c *Client) Access(kind mem.AccessKind, addr mem.PAddr, done func(now uint6
 			// A store behind a pending GetS: replay after the fill; the
 			// replay will find S/E and upgrade.
 		}
-		t.waiters = append(t.waiters, waiter{kind, done})
+		t.waiters = append(t.waiters, waiter{kind, addr, done})
 		c.cMerges.Inc()
 		return true
 	}
@@ -198,7 +221,7 @@ func (c *Client) Access(kind mem.AccessKind, addr mem.PAddr, done func(now uint6
 	}
 	c.mshr.Allocate(a)
 	t := c.newTxn(a, kind == mem.Store)
-	t.waiters = append(t.waiters, waiter{kind, done})
+	t.waiters = append(t.waiters, waiter{kind, addr, done})
 	c.txns[a] = t
 	c.cMisses.Inc()
 	mt := MsgGetS
@@ -366,12 +389,17 @@ func (c *Client) maybeComplete(t *txn) {
 		w := w
 		if w.kind == mem.Store && state != cache.Modified {
 			c.fabric.Engine().Schedule(1, func(uint64) {
-				c.retryAccess(w.kind, mem.PAddr(a), w.done)
+				c.retryAccess(w.kind, w.addr, w.done)
 			})
 			continue
 		}
 		if w.kind == mem.Store {
 			v.Ver++
+			if c.obsv != nil {
+				c.observe(obs.Store, w.addr, v.Ver)
+			}
+		} else if c.obsv != nil {
+			c.observe(obs.Load, w.addr, v.Ver)
 		}
 		c.fabric.Engine().Schedule(lat, w.done)
 	}

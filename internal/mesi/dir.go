@@ -106,10 +106,15 @@ type Directory struct {
 	TileAgent AgentID
 
 	tracer ptrace.Tracer
+	mut    *DirMutations
 }
 
 // SetTracer attaches a protocol tracer (nil disables tracing).
 func (dir *Directory) SetTracer(t ptrace.Tracer) { dir.tracer = t }
+
+// SetMutations arms test-only protocol mutations (nil disables them; see
+// DirMutations).
+func (dir *Directory) SetMutations(m *DirMutations) { dir.mut = m }
 
 func (dir *Directory) emit(k ptrace.Kind, addr mem.PAddr, detail string) {
 	if dir.tracer != nil {
@@ -329,6 +334,11 @@ func (dir *Directory) handleGetM(e *dirEntry, m *Msg, a uint64) {
 		others := e.sharers
 		others.remove(src)
 		n := others.count()
+		if dir.mut != nil && dir.mut.SkipSharerInvalidate {
+			// Mutant: grant M without invalidating the other sharers — they
+			// keep serving stale copies while the new owner writes.
+			others, n = 0, 0
+		}
 		dir.readData(a, func(ver uint64) {
 			d := dir.pool.Get()
 			d.Type, d.Addr, d.Src, d.Dst, d.AckCount, d.Ver = MsgData, addr, DirID, src, n, ver

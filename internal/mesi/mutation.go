@@ -1,0 +1,13 @@
+package mesi
+
+// DirMutations are deliberate, test-only directory protocol breakers used
+// by the litmus mutation-kill validator (internal/litmus). The pointer is
+// nil — and every field false — in all real runs.
+type DirMutations struct {
+	// SkipSharerInvalidate makes the directory grant M on a shared line
+	// without sending MsgInv to the other sharers (and report zero pending
+	// acks), reordering the grant ahead of the invalidations it must wait
+	// for. Stale sharers then keep satisfying loads from copies the new
+	// owner has already overwritten.
+	SkipSharerInvalidate bool
+}

@@ -1,0 +1,79 @@
+// Package obs defines the lightweight observation hook the litmus harness
+// (internal/litmus) threads through every agent-facing data port: L0X and
+// L1X in the accelerator tile, mesi.Client on the host side, and the
+// SCRATCH scratchpad. Each load or store an agent performs is reported as
+// one Observation; the checker replays the stream against the system's
+// declared visibility model.
+//
+// The hook is designed for a zero-cost off state: components hold a nil
+// Observer by default and guard every Record call with a nil check, so the
+// per-cycle hot path stays within the allocation budgets (BENCH_BUDGET.json)
+// when tracing is off. Observation is passed by value — recording never
+// allocates in the component; the Observer owns any buffering.
+package obs
+
+import "fmt"
+
+// Kind classifies an observation.
+type Kind uint8
+
+const (
+	// Load is an agent-visible read; Ver is the version the agent observed.
+	Load Kind = iota
+	// Store is an agent-visible write; Ver is the version it produced.
+	Store
+	// Fill is data installed into an agent-local store from the backing
+	// hierarchy (scratchpad DMA-in); Ver is the version installed.
+	Fill
+	// Grant is an L1X lease grant (diagnostic only; not value-checked).
+	Grant
+)
+
+var kindNames = [...]string{"LD", "ST", "FILL", "GRANT"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Observation records one agent-visible data event: who touched which
+// address at which cycle, the modeled payload version involved, and — for
+// leased (L0X) reads — the lease under which the value was readable.
+type Observation struct {
+	Cycle uint64
+	Agent string // stable component name, e.g. "l0x.1", "hostl1"
+	// Addr is the full accessed address; line = Addr &^ (LineBytes-1),
+	// offset = Addr & (LineBytes-1). Virtual for tile-side agents,
+	// physical (Phys=true) for host-side MESI agents.
+	Addr uint64
+	// Ver is the modeled payload version: observed on Load/Fill, produced
+	// on Store.
+	Ver uint64
+	// Lease is the absolute expiry the value was readable until, for reads
+	// and writes performed under an ACC lease. Zero marks a strict
+	// (invalidation-coherent) agent, which must always observe the latest
+	// globally-ordered write.
+	Lease uint64
+	// Epoch is the synchronization epoch (phase index) the access belongs
+	// to. Components leave it zero; the recorder stamps it.
+	Epoch int32
+	Kind  Kind
+	// Phys marks Addr as a physical address (host-side agents observe
+	// post-translation addresses).
+	Phys bool
+	// Delta marks a scratchpad store to a write-allocated line whose base
+	// version is unknown; Ver is a within-window delta, not absolute.
+	Delta bool
+}
+
+// Observer receives the observation stream. Implementations must be cheap:
+// Record runs on cache hit paths.
+type Observer interface {
+	// Record reports one observation. The Epoch field is unset by callers.
+	Record(o Observation)
+	// Epoch marks the start of synchronization epoch n at the given cycle;
+	// the runner calls it at every phase boundary.
+	Epoch(n int, cycle uint64)
+}

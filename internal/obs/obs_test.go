@@ -1,0 +1,20 @@
+package obs
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		Load:  "LD",
+		Store: "ST",
+		Fill:  "FILL",
+		Grant: "GRANT",
+	}
+	for k := Load; k <= Grant; k++ {
+		if k.String() != want[k] {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want[k])
+		}
+	}
+	if got := Kind(200).String(); got != "Kind(200)" {
+		t.Errorf("out-of-range kind = %q", got)
+	}
+}

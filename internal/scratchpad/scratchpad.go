@@ -16,6 +16,7 @@ import (
 
 	"fusion/internal/energy"
 	"fusion/internal/mem"
+	"fusion/internal/obs"
 	"fusion/internal/sim"
 	"fusion/internal/stats"
 	"fusion/internal/trace"
@@ -46,9 +47,15 @@ type Scratchpad struct {
 	eng   *sim.Engine
 	lines map[uint64]*padLine
 	meter *energy.Meter
+	obsv  obs.Observer
 
 	cAccesses *stats.Counter
 }
+
+// SetObserver attaches a litmus observer (nil disables observation). The
+// scratchpad is a strict agent within a window: fills must install the
+// latest globally-ordered version, and loads must observe it.
+func (s *Scratchpad) SetObserver(o obs.Observer) { s.obsv = o }
 
 // New builds an empty scratchpad.
 func New(eng *sim.Engine, name string, cfg Config,
@@ -77,6 +84,10 @@ func (s *Scratchpad) Fill(va mem.VAddr, ver uint64) {
 		}
 	}
 	s.lines[a] = &padLine{base: ver, baseKnown: true}
+	if s.obsv != nil {
+		s.obsv.Record(obs.Observation{Cycle: s.eng.Now(), Agent: s.name,
+			Addr: a, Ver: ver, Kind: obs.Fill})
+	}
 }
 
 // Access implements accel.MemPort. A miss is an oracle violation and panics.
@@ -105,6 +116,14 @@ func (s *Scratchpad) Access(kind mem.AccessKind, va mem.VAddr, done func(now uin
 	if kind == mem.Store {
 		l.delta++
 		l.dirty = true
+	}
+	if s.obsv != nil {
+		k := obs.Load
+		if kind == mem.Store {
+			k = obs.Store
+		}
+		s.obsv.Record(obs.Observation{Cycle: s.eng.Now(), Agent: s.name,
+			Addr: uint64(va), Ver: l.base + l.delta, Kind: k, Delta: !l.baseKnown})
 	}
 	s.eng.Schedule(s.cfg.AccessLat, done)
 	return true

@@ -1,0 +1,42 @@
+package systems
+
+// Native Go fuzzing entry point for the differential golden check. The
+// table-driven TestFuzzAllSystemsGolden covers a fixed seed set on every
+// run; this fuzzer lets `go test -fuzz` explore the seed space
+// indefinitely (make fuzz-smoke runs it briefly in CI fashion), with any
+// discovered counterexample minimized and persisted by the fuzz engine.
+
+import (
+	"testing"
+
+	"fusion/internal/workloads"
+)
+
+func FuzzRandomWorkloadGolden(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(21))
+	f.Add(int64(-3))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		b := workloads.Random(seed, workloads.DefaultRandomParams())
+		want := ExpectedVersions(b)
+		for _, kind := range []Kind{Scratch, Shared, Fusion, FusionDx} {
+			res, err := Run(b, DefaultConfig(kind))
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, kind, err)
+			}
+			bad := 0
+			for va, wv := range want {
+				if res.FinalVersions[va] != wv {
+					bad++
+					if bad <= 3 {
+						t.Errorf("seed %d %v: line %#x v%d, golden v%d",
+							seed, kind, uint64(va), res.FinalVersions[va], wv)
+					}
+				}
+			}
+			if bad > 3 {
+				t.Errorf("seed %d %v: ... %d more mismatches", seed, kind, bad-3)
+			}
+		}
+	})
+}

@@ -27,6 +27,7 @@ import (
 	"fusion/internal/host"
 	"fusion/internal/mem"
 	"fusion/internal/mesi"
+	"fusion/internal/obs"
 	"fusion/internal/ptrace"
 	"fusion/internal/scratchpad"
 	"fusion/internal/sim"
@@ -124,6 +125,17 @@ type Config struct {
 	// by TestIdleSkipInvariant); the knob exists for that A/B check and for
 	// benchmarking the skip itself.
 	NoIdleSkip bool
+	// Observer, when set, receives a (cycle, agent, address, value, epoch)
+	// observation for every load and store any agent performs, plus epoch
+	// marks at phase boundaries — the litmus harness's value-checking feed
+	// (see internal/obs and internal/litmus). Nil costs the hot path only a
+	// nil check.
+	Observer obs.Observer
+	// AccMutations and DirMutations arm deliberate, test-only protocol
+	// bugs for the litmus mutation-kill validator. They must be nil in all
+	// real runs.
+	AccMutations *acc.Mutations
+	DirMutations *mesi.DirMutations
 }
 
 // DefaultConfig returns the paper's baseline settings for a system.
@@ -194,6 +206,11 @@ type Result struct {
 	// FinalVersions is the host backing store's view of every program line
 	// after the run drained — compared against ExpectedVersions in tests.
 	FinalVersions map[mem.VAddr]uint64
+	// LineMap records the virtual->physical line mapping of every program
+	// line. Populated only when Config.Observer is set: the litmus checker
+	// uses it to fold host-side (physical) observations into the virtual
+	// line namespace.
+	LineMap map[mem.VAddr]mem.PAddr
 }
 
 // machine is the assembled common substrate.
@@ -330,6 +347,12 @@ func Run(b *workloads.Benchmark, cfg Config) (*Result, error) {
 	if cfg.Tracer != nil {
 		m.dir.SetTracer(cfg.Tracer)
 	}
+	if cfg.Observer != nil {
+		m.hostL1.SetObserver(cfg.Observer)
+	}
+	if cfg.DirMutations != nil {
+		m.dir.SetMutations(cfg.DirMutations)
+	}
 
 	var err error
 	switch cfg.Kind {
@@ -366,13 +389,24 @@ func Run(b *workloads.Benchmark, cfg Config) (*Result, error) {
 	// Capture final versions of every program line — including preloaded
 	// inputs no phase touched — for verification.
 	res.FinalVersions = make(map[mem.VAddr]uint64)
+	if cfg.Observer != nil {
+		res.LineMap = make(map[mem.VAddr]mem.PAddr)
+	}
+	capture := func(va mem.VAddr) {
+		la := va.LineAddr()
+		pa := m.translate(la)
+		res.FinalVersions[la] = m.dir.Version(pa)
+		if res.LineMap != nil {
+			res.LineMap[la] = pa.LineAddr()
+		}
+	}
 	for _, va := range b.InputLines {
-		res.FinalVersions[va.LineAddr()] = m.dir.Version(m.translate(va))
+		capture(va)
 	}
 	for i := range b.Program.Phases {
 		lines, _ := b.Program.Phases[i].Inv.Lines()
 		for _, va := range lines {
-			res.FinalVersions[va] = m.dir.Version(m.translate(va))
+			capture(va)
 		}
 	}
 	return res, nil
@@ -462,6 +496,9 @@ func runScratch(m *machine, b *workloads.Benchmark, cfg Config, res *Result) err
 	pads := make(map[int]*scratchpad.Scratchpad)
 	for _, axc := range ids {
 		pads[axc] = scratchpad.New(m.eng, fmt.Sprintf("spad%d", axc), spadCfg, m.mt, m.st)
+		if cfg.Observer != nil {
+			pads[axc].SetObserver(cfg.Observer)
+		}
 	}
 
 	// live tracks lines holding earlier-produced data: the oracle must
@@ -473,6 +510,9 @@ func runScratch(m *machine, b *workloads.Benchmark, cfg Config, res *Result) err
 
 	for i := range b.Program.Phases {
 		ph := &b.Program.Phases[i]
+		if cfg.Observer != nil {
+			cfg.Observer.Epoch(i, m.eng.Now())
+		}
 		if ph.Kind == trace.PhaseHost {
 			if err := runHostPhase(m, &ph.Inv, cfg, res); err != nil {
 				return err
@@ -614,10 +654,16 @@ func runShared(m *machine, b *workloads.Benchmark, cfg Config, res *Result) erro
 	tlb := vm.NewTLB("sharedtlb", 32, 40, m.pt, m.model, m.mt, m.st)
 	port := &sharedPort{m: m, client: client, tlb: tlb, eng: m.eng,
 		cMsgs: m.st.Counter("sharedswitch.msgs")}
+	if cfg.Observer != nil {
+		client.SetObserver(cfg.Observer)
+	}
 	axcs := accelFor(m, b)
 
 	for i := range b.Program.Phases {
 		ph := &b.Program.Phases[i]
+		if cfg.Observer != nil {
+			cfg.Observer.Epoch(i, m.eng.Now())
+		}
 		if ph.Kind == trace.PhaseHost {
 			if err := runHostPhase(m, &ph.Inv, cfg, res); err != nil {
 				return err
@@ -685,6 +731,12 @@ func runFusion(m *machine, b *workloads.Benchmark, cfg Config, res *Result) erro
 		if cfg.Tracer != nil {
 			tiles[t].SetTracer(cfg.Tracer)
 		}
+		if cfg.Observer != nil {
+			tiles[t].SetObserver(cfg.Observer)
+		}
+		if cfg.AccMutations != nil {
+			tiles[t].SetMutations(cfg.AccMutations)
+		}
 	}
 	if m.paranoid != nil {
 		m.paranoid.tiles = tiles
@@ -699,6 +751,9 @@ func runFusion(m *machine, b *workloads.Benchmark, cfg Config, res *Result) erro
 
 	for i := range b.Program.Phases {
 		ph := &b.Program.Phases[i]
+		if cfg.Observer != nil {
+			cfg.Observer.Epoch(i, m.eng.Now())
+		}
 		if ph.Kind == trace.PhaseHost {
 			if err := runHostPhase(m, &ph.Inv, cfg, res); err != nil {
 				return err
