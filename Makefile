@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet lint test race bench bench-smoke allocbudget soak-smoke soak fuzz-smoke cover cover-baseline litmus clean
+.PHONY: tier1 build vet lint test race bench bench-smoke allocbudget soak-smoke soak fuzz-smoke daemon-smoke cover cover-baseline litmus clean
 
 # tier1 is the gate every change must pass.
 tier1: vet lint build race allocbudget
@@ -51,6 +51,13 @@ soak-smoke:
 # soak: the full randomized fault-injection sweep across all four systems.
 soak:
 	$(GO) test -run 'TestSoak|TestFaulted|TestWatchdog' -timeout 30m ./internal/systems/
+
+# daemon-smoke: end-to-end fusiond check — start the daemon, require the
+# committed golden response bytes (cold and cache-served), SIGTERM, and
+# require a clean exit with a persisted cache. REGEN=1 refreshes the
+# golden after a deliberate result change.
+daemon-smoke:
+	./scripts/daemon_smoke.sh
 
 # fuzz-smoke: run each native fuzzer briefly. The committed seed corpora
 # (testdata/fuzz/) replay on every plain `go test`; this target additionally

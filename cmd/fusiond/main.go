@@ -1,0 +1,85 @@
+// Command fusiond serves the Fusion simulator as a crash-safe sweep
+// daemon: benchmark x system x config grids over HTTP/JSON, backed by a
+// worker pool with singleflight coalescing, per-job budgets, load
+// shedding, and a content-addressed on-disk result cache that survives
+// crashes (see internal/service and the README's "Running fusiond").
+//
+// Usage:
+//
+//	fusiond [-addr host:port] [-cache dir] [-workers n] [-queue n] [-drain d]
+//
+// SIGINT/SIGTERM starts a graceful drain: admission stops, running jobs
+// finish (up to -drain), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fusion/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7121", "listen address")
+	cacheDir := flag.String("cache", ".fusiond-cache", "result cache directory")
+	workers := flag.Int("workers", 0, "concurrent simulations (0: GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth before shedding with 429")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "fusiond: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "fusiond: ", log.LstdFlags)
+
+	svc, err := service.New(service.Options{
+		CacheDir:   *cacheDir,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Logf:       logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on http://%s", *addr)
+		errCh <- server.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("signal received; draining (budget %s)", *drain)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections and let in-flight handlers finish; the
+	// scheduler drain below bounds how long those handlers can take.
+	if err := server.Shutdown(dctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("drain: %v", err)
+	}
+	logger.Printf("exiting; %d cells cached", svc.Cache().Len())
+}

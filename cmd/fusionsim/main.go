@@ -11,6 +11,8 @@
 //	fusionsim -bench fft,adpcm -system fusion,shared
 //	fusionsim -litmus all                        # directed coherence litmus suite
 //	fusionsim -litmus lease-expiry               # one case, all its systems
+//	fusionsim -bench fft -deadline 30s           # bound wall time; abort is structured
+//	fusionsim -bench fft -maxcycles 1000000      # bound simulated cycles likewise
 //
 // Systems: scratch, shared, fusion, fusion-dx.
 // Benchmarks: fft, disp, track, adpcm, susan, filt, hist.
@@ -22,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,19 +38,7 @@ import (
 
 var systemNames = []string{"scratch", "shared", "fusion", "fusion-dx"}
 
-func systemOf(name string) (fusion.System, bool) {
-	switch strings.ToLower(name) {
-	case "scratch":
-		return fusion.ScratchSystem, true
-	case "shared":
-		return fusion.SharedSystem, true
-	case "fusion":
-		return fusion.FusionSystem, true
-	case "fusion-dx", "fusiondx", "dx":
-		return fusion.FusionDxSystem, true
-	}
-	return 0, false
-}
+func systemOf(name string) (fusion.System, bool) { return fusion.ParseSystem(name) }
 
 // expandList resolves a comma-separated flag value against the valid set,
 // with "all" meaning every entry in canonical order.
@@ -83,6 +74,8 @@ func main() {
 		verify    = flag.Bool("verify", true, "check final memory state against sequential semantics")
 		paranoid  = flag.Bool("paranoid", false, "check protocol invariants every 64 cycles (slower)")
 		watchdog  = flag.Uint64("watchdog", 1_000_000, "halt with a diagnostic dump after this many cycles without forward progress (0 disables)")
+		deadline  = flag.Duration("deadline", 0, "abort with a structured timeout + diagnostic dump after this much wall time (0 disables)")
+		maxCycles = flag.Uint64("maxcycles", 0, "abort with a structured budget error after this many simulated cycles (0: default budget)")
 		faultSeed = flag.Uint64("faultseed", 0, "inject a random fault plan derived from this seed (0 disables)")
 		faultPlan = flag.String("faultplan", "", "inject the JSON fault plan loaded from this file (overrides -faultseed)")
 		litmusArg = flag.String("litmus", "", "run a directed coherence litmus case (or all) instead of a benchmark")
@@ -140,6 +133,9 @@ func main() {
 		cfg.WriteThrough = *wt
 		cfg.Paranoid = *paranoid
 		cfg.WatchdogCycles = *watchdog
+		if *maxCycles > 0 {
+			cfg.MaxCycles = *maxCycles
+		}
 		if basePlan != nil {
 			// Each cell replays its own copy of the plan; runs never share
 			// mutable state.
@@ -149,6 +145,16 @@ func main() {
 		return cfg
 	}
 
+	// -deadline bounds the whole invocation's wall time: the simulation
+	// aborts with a structured deadline error (and the watchdog's
+	// diagnostic dump, when armed) instead of hanging forever.
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
 	benches := expandList(*benchName, fusion.Benchmarks(), "benchmark")
 	sysNames := expandList(*sysName, systemNames, "system")
 	if len(benches) > 1 || len(sysNames) > 1 {
@@ -156,7 +162,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-benchfile cannot be combined with a multi-cell sweep")
 			os.Exit(2)
 		}
-		runSweep(benches, sysNames, configure, *workers, *verify)
+		runSweep(ctx, benches, sysNames, configure, *workers, *verify)
 		return
 	}
 
@@ -196,7 +202,7 @@ func main() {
 		fmt.Printf("fault plan       %+v\n", *cfg.Faults)
 	}
 
-	res, err := fusion.Run(b, cfg)
+	res, err := fusion.RunCtx(ctx, b, cfg)
 	if err != nil {
 		printRunError(err)
 		os.Exit(1)
@@ -297,7 +303,7 @@ func runLitmus(name string) {
 
 // runSweep executes the benchmark x system cross product on a bounded
 // worker pool and prints one row per cell, in cell order.
-func runSweep(benches, sysNames []string, configure func(fusion.System) fusion.Config, workers int, verify bool) {
+func runSweep(ctx context.Context, benches, sysNames []string, configure func(fusion.System) fusion.Config, workers int, verify bool) {
 	var items []fusion.SweepItem
 	goldens := make(map[string]map[fusion.VAddr]uint64)
 	for _, bn := range benches {
@@ -318,7 +324,7 @@ func runSweep(benches, sysNames []string, configure func(fusion.System) fusion.C
 			})
 		}
 	}
-	results, err := fusion.RunSweep(items, workers)
+	results, err := fusion.RunSweepCtx(ctx, items, workers)
 	if err != nil {
 		printRunError(err)
 		os.Exit(1)
@@ -360,6 +366,7 @@ func printRunError(err error) {
 	var se *fusion.SweepError
 	if errors.As(err, &se) {
 		where = se.Key + ": "
+		err = se.Err // the key is already in the prefix
 	}
 	var pe *fusion.ProtocolError
 	if errors.As(err, &pe) {

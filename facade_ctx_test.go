@@ -1,0 +1,116 @@
+package fusion_test
+
+// Coverage for the context-aware facade added with fusiond: RunCtx,
+// RunSweepCtx, SpecOf, ParseSystem, IsCancellation. These delegate to
+// internal/systems and internal/sim, which carry the behavioral tests;
+// here we pin the public surface — signatures, error classification, and
+// that a completed contextful run matches a plain one exactly.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fusion"
+)
+
+func TestRunCtxMatchesRun(t *testing.T) {
+	b := fusion.LoadBenchmark("adpcm")
+	cfg := fusion.DefaultConfig(fusion.FusionSystem)
+	plain, err := fusion.Run(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := fusion.RunCtx(context.Background(), b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != ctxed.Cycles || plain.Energy.Total() != ctxed.Energy.Total() {
+		t.Fatalf("contextful run diverged: %d/%v vs %d/%v",
+			plain.Cycles, plain.Energy.Total(), ctxed.Cycles, ctxed.Energy.Total())
+	}
+}
+
+func TestRunCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := fusion.RunCtx(ctx, fusion.LoadBenchmark("adpcm"),
+		fusion.DefaultConfig(fusion.FusionSystem))
+	if err == nil {
+		t.Fatal("pre-canceled context ran to completion")
+	}
+	if !fusion.IsCancellation(err) {
+		t.Fatalf("IsCancellation(%v) = false", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+	var pe *fusion.ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *ProtocolError", err)
+	}
+}
+
+func TestIsCancellationClassification(t *testing.T) {
+	if fusion.IsCancellation(nil) {
+		t.Fatal("nil classified as cancellation")
+	}
+	if fusion.IsCancellation(errors.New("boom")) {
+		t.Fatal("ordinary error classified as cancellation")
+	}
+	if !fusion.IsCancellation(context.DeadlineExceeded) {
+		t.Fatal("DeadlineExceeded not classified as cancellation")
+	}
+}
+
+func TestParseSystem(t *testing.T) {
+	sys, ok := fusion.ParseSystem("fusion-dx")
+	if !ok || sys != fusion.FusionDxSystem {
+		t.Fatalf("ParseSystem(fusion-dx) = %v, %v", sys, ok)
+	}
+	if _, ok := fusion.ParseSystem("no-such-system"); ok {
+		t.Fatal("unknown system name parsed")
+	}
+}
+
+func TestSpecOfNormalizes(t *testing.T) {
+	cfg := fusion.DefaultConfig(fusion.SharedSystem)
+	a := fusion.SpecOf("fft", cfg)
+	b := fusion.SpecOf("fft", cfg)
+	if a.Key() != b.Key() || a.Hash() != b.Hash() {
+		t.Fatalf("SpecOf is not stable: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Label() != "fft/shared" {
+		t.Fatalf("Label = %q", a.Label())
+	}
+}
+
+func TestRunSweepCtx(t *testing.T) {
+	b := fusion.LoadBenchmark("adpcm")
+	items := []fusion.SweepItem{
+		{Key: "adpcm/shared", Bench: b, Config: fusion.DefaultConfig(fusion.SharedSystem)},
+		{Key: "adpcm/fusion", Bench: b, Config: fusion.DefaultConfig(fusion.FusionSystem)},
+	}
+	results, err := fusion.RunSweepCtx(context.Background(), items, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r == nil || r.Cycles == 0 {
+			t.Fatalf("item %d (%s): empty result", i, items[i].Key)
+		}
+	}
+
+	// A poisoned cell fails the sweep with a *SweepError naming it.
+	bad := fusion.DefaultConfig(fusion.FusionSystem)
+	bad.MaxCycles = 100
+	items = append(items, fusion.SweepItem{Key: "poisoned", Bench: b, Config: bad})
+	_, err = fusion.RunSweepCtx(context.Background(), items, 2)
+	var se *fusion.SweepError
+	if !errors.As(err, &se) || se.Key != "poisoned" {
+		t.Fatalf("sweep error = %v, want *SweepError for poisoned", err)
+	}
+	if fusion.IsCancellation(err) {
+		t.Fatalf("budget exhaustion classified as cancellation: %v", err)
+	}
+}

@@ -45,6 +45,7 @@
 package fusion
 
 import (
+	"context"
 	"io"
 
 	"fusion/internal/experiments"
@@ -116,6 +117,33 @@ func LoadBenchmark(name string) *Benchmark { return workloads.Get(name) }
 // Run executes a benchmark on the configured system and returns the
 // measurements.
 func Run(b *Benchmark, cfg Config) (*Result, error) { return systems.Run(b, cfg) }
+
+// RunCtx is Run under a context: cancellation or a deadline aborts the
+// simulation within a few thousand simulated cycles, surfacing a
+// *ProtocolError that unwraps to the context's error (check with
+// errors.Is or IsCancellation). The simulation itself never reads the
+// wall clock, so a run that completes is byte-identical with or without a
+// context.
+func RunCtx(ctx context.Context, b *Benchmark, cfg Config) (*Result, error) {
+	return systems.RunCtx(ctx, b, cfg)
+}
+
+// Spec is the canonical, serializable description of one simulation run —
+// a (benchmark, system, knobs) cell. Equivalent configurations normalize
+// to the same Spec.Key()/Spec.Hash(), which is what the experiments memo
+// and the fusiond result cache key on.
+type Spec = systems.Spec
+
+// SpecOf captures a (benchmark, config) pair as a normalized Spec.
+func SpecOf(bench string, cfg Config) Spec { return systems.SpecOf(bench, cfg) }
+
+// ParseSystem resolves a system name ("scratch", "shared", "fusion",
+// "fusion-dx" and common aliases, case-insensitive) to its Kind.
+func ParseSystem(name string) (System, bool) { return systems.ParseKind(name) }
+
+// IsCancellation reports whether err is a context cancellation or
+// deadline knock-on rather than a genuine simulator failure.
+func IsCancellation(err error) bool { return sim.IsCancellation(err) }
 
 // RandomBenchmark generates a seeded random program for differential
 // testing; see workloads.RandomParams for knobs.
@@ -201,6 +229,15 @@ type SweepError = systems.SweepError
 // item order is returned as a *SweepError.
 func RunSweep(items []SweepItem, workers int) ([]*Result, error) {
 	return systems.RunAll(items, workers)
+}
+
+// RunSweepCtx is RunSweep under a context. The sweep stops promptly on
+// its first failure — the failing cell cancels the remaining work,
+// in-flight runs abort, unstarted cells are skipped — and the returned
+// *SweepError names the root-cause cell, never a cancellation knock-on.
+// Canceling ctx stops the sweep the same way.
+func RunSweepCtx(ctx context.Context, items []SweepItem, workers int) ([]*Result, error) {
+	return systems.RunAllCtx(ctx, items, workers)
 }
 
 // Experiments regenerates the paper's tables and figures. Simulation runs

@@ -85,19 +85,20 @@ func (r *Runner) bench(name string) *workloads.Benchmark {
 	return e.b
 }
 
-// runKey canonicalizes the config knobs experiments vary. Knobs the
-// experiment layer never sets (faults, watchdog, tracing, paranoia) are
-// deliberately excluded.
+// runKey canonicalizes a cell as its serializable run spec's canonical
+// key (see systems.Spec): every knob that can change the result is part of
+// the key, so two configs memoize together exactly when they describe the
+// same run. The fusiond daemon keys its on-disk result cache on the same
+// canonicalization (hashed), so a memoized cell here and a cached cell
+// there name the same bytes.
 func runKey(name string, cfg systems.Config) string {
-	return fmt.Sprintf("%s/%v/large=%v/wt=%v/tiles=%d/ls=%g/dma=%d.%d",
-		name, cfg.Kind, cfg.Large, cfg.WriteThrough, cfg.Tiles, cfg.LeaseScale,
-		cfg.DMAOutstanding, cfg.DMAGap)
+	return systems.SpecOf(name, cfg).Key()
 }
 
 // Run returns the memoized result of benchmark `name` under cfg, executing
 // the simulation on first request. Concurrent callers of the same cell
-// share one execution. Failures carry the originating cell key as a
-// *systems.SweepError wrapping the underlying error.
+// share one execution. Failures carry the originating cell's short label
+// ("bench/system") as a *systems.SweepError wrapping the underlying error.
 func (r *Runner) Run(name string, cfg systems.Config) (*systems.Result, error) {
 	key := runKey(name, cfg)
 	r.mu.Lock()
@@ -109,7 +110,7 @@ func (r *Runner) Run(name string, cfg systems.Config) (*systems.Result, error) {
 		res, err := systems.Run(r.bench(name), cfg)
 		r.simRuns.Add(1)
 		if err != nil {
-			e.err = &systems.SweepError{Key: key, Err: err}
+			e.err = &systems.SweepError{Key: systems.SpecOf(name, cfg).Label(), Err: err}
 		} else {
 			e.res = res
 		}
@@ -119,6 +120,22 @@ func (r *Runner) Run(name string, cfg systems.Config) (*systems.Result, error) {
 	r.mu.Unlock()
 	<-e.ready
 	return e.res, e.err
+}
+
+// RunSpec returns the memoized result of a serializable run spec — the
+// entry point the fusiond daemon shares with the in-process experiment
+// layer, so a daemon job and an artifact cell requesting the same spec
+// coalesce onto one simulation.
+func (r *Runner) RunSpec(s systems.Spec) (*systems.Result, error) {
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(s.Bench, cfg)
 }
 
 // ------------------------------------------------------------------ Table 1

@@ -133,8 +133,9 @@ func TestConcurrentSweepsShareOneRunner(t *testing.T) {
 
 // TestSweepErrorCarriesKey forces a protocol failure and checks the
 // originating cell's key survives the trip through the memo layer. The
-// runner is throwaway: watchdog knobs are deliberately outside runKey, so
-// the poisoned cell must not be shared with other tests.
+// watchdog knob is part of runKey (the serializable spec), so the poisoned
+// cell memoizes separately from the healthy adpcm/fusion cell; the runner
+// is throwaway anyway.
 func TestSweepErrorCarriesKey(t *testing.T) {
 	r := NewRunner()
 	cfg := systems.DefaultConfig(systems.Fusion)

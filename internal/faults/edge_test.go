@@ -1,0 +1,197 @@
+package faults
+
+// Edge-case coverage for plan parsing and degenerate plan shapes: empty
+// and partial JSON, malformed input, file loading, overlapping stall
+// windows (stall longer than its window period), and zero-duration
+// stalls. Degenerate knob combinations must never inject and never make a
+// delay non-deterministic.
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadPlanEmptyJSON(t *testing.T) {
+	p, err := LoadPlan(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != (Plan{}) {
+		t.Fatalf("empty JSON decoded to %+v, want the zero plan", p)
+	}
+	if p.Enabled() {
+		t.Fatal("zero plan reports Enabled")
+	}
+}
+
+func TestLoadPlanPartialJSON(t *testing.T) {
+	p, err := LoadPlan(strings.NewReader(`{"seed": 5, "link_jitter_prob": 0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 5 || p.LinkJitterProb != 0.5 {
+		t.Fatalf("partial plan decoded to %+v", p)
+	}
+	// Jitter probability without a max injects nothing.
+	if p.Enabled() {
+		t.Fatal("jitter with LinkJitterMax=0 reports Enabled")
+	}
+	inj := NewInjector(p)
+	for now := uint64(0); now < 10_000; now += 7 {
+		if d := inj.LinkDelay("l", now); d != 0 {
+			t.Fatalf("max-less jitter injected %d cycles at %d", d, now)
+		}
+	}
+}
+
+func TestLoadPlanMalformed(t *testing.T) {
+	for name, text := range map[string]string{
+		"truncated":  `{"seed": 1`,
+		"not-json":   `seed=1`,
+		"wrong-type": `{"seed": "one"}`,
+	} {
+		if _, err := LoadPlan(strings.NewReader(text)); err == nil {
+			t.Errorf("%s input decoded without error", name)
+		}
+	}
+}
+
+func TestLoadPlanFilePaths(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	want := RandomPlan(3)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := LoadPlanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("file round trip changed the plan:\n%+v\n%+v", want, got)
+	}
+	if _, err := LoadPlanFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("absent file loaded without error")
+	}
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlanFile(path); err == nil {
+		t.Fatal("malformed file loaded without error")
+	}
+}
+
+// TestZeroDurationStall: LinkStallLen=0 disables the stall class entirely
+// even with probability 1 — a window of zero cycles must not inject, and
+// must not divide by zero or underflow the window arithmetic.
+func TestZeroDurationStall(t *testing.T) {
+	p := Plan{Seed: 11, LinkStallProb: 1, LinkStallEvery: 64, LinkStallLen: 0}
+	if p.Enabled() {
+		t.Fatal("zero-duration stall reports Enabled")
+	}
+	inj := NewInjector(p)
+	for now := uint64(0); now < 1024; now++ {
+		if d := inj.LinkDelay("link", now); d != 0 {
+			t.Fatalf("zero-duration stall injected %d cycles at %d", d, now)
+		}
+	}
+	if _, stalls, _ := inj.Counts(); stalls != 0 {
+		t.Fatalf("counted %d stalls from a zero-duration plan", stalls)
+	}
+	// LinkStallEvery=0 likewise: the window divisor must never be used.
+	inj = NewInjector(Plan{Seed: 11, LinkStallProb: 1, LinkStallEvery: 0, LinkStallLen: 8})
+	for now := uint64(0); now < 1024; now++ {
+		if d := inj.LinkDelay("link", now); d != 0 {
+			t.Fatalf("period-less stall injected %d cycles at %d", d, now)
+		}
+	}
+}
+
+// TestOverlappingStallWindows: a stall longer than its window period
+// (LinkStallLen > LinkStallEvery) keeps every delay finite, monotonically
+// consistent with FIFO ordering (send at a later cycle never lands
+// earlier), and deterministic.
+func TestOverlappingStallWindows(t *testing.T) {
+	p := Plan{Seed: 21, LinkStallProb: 1, LinkStallEvery: 16, LinkStallLen: 40}
+	if !p.Enabled() {
+		t.Fatal("overlapping stall plan reports disabled")
+	}
+	a := NewInjector(p)
+	b := NewInjector(p)
+	var prevArrival uint64
+	for now := uint64(0); now < 4096; now++ {
+		da := a.LinkDelay("link", now)
+		db := b.LinkDelay("link", now)
+		if da != db {
+			t.Fatalf("stall delay diverged at %d: %d vs %d", now, da, db)
+		}
+		// With prob 1 every window stalls; a send inside the stall head
+		// of its window waits at most to the window's stall end, which
+		// overlap pushes into later windows.
+		if da > p.LinkStallLen {
+			t.Fatalf("delay %d at %d exceeds the stall length %d", da, now, p.LinkStallLen)
+		}
+		arrival := now + da
+		if arrival < prevArrival {
+			// The injector's contract: callers fold delays into their FIFO
+			// serialization, but the raw schedule itself must already be
+			// non-decreasing when every window stalls identically.
+			t.Fatalf("arrival went backwards: %d then %d", prevArrival, arrival)
+		}
+		prevArrival = arrival
+	}
+	if _, stalls, _ := a.Counts(); stalls == 0 {
+		t.Fatal("overlapping stall plan never injected")
+	}
+}
+
+// TestStallWindowBoundary: exactly at the stall end the delay is zero,
+// one cycle before it is one — the window arithmetic is half-open.
+func TestStallWindowBoundary(t *testing.T) {
+	p := Plan{Seed: 1, LinkStallProb: 1, LinkStallEvery: 100, LinkStallLen: 10}
+	inj := NewInjector(p)
+	if d := inj.LinkDelay("l", 9); d != 1 {
+		t.Fatalf("delay at stall-end-1 = %d, want 1", d)
+	}
+	if d := inj.LinkDelay("l", 10); d != 0 {
+		t.Fatalf("delay at stall end = %d, want 0", d)
+	}
+	if d := inj.LinkDelay("l", 0); d != 10 {
+		t.Fatalf("delay at window start = %d, want the full stall %d", d, p.LinkStallLen)
+	}
+}
+
+// TestProbabilityExtremes: probability 0 never injects; probability 1
+// jitter injects on every message with delays in [1, max]; NaN and
+// out-of-range probabilities do not wedge the injector.
+func TestProbabilityExtremes(t *testing.T) {
+	never := NewInjector(Plan{Seed: 2, LinkJitterProb: 0, LinkJitterMax: 8})
+	always := NewInjector(Plan{Seed: 2, LinkJitterProb: 1, LinkJitterMax: 8})
+	for i := 0; i < 1000; i++ {
+		if d := never.LinkDelay("l", uint64(i)); d != 0 {
+			t.Fatalf("prob-0 jitter injected %d", d)
+		}
+		d := always.LinkDelay("l", uint64(i))
+		if d < 1 || d > 8 {
+			t.Fatalf("prob-1 jitter delay %d outside [1,8]", d)
+		}
+	}
+	nan := NewInjector(Plan{Seed: 2, LinkJitterProb: math.NaN(), LinkJitterMax: 8,
+		DRAMSpikeProb: math.NaN(), DRAMSpikeExtra: 4})
+	for i := 0; i < 100; i++ {
+		if d := nan.LinkDelay("l", uint64(i)); d != 0 {
+			t.Fatalf("NaN jitter probability injected %d", d)
+		}
+		if d := nan.DRAMDelay(0); d != 0 {
+			t.Fatalf("NaN DRAM probability injected %d", d)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Cache is a content-addressed on-disk store of successful CellResults,
+// keyed by the spec hash. The simulator is deterministic, so a cached
+// cell is valid forever — the only threats are torn writes and on-disk
+// corruption, which the cache defends against in depth:
+//
+//   - every entry is written to a temp file and renamed into place, so a
+//     crash mid-write never leaves a partial entry under a valid name;
+//   - every entry carries a SHA-256 checksum of its payload; a mismatch
+//     on read quarantines the file and reports a miss, and the cell is
+//     simply recomputed;
+//   - opening a cache directory re-validates every entry (crash
+//     recovery): the in-memory index is rebuilt from the files that
+//     verify, corrupt files are quarantined, and orphaned temp files are
+//     deleted.
+//
+// Layout under the root directory:
+//
+//	objects/<hh>/<hash>.json  one entry, sharded by the first hash byte
+//	quarantine/<n>-<name>     corrupt entries, kept for post-mortem
+type Cache struct {
+	root string
+
+	mu     sync.Mutex
+	index  map[string]bool
+	qseq   int // quarantine name counter (not a timestamp: deterministic)
+	hits   int64
+	misses int64
+	badDug int64 // corrupt entries quarantined over this process's life
+}
+
+// entryMagic is the first line of every cache file; bumping it invalidates
+// old caches wholesale when the payload schema changes.
+const entryMagic = "fusiond-cell-v1"
+
+// OpenCache opens (creating if needed) a cache rooted at dir and recovers
+// its index from disk, quarantining anything that fails verification.
+func OpenCache(dir string) (*Cache, error) {
+	c := &Cache{root: dir, index: map[string]bool{}}
+	for _, d := range []string{c.objectsDir(), c.quarantineDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	if err := c.recover(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cache) objectsDir() string    { return filepath.Join(c.root, "objects") }
+func (c *Cache) quarantineDir() string { return filepath.Join(c.root, "quarantine") }
+
+func (c *Cache) entryPath(hash string) string {
+	return filepath.Join(c.objectsDir(), hash[:2], hash+".json")
+}
+
+// recover rebuilds the index by re-verifying every entry on disk. Corrupt
+// entries are quarantined; stray temp files (a crash mid-Put) are
+// removed. ReadDir returns sorted names, so recovery order — and
+// therefore quarantine numbering — is deterministic for a given disk
+// state.
+func (c *Cache) recover() error {
+	shards, err := os.ReadDir(c.objectsDir())
+	if err != nil {
+		return fmt.Errorf("cache recover: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			// A stray file directly under objects/ is a foreign object.
+			c.quarantine(filepath.Join(c.objectsDir(), shard.Name()))
+			continue
+		}
+		dir := filepath.Join(c.objectsDir(), shard.Name())
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("cache recover: %w", err)
+		}
+		for _, e := range entries {
+			path := filepath.Join(dir, e.Name())
+			if strings.HasPrefix(e.Name(), "tmp-") {
+				os.Remove(path)
+				continue
+			}
+			hash, ok := strings.CutSuffix(e.Name(), ".json")
+			if !ok || len(hash) != sha256.Size*2 || hash[:2] != shard.Name() {
+				c.quarantine(path)
+				continue
+			}
+			if _, err := c.load(hash); err != nil {
+				c.quarantine(path)
+				continue
+			}
+			c.index[hash] = true
+		}
+	}
+	return nil
+}
+
+// load reads and fully verifies one entry: magic line, payload checksum,
+// and payload hash agreeing with the file's name. It does not touch the
+// index.
+func (c *Cache) load(hash string) (*CellResult, error) {
+	raw, err := os.ReadFile(c.entryPath(hash))
+	if err != nil {
+		return nil, err
+	}
+	magic, rest, ok := bytes.Cut(raw, []byte{'\n'})
+	if !ok || string(magic) != entryMagic {
+		return nil, fmt.Errorf("cache entry %s: bad magic", hash)
+	}
+	sum, payload, ok := bytes.Cut(rest, []byte{'\n'})
+	if !ok {
+		return nil, fmt.Errorf("cache entry %s: truncated header", hash)
+	}
+	digest := sha256.Sum256(payload)
+	if string(sum) != hex.EncodeToString(digest[:]) {
+		return nil, fmt.Errorf("cache entry %s: checksum mismatch", hash)
+	}
+	var cell CellResult
+	if err := json.Unmarshal(payload, &cell); err != nil {
+		return nil, fmt.Errorf("cache entry %s: %w", hash, err)
+	}
+	if cell.Hash != hash || cell.Spec.Hash() != hash {
+		return nil, fmt.Errorf("cache entry %s: payload addresses %s", hash, cell.Hash)
+	}
+	if cell.Failed() {
+		return nil, fmt.Errorf("cache entry %s: stores a failed cell", hash)
+	}
+	return &cell, nil
+}
+
+// quarantine moves a bad file into the quarantine directory under a
+// sequence-numbered name (kept for post-mortem, out of the object
+// namespace). Removal is the fallback when the move itself fails.
+func (c *Cache) quarantine(path string) {
+	c.qseq++
+	dst := filepath.Join(c.quarantineDir(),
+		fmt.Sprintf("%d-%s", c.qseq, filepath.Base(path)))
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+	c.badDug++
+}
+
+// Get returns the cached cell for hash, verifying the entry end to end. A
+// corrupt entry is quarantined and reported as a miss — the caller
+// recomputes and the next Put heals the cache.
+func (c *Cache) Get(hash string) (*CellResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.index[hash] {
+		c.misses++
+		return nil, false
+	}
+	cell, err := c.load(hash)
+	if err != nil {
+		delete(c.index, hash)
+		c.quarantine(c.entryPath(hash))
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return cell, true
+}
+
+// Put stores a successful cell under its spec hash, atomically: payload
+// and checksum go to a temp file in the destination shard, which is then
+// renamed into place. Failed cells are rejected — a deterministic
+// failure must re-diagnose on every request, and a cancellation is not a
+// result at all.
+func (c *Cache) Put(cell *CellResult) error {
+	if cell.Failed() {
+		return fmt.Errorf("cache: refusing to store failed cell %s", cell.Hash)
+	}
+	hash := cell.Hash
+	if hash != cell.Spec.Hash() {
+		return fmt.Errorf("cache: cell %s mis-addressed", hash)
+	}
+	payload := cell.Marshal()
+	digest := sha256.Sum256(payload)
+	var buf bytes.Buffer
+	buf.WriteString(entryMagic)
+	buf.WriteByte('\n')
+	buf.WriteString(hex.EncodeToString(digest[:]))
+	buf.WriteByte('\n')
+	buf.Write(payload)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.index[hash] {
+		return nil // already stored; determinism makes the bytes identical
+	}
+	shard := filepath.Join(c.objectsDir(), hash[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("cache put: %w", err)
+	}
+	tmp, err := os.CreateTemp(shard, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache put: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.entryPath(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache put: %w", err)
+	}
+	c.index[hash] = true
+	return nil
+}
+
+// Len reports the number of verified entries currently indexed.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index)
+}
+
+// Counters reports cache activity since the process started.
+func (c *Cache) Counters() (hits, misses, quarantined int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.badDug
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fusion/internal/systems"
+)
+
+func testCell(t *testing.T, bench, system string) *CellResult {
+	t.Helper()
+	s := systems.Spec{Bench: bench, System: system}.Normalized()
+	return &CellResult{
+		Spec: s, Hash: s.Hash(),
+		Cycles: 12345, EnergyPJ: 6.5,
+		LinesChecked: 10, VersionsDigest: "aa", StatsDigest: "bb",
+	}
+}
+
+func TestCachePutGetRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := testCell(t, "adpcm", "fusion")
+	if err := c.Put(cell); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(cell.Hash)
+	if !ok {
+		t.Fatal("stored cell missed")
+	}
+	if string(got.Marshal()) != string(cell.Marshal()) {
+		t.Fatalf("round trip changed the cell:\n%s\n%s", cell.Marshal(), got.Marshal())
+	}
+	if _, ok := c.Get(strings.Repeat("0", 64)); ok {
+		t.Fatal("hit on an absent hash")
+	}
+}
+
+func TestCacheRejectsFailedCells(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := testCell(t, "adpcm", "fusion")
+	cell.Error = "boom"
+	if err := c.Put(cell); err == nil {
+		t.Fatal("failed cell accepted into the cache")
+	}
+	mis := testCell(t, "adpcm", "shared")
+	mis.Hash = testCell(t, "adpcm", "fusion").Hash
+	if err := c.Put(mis); err == nil {
+		t.Fatal("mis-addressed cell accepted into the cache")
+	}
+}
+
+// TestCacheQuarantinesCorruption flips bytes in a stored entry and expects
+// the next Get to miss, quarantine the file, and let a fresh Put heal the
+// entry.
+func TestCacheQuarantinesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := testCell(t, "fft", "fusion")
+	if err := c.Put(cell); err != nil {
+		t.Fatal(err)
+	}
+	path := c.entryPath(cell.Hash)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(cell.Hash); ok {
+		t.Fatal("corrupt entry served")
+	}
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine holds %d files (err %v), want 1", len(q), err)
+	}
+	if err := c.Put(cell); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(cell.Hash); !ok {
+		t.Fatal("healed entry missed")
+	}
+	_, _, quarantined := c.Counters()
+	if quarantined != 1 {
+		t.Fatalf("quarantine counter = %d, want 1", quarantined)
+	}
+}
+
+// TestCacheRecovery reopens a cache directory containing good entries, a
+// corrupted entry, an orphaned temp file (torn write), and a foreign
+// file, and expects the index to keep exactly the entries that verify.
+func TestCacheRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testCell(t, "adpcm", "fusion")
+	bad := testCell(t, "adpcm", "shared")
+	for _, cell := range []*CellResult{good, bad} {
+		if err := c.Put(cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt one entry on disk.
+	path := c.entryPath(bad.Hash)
+	if err := os.WriteFile(path, []byte("fusiond-cell-v1\ndeadbeef\n{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Torn write: an orphaned temp file in a shard.
+	tornDir := filepath.Join(dir, "objects", good.Hash[:2])
+	if err := os.WriteFile(filepath.Join(tornDir, "tmp-123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign object directly under objects/.
+	if err := os.WriteFile(filepath.Join(dir, "objects", "README"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("recovered index holds %d entries, want 1", re.Len())
+	}
+	if _, ok := re.Get(good.Hash); !ok {
+		t.Fatal("good entry lost in recovery")
+	}
+	if _, ok := re.Get(bad.Hash); ok {
+		t.Fatal("corrupt entry survived recovery")
+	}
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 2 { // the corrupt entry and the foreign file
+		names := make([]string, len(q))
+		for i, e := range q {
+			names[i] = e.Name()
+		}
+		t.Fatalf("quarantine holds %v, want 2 files", names)
+	}
+	// The torn temp file is deleted, not quarantined.
+	left, err := os.ReadDir(tornDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range left {
+		if strings.HasPrefix(e.Name(), "tmp-") {
+			t.Fatalf("torn temp file %s survived recovery", e.Name())
+		}
+	}
+}
+
+// TestCacheRejectsWrongPayloadAddress: an entry whose payload hashes to a
+// different spec than its filename claims is treated as corrupt even with
+// a valid checksum (defends against copy/rename mistakes).
+func TestCacheRejectsWrongPayloadAddress(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := testCell(t, "adpcm", "fusion")
+	if err := c.Put(cell); err != nil {
+		t.Fatal(err)
+	}
+	other := testCell(t, "fft", "shared")
+	src := c.entryPath(cell.Hash)
+	dst := c.entryPath(other.Hash)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Get(other.Hash); ok {
+		t.Fatal("mis-addressed copy served under the wrong hash")
+	}
+	if _, ok := re.Get(cell.Hash); !ok {
+		t.Fatal("original entry lost")
+	}
+}

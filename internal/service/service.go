@@ -1,0 +1,92 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+)
+
+// Options configures a Service.
+type Options struct {
+	// CacheDir roots the on-disk result cache. Empty disables persistence
+	// (an in-memory-index-only cache still coalesces within the process
+	// lifetime via the scheduler; every cell recomputes after restart).
+	CacheDir string
+	// Workers bounds concurrent simulations (<= 0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds admitted-but-not-running jobs (<= 0: 64). A full
+	// queue sheds load with ErrBusy / HTTP 429.
+	QueueDepth int
+	// Logf, when set, receives operational log lines (quarantines,
+	// recovered panics, shutdown progress).
+	Logf func(format string, args ...any)
+}
+
+// Service is the fusiond core: an http.Handler over the scheduler and the
+// result cache. Construct with New, serve via any http.Server, stop with
+// Shutdown.
+type Service struct {
+	cache *Cache
+	sched *scheduler
+	mux   *http.ServeMux
+	logf  func(format string, args ...any)
+}
+
+// New opens (and crash-recovers) the cache, starts the worker pool, and
+// wires the HTTP routes.
+func New(opts Options) (*Service, error) {
+	dir := opts.CacheDir
+	if dir == "" {
+		return nil, fmt.Errorf("service: CacheDir is required")
+	}
+	cache, err := OpenCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Service{cache: cache, logf: logf}
+	s.sched = newScheduler(cache, workers, depth, BuildCell)
+	s.mux = http.NewServeMux()
+	s.routes()
+	if _, _, q := cache.Counters(); q > 0 {
+		logf("cache recovery quarantined %d corrupt entries", q)
+	}
+	logf("fusiond ready: %d workers, queue %d, %d cached cells", workers, depth, cache.Len())
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Cache exposes the result cache (read-mostly: smoke tests and operators
+// inspect it).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Shutdown drains the service: admission stops immediately, running and
+// queued jobs finish unless ctx expires first, at which point they are
+// canceled and joined. Safe to call once; the HTTP mux stays mounted and
+// answers ErrDraining (503) for work routes afterwards.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.logf("fusiond draining")
+	err := s.sched.Shutdown(ctx)
+	if err != nil {
+		s.logf("fusiond drain deadline hit; outstanding jobs canceled: %v", err)
+	} else {
+		s.logf("fusiond drained cleanly")
+	}
+	return err
+}

@@ -1,0 +1,284 @@
+package service
+
+// Service-level soak: concurrent clients hammer a daemon whose job body
+// randomly panics on first attempts, the daemon is shut down mid-stream
+// and restarted over the same cache directory, and cached entries are
+// corrupted on disk between phases. Through all of it, every cell the
+// daemon ever serves successfully must be byte-identical to a fresh
+// sequential BuildCell run — and no request may ever kill the daemon.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fusion/internal/systems"
+)
+
+// soakUniverse is the pool of specs the soak draws from: one fast
+// benchmark across all four systems plus knob variants, so the sequential
+// reference stays cheap while still covering distinct cache entries.
+func soakUniverse() []systems.Spec {
+	specs := []systems.Spec{
+		{Bench: "adpcm", System: "scratch"},
+		{Bench: "adpcm", System: "shared"},
+		{Bench: "adpcm", System: "fusion"},
+		{Bench: "adpcm", System: "fusion-dx"},
+		{Bench: "adpcm", System: "fusion", Large: true},
+		{Bench: "adpcm", System: "fusion", WriteThrough: true},
+	}
+	for i := range specs {
+		specs[i] = specs[i].Normalized()
+	}
+	return specs
+}
+
+func TestServiceSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	universe := soakUniverse()
+
+	// Sequential reference: the ground truth every daemon answer is
+	// compared against, computed with no service machinery at all.
+	reference := map[string][]byte{}
+	for _, s := range universe {
+		cell := BuildCell(context.Background(), s)
+		if cell.Failed() {
+			t.Fatalf("reference run %s failed: %s", s.Label(), cell.Error)
+		}
+		reference[cell.Hash] = cell.Marshal()
+	}
+
+	// Panic injection: each spec's first N attempts panic inside the job
+	// body; later attempts run for real. The daemon must convert every
+	// injected panic into a failed cell and survive.
+	var panicMu sync.Mutex
+	panicsLeft := map[string]int{}
+	rng := rand.New(rand.NewSource(7))
+	for _, s := range universe {
+		panicsLeft[s.Hash()] = rng.Intn(2) // 0 or 1 injected panics
+	}
+	chaosRun := func(ctx context.Context, s systems.Spec) *CellResult {
+		panicMu.Lock()
+		n := panicsLeft[s.Hash()]
+		if n > 0 {
+			panicsLeft[s.Hash()] = n - 1
+			panicMu.Unlock()
+			panic(fmt.Sprintf("soak: injected panic for %s", s.Label()))
+		}
+		panicMu.Unlock()
+		return BuildCell(ctx, s)
+	}
+
+	dir := t.TempDir()
+	mkService := func() *Service {
+		cache, err := OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &Service{cache: cache, logf: t.Logf}
+		s.sched = newScheduler(cache, 4, 64, chaosRun)
+		s.mux = http.NewServeMux()
+		s.routes()
+		return s
+	}
+
+	// checkCells verifies a response body: every successful cell must be
+	// byte-identical to the reference; failed cells must be injected
+	// panics (the only failure mode this soak arranges).
+	checkCells := func(phase string, body []byte) (ok, failed int) {
+		var sr SweepResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Errorf("%s: bad response body: %v\n%s", phase, err, body)
+			return 0, 0
+		}
+		for _, cell := range sr.Cells {
+			if cell.Failed() {
+				failed++
+				if !strings.Contains(cell.Error, "injected panic") &&
+					!strings.Contains(cell.Error, "canceled") &&
+					!strings.Contains(cell.Error, "draining") {
+					t.Errorf("%s: unexpected cell failure: %s", phase, cell.Error)
+				}
+				continue
+			}
+			want, known := reference[cell.Hash]
+			if !known {
+				t.Errorf("%s: daemon served a cell outside the universe: %s", phase, cell.Spec.Label())
+				continue
+			}
+			if !bytes.Equal(cell.Marshal(), want) {
+				t.Errorf("%s: cell %s differs from the sequential reference:\ndaemon: %s\nfresh:  %s",
+					phase, cell.Spec.Label(), cell.Marshal(), want)
+			}
+			ok++
+		}
+		return ok, failed
+	}
+
+	// requestBody builds a sweep over a random subset of the universe.
+	requestBody := func(rng *rand.Rand) string {
+		n := 1 + rng.Intn(len(universe))
+		idx := rng.Perm(len(universe))[:n]
+		cells := make([]systems.Spec, n)
+		for i, j := range idx {
+			cells[i] = universe[j]
+		}
+		b, err := json.Marshal(&SweepRequest{Cells: cells})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	// --- Phase 1: concurrent clients against a fresh daemon. ---
+	svc := mkService()
+	ts := httptest.NewServer(svc)
+	const clients, rounds = 6, 4
+	var wg sync.WaitGroup
+	var statMu sync.Mutex
+	served, panicked := 0, 0
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + c)))
+			for r := 0; r < rounds; r++ {
+				resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+					strings.NewReader(requestBody(rng)))
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				var buf bytes.Buffer
+				_, err = buf.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					// Load shedding is a legal answer; anything else is not.
+					if resp.StatusCode != http.StatusTooManyRequests {
+						t.Errorf("client %d: status %d: %s", c, resp.StatusCode, buf.Bytes())
+					}
+					continue
+				}
+				ok, failed := checkCells(fmt.Sprintf("phase1/client%d", c), buf.Bytes())
+				statMu.Lock()
+				served += ok
+				panicked += failed
+				statMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if served == 0 {
+		t.Fatal("phase 1 served no successful cells")
+	}
+
+	// --- Phase 2: corrupt cached entries on disk; the daemon must
+	// quarantine and recompute, still byte-identical. ---
+	entries, err := filepath.Glob(filepath.Join(dir, "objects", "*", "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries on disk after phase 1 (err %v)", err)
+	}
+	corrupted := 0
+	for i, path := range entries {
+		if i%2 == 1 {
+			continue // corrupt half, keep half
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0x55
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted++
+	}
+	all, err := json.Marshal(&SweepRequest{Cells: universe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("phase 2 sweep: status %d: %s", resp.StatusCode, buf.Bytes())
+	}
+	if ok, _ := checkCells("phase2", buf.Bytes()); ok != len(universe) {
+		t.Fatalf("phase 2 served %d/%d cells byte-identically after corruption", ok, len(universe))
+	}
+	if _, _, quarantined := svc.cache.Counters(); quarantined < int64(corrupted) {
+		t.Errorf("corrupted %d entries but quarantined only %d", corrupted, quarantined)
+	}
+
+	// --- Phase 3: shutdown mid-sweep, restart over the same directory,
+	// verify the rebuilt cache still serves identical bytes. ---
+	slow := make(chan struct{})
+	var slowOnce sync.Once
+	go func() {
+		// One more client in flight while we pull the plug.
+		defer slowOnce.Do(func() { close(slow) })
+		body := requestBody(rand.New(rand.NewSource(999)))
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err == nil {
+			resp.Body.Close() // any status is fine mid-shutdown
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Errorf("drain failed: %v", err)
+	}
+	cancel()
+	ts.Close()
+	<-slow
+
+	svc2 := mkService() // crash-recovers the index from disk
+	ts2 := httptest.NewServer(svc2)
+	defer ts2.Close()
+	before := svc2.sched.counters().ran
+	resp, err = http.Post(ts2.URL+"/v1/sweep", "application/json", bytes.NewReader(all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart sweep: status %d: %s", resp.StatusCode, buf.Bytes())
+	}
+	if ok, failed := checkCells("phase3", buf.Bytes()); ok != len(universe) || failed != 0 {
+		t.Fatalf("post-restart sweep served %d ok / %d failed, want %d / 0",
+			ok, failed, len(universe))
+	}
+	if after := svc2.sched.counters().ran; after != before {
+		// Every panic was consumed in phase 1 and phase 2 refilled the
+		// cache, so the restarted daemon should serve purely from disk.
+		t.Logf("restarted daemon re-ran %d cells (cache partially cold) — allowed but unexpected", after-before)
+	}
+	if err := svc2.Shutdown(context.Background()); err != nil {
+		t.Errorf("final drain failed: %v", err)
+	}
+}

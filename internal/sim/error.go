@@ -1,16 +1,23 @@
 package sim
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
 
 // ProtocolError is a structured, diagnosable protocol failure. Controllers
 // raise one (via Failf) instead of a bare panic when they receive a message
 // their state machine cannot legally see; the Engine.RunE boundary recovers
 // it and hands it to the caller as an error, so a protocol bug surfaces as a
 // report — component, cycle, offending message, state excerpt — rather than
-// a process crash.
+// a process crash. The same shape carries host-side aborts (cancellation,
+// deadlines, budget exhaustion, recovered job panics), distinguished by the
+// Component* constants below.
 type ProtocolError struct {
 	// Component names the controller that detected the violation
-	// ("l1x", "mesi dir", "watchdog", ...).
+	// ("l1x", "mesi dir", "watchdog", ...), or one of the Component*
+	// abort classes.
 	Component string
 	// Cycle is the simulation cycle at which the violation was detected.
 	Cycle uint64
@@ -19,9 +26,28 @@ type ProtocolError struct {
 	Message string
 	// State is an optional excerpt of the component's (or system's)
 	// state at the point of failure — transaction tables, queue depths,
-	// transient directory entries.
+	// transient directory entries, or a watchdog diagnostic dump.
 	State string
+	// Cause, when non-nil, is the host-side error that provoked the
+	// abort (a context cancellation, typically), reachable via errors.Is
+	// through Unwrap.
+	Cause error
 }
+
+// Host-side abort classes carried in ProtocolError.Component. They let
+// callers (sweep runners, the fusiond job scheduler) distinguish "the
+// protocol broke" from "the host gave up on the run".
+const (
+	// ComponentBudget marks a run that exhausted its cycle budget.
+	ComponentBudget = "cycle-budget"
+	// ComponentDeadline marks a run aborted by a wall-clock deadline.
+	ComponentDeadline = "deadline"
+	// ComponentCanceled marks a run aborted by caller cancellation.
+	ComponentCanceled = "canceled"
+	// ComponentPanic marks a run that panicked and was recovered at a
+	// job boundary (see PanicError).
+	ComponentPanic = "panic"
+)
 
 // Error implements the error interface.
 func (e *ProtocolError) Error() string {
@@ -30,6 +56,26 @@ func (e *ProtocolError) Error() string {
 		s += "\nstate:\n" + e.State
 	}
 	return s
+}
+
+// Unwrap exposes the host-side cause (if any) to errors.Is/errors.As.
+func (e *ProtocolError) Unwrap() error { return e.Cause }
+
+// IsCancellation reports whether err is a caller-initiated abort — a
+// context cancellation or deadline, either raw or wrapped in a
+// *ProtocolError — as opposed to a genuine simulation failure.
+func IsCancellation(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var pe *ProtocolError
+	if errors.As(err, &pe) {
+		return pe.Component == ComponentCanceled || pe.Component == ComponentDeadline
+	}
+	return false
 }
 
 // Failf aborts the current simulation step with a *ProtocolError. It panics;
@@ -42,4 +88,25 @@ func Failf(component string, cycle uint64, state string, format string, args ...
 		Message:   fmt.Sprintf(format, args...),
 		State:     state,
 	})
+}
+
+// PanicError converts a value recovered from a panic into a structured
+// *ProtocolError, preserving an already-structured one unchanged. Job
+// boundaries (the fusiond scheduler) use it so an escaped simulator failure
+// becomes a diagnosable job result instead of a daemon crash; stack is the
+// goroutine stack captured at the recovery point.
+func PanicError(component string, cycle uint64, recovered interface{}, stack string) *ProtocolError {
+	if pe, ok := recovered.(*ProtocolError); ok {
+		return pe
+	}
+	if err, ok := recovered.(error); ok {
+		return &ProtocolError{
+			Component: component, Cycle: cycle,
+			Message: "panic: " + err.Error(), State: stack, Cause: err,
+		}
+	}
+	return &ProtocolError{
+		Component: component, Cycle: cycle,
+		Message: fmt.Sprintf("panic: %v", recovered), State: stack,
+	}
 }

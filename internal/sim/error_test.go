@@ -1,0 +1,81 @@
+package sim
+
+// Direct coverage of the host-side error surface: cancellation
+// classification, cause unwrapping, and the panic-to-ProtocolError
+// conversion used at job boundaries (the fusiond scheduler).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestIsCancellation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain", errors.New("boom"), false},
+		{"raw-canceled", context.Canceled, true},
+		{"raw-deadline", context.DeadlineExceeded, true},
+		{"wrapped-canceled", &ProtocolError{Component: ComponentCanceled, Cycle: 9,
+			Message: "canceled", Cause: context.Canceled}, true},
+		{"wrapped-deadline", &ProtocolError{Component: ComponentDeadline, Cycle: 9,
+			Message: "deadline", Cause: context.DeadlineExceeded}, true},
+		{"budget", &ProtocolError{Component: ComponentBudget, Cycle: 9,
+			Message: "out of cycles"}, false},
+		{"protocol", &ProtocolError{Component: "l1x", Cycle: 9,
+			Message: "bad state"}, false},
+		{"fmt-wrapped", fmt.Errorf("cell: %w", &ProtocolError{
+			Component: ComponentCanceled, Message: "canceled"}), true},
+	} {
+		if got := IsCancellation(tc.err); got != tc.want {
+			t.Errorf("%s: IsCancellation(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestProtocolErrorUnwrap(t *testing.T) {
+	pe := &ProtocolError{Component: ComponentDeadline, Cycle: 5,
+		Message: "deadline", Cause: context.DeadlineExceeded}
+	if !errors.Is(pe, context.DeadlineExceeded) {
+		t.Fatal("wrapped cause not reachable via errors.Is")
+	}
+	bare := &ProtocolError{Component: "l0x", Cycle: 5, Message: "bad"}
+	if bare.Unwrap() != nil {
+		t.Fatal("cause-less error unwraps non-nil")
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	// An already-structured failure passes through untouched.
+	orig := &ProtocolError{Component: "mesi dir", Cycle: 7, Message: "bad state"}
+	if got := PanicError("worker", 0, orig, "stack"); got != orig {
+		t.Fatalf("structured panic value rewrapped: %v", got)
+	}
+
+	// A plain error becomes the cause, reachable via errors.Is.
+	cause := errors.New("index out of range")
+	pe := PanicError("worker", 3, cause, "goroutine 1 [running]")
+	if pe.Component != "worker" || pe.Cycle != 3 {
+		t.Fatalf("component/cycle = %q/%d", pe.Component, pe.Cycle)
+	}
+	if !errors.Is(pe, cause) {
+		t.Fatal("panic cause not reachable via errors.Is")
+	}
+	if pe.State != "goroutine 1 [running]" {
+		t.Fatalf("stack not preserved: %q", pe.State)
+	}
+
+	// A non-error value is formatted into the message.
+	pe = PanicError("worker", 0, 42, "stack")
+	if pe.Message != "panic: 42" {
+		t.Fatalf("message = %q", pe.Message)
+	}
+	if pe.Unwrap() != nil {
+		t.Fatal("valueless panic has a cause")
+	}
+}

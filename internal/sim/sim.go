@@ -149,6 +149,16 @@ type Engine struct {
 	// progress, when set, is invoked by Progress — the heartbeat sink for
 	// a forward-progress Watchdog.
 	progress func()
+
+	// interrupt, when set, is polled by Run at most once every
+	// interruptEvery cycles; a non-nil return aborts the run with that
+	// error (surfaced by RunE). This is how host-side control — context
+	// cancellation, wall-clock deadlines — reaches into a simulation
+	// without the simulation itself ever reading the wall clock.
+	interrupt      func() error
+	interruptEvery uint64
+	interruptNext  uint64
+	interruptErr   error
 }
 
 // NewEngine returns an engine with the clock at cycle 0.
@@ -227,6 +237,36 @@ func (e *Engine) ScheduleCallAt(at uint64, h EventHandler, op uint8, arg uint64)
 // before Run is honored: the next Run returns immediately, consuming the
 // stop (so a subsequent Run proceeds normally).
 func (e *Engine) Stop() { e.stopped = true }
+
+// SetInterrupt installs fn as Run's abort poll, invoked at most once every
+// `every` cycles (0 means every cycle). A non-nil return stops the run at
+// the current cycle; RunE then surfaces that error to the caller. The poll
+// only ever aborts — it must not mutate simulation state — so arming it
+// cannot change the results of a run that completes. Passing a nil fn
+// disarms the poll.
+func (e *Engine) SetInterrupt(every uint64, fn func() error) {
+	if every == 0 {
+		every = 1
+	}
+	e.interrupt = fn
+	e.interruptEvery = every
+	e.interruptNext = e.now + every
+}
+
+// checkInterrupt polls the interrupt hook when its cycle quota has elapsed.
+// It reports true when the run must abort (the error is parked in
+// interruptErr for RunE to pick up).
+func (e *Engine) checkInterrupt() bool {
+	if e.interrupt == nil || e.now < e.interruptNext {
+		return false
+	}
+	e.interruptNext = e.now + e.interruptEvery
+	if err := e.interrupt(); err != nil {
+		e.interruptErr = err
+		return true
+	}
+	return false
+}
 
 // SetProgressListener installs the heartbeat sink invoked by Progress
 // (typically a Watchdog's Beat). Passing nil disables forwarding.
@@ -320,6 +360,9 @@ func (e *Engine) Run(maxCycles uint64, pred func() bool) (cycles uint64, done bo
 			e.stopped = false
 			return e.now - start, false
 		}
+		if e.checkInterrupt() {
+			return e.now - start, false
+		}
 		if target, ok := e.skipTarget(limit); ok {
 			e.now = target
 			continue
@@ -335,8 +378,9 @@ func (e *Engine) Run(maxCycles uint64, pred func() bool) (cycles uint64, done bo
 // RunE is Run with structured failure recovery: a *ProtocolError raised by
 // any event callback or ticker (protocol controllers via Failf, the
 // Watchdog) stops the clock at the failing cycle and is returned as err
-// instead of unwinding through the caller. Any other panic propagates
-// unchanged — only diagnosed protocol failures are converted.
+// instead of unwinding through the caller, as is an abort requested by the
+// interrupt poll (SetInterrupt). Any other panic propagates unchanged —
+// only diagnosed protocol failures are converted.
 func (e *Engine) RunE(maxCycles uint64, pred func() bool) (cycles uint64, done bool, err error) {
 	start := e.now
 	defer func() {
@@ -350,7 +394,11 @@ func (e *Engine) RunE(maxCycles uint64, pred func() bool) (cycles uint64, done b
 		}
 	}()
 	cycles, done = e.Run(maxCycles, pred)
-	return cycles, done, nil
+	if e.interruptErr != nil {
+		err = e.interruptErr
+		e.interruptErr = nil
+	}
+	return cycles, done, err
 }
 
 // Pending reports the number of outstanding scheduled events.

@@ -9,10 +9,12 @@ package systems
 // completion order.
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"fusion/internal/sim"
 	"fusion/internal/workloads"
 )
 
@@ -46,12 +48,28 @@ func Workers(n int) int {
 }
 
 // RunAll executes every item on a pool of at most `workers` goroutines
-// (<=0: GOMAXPROCS) and returns the results in item order. Benchmarks are
-// never mutated by Run, so items may share *Benchmark values. On failure
-// the returned error is the first failing item in ITEM order — not
-// completion order — wrapped in a *SweepError carrying the item's Key; the
-// results of items that did succeed are still returned.
+// (<=0: GOMAXPROCS) and returns the results in item order. See RunAllCtx
+// for the failure and cancellation semantics.
 func RunAll(items []SweepItem, workers int) ([]*Result, error) {
+	return RunAllCtx(context.Background(), items, workers)
+}
+
+// RunAllCtx executes every item on a bounded worker pool under a context.
+// Benchmarks are never mutated by Run, so items may share *Benchmark
+// values. The sweep stops promptly on the first failure: the failing cell
+// cancels a sweep-local context, in-flight runs observe the cancel and
+// abort (within cancelPollCycles simulated cycles), and unstarted cells
+// are skipped. Canceling ctx from outside stops the sweep the same way.
+//
+// The returned error is the sweep's root cause: the first failing item in
+// ITEM order whose error is not a cancellation knock-on, wrapped in a
+// *SweepError carrying the item's Key (if every recorded error is a
+// cancellation — the caller canceled ctx — the first of those is
+// returned). Results of items that completed before the stop are still
+// returned; aborted and skipped cells are nil.
+func RunAllCtx(ctx context.Context, items []SweepItem, workers int) ([]*Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	results := make([]*Result, len(items))
 	errs := make([]error, len(items))
 	workers = Workers(workers)
@@ -69,9 +87,14 @@ func RunAll(items []SweepItem, workers int) ([]*Result, error) {
 				if i >= len(items) {
 					return
 				}
-				res, err := Run(items[i].Bench, items[i].Config)
+				if err := ctx.Err(); err != nil {
+					errs[i] = &SweepError{Key: items[i].Key, Err: err}
+					continue
+				}
+				res, err := RunCtx(ctx, items[i].Bench, items[i].Config)
 				if err != nil {
 					errs[i] = &SweepError{Key: items[i].Key, Err: err}
+					cancel()
 					continue
 				}
 				results[i] = res
@@ -79,10 +102,17 @@ func RunAll(items []SweepItem, workers int) ([]*Result, error) {
 		}()
 	}
 	wg.Wait()
+	var firstCancel error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !sim.IsCancellation(err) {
 			return results, err
 		}
+		if firstCancel == nil {
+			firstCancel = err
+		}
 	}
-	return results, nil
+	return results, firstCancel
 }

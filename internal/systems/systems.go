@@ -15,6 +15,8 @@
 package systems
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -294,20 +296,48 @@ func (m *machine) translate(va mem.VAddr) mem.PAddr {
 }
 
 // run drives the engine until pred holds. Protocol failures (including a
-// watchdog timeout) surface as a *sim.ProtocolError instead of a panic.
+// watchdog timeout), cancellation aborts, and cycle-budget exhaustion all
+// surface as a *sim.ProtocolError instead of a panic or a bare string —
+// the budget case attaches the watchdog's diagnostic dump when one is
+// armed, so a run that timed out still names what it was waiting on.
 func (m *machine) run(max uint64, pred func() bool) error {
 	_, ok, err := m.eng.RunE(max, pred)
 	if err != nil {
 		return err
 	}
 	if !ok {
-		return fmt.Errorf("simulation stuck at cycle %d", m.eng.Now())
+		state := ""
+		if m.wd != nil {
+			state = m.wd.Dump()
+		}
+		return &sim.ProtocolError{
+			Component: sim.ComponentBudget,
+			Cycle:     m.eng.Now(),
+			Message:   fmt.Sprintf("cycle budget of %d exhausted before the wait completed", max),
+			State:     state,
+		}
 	}
 	return nil
 }
 
+// cancelPollCycles is how often a context-carrying run polls for
+// cancellation: every few thousand simulated cycles — a few milliseconds
+// of wall time — so cancellation and deadlines take effect promptly
+// without measurable per-cycle cost. Polling only ever aborts; it cannot
+// change the results of a run that completes.
+const cancelPollCycles = 4096
+
 // Run executes benchmark b on the configured system.
 func Run(b *workloads.Benchmark, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), b, cfg)
+}
+
+// RunCtx is Run under a context: when ctx is canceled or its deadline
+// passes, the simulation aborts promptly (within cancelPollCycles simulated
+// cycles) with a *sim.ProtocolError whose component is sim.ComponentCanceled
+// or sim.ComponentDeadline, carrying the context error as its cause and the
+// watchdog's diagnostic dump (when one is armed) as its state.
+func RunCtx(ctx context.Context, b *workloads.Benchmark, cfg Config) (*Result, error) {
 	cfg = cfg.normalize()
 	m := newMachine()
 	m.eng.SetIdleSkip(!cfg.NoIdleSkip)
@@ -336,6 +366,29 @@ func Run(b *workloads.Benchmark, cfg Config) (*Result, error) {
 		m.paranoid = &invariantChecker{interval: 64, dir: m.dir,
 			clients: []*mesi.Client{m.hostL1}}
 		m.eng.Register(m.paranoid)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		m.eng.SetInterrupt(cancelPollCycles, func() error {
+			cause := ctx.Err()
+			if cause == nil {
+				return nil
+			}
+			component, msg := sim.ComponentCanceled, "run canceled by caller"
+			if errors.Is(cause, context.DeadlineExceeded) {
+				component, msg = sim.ComponentDeadline, "wall-clock deadline exceeded"
+			}
+			state := ""
+			if m.wd != nil {
+				state = m.wd.Dump()
+			}
+			return &sim.ProtocolError{
+				Component: component,
+				Cycle:     m.eng.Now(),
+				Message:   msg,
+				State:     state,
+				Cause:     cause,
+			}
+		})
 	}
 
 	// Preload inputs into the host LLC at version 1 (the host produced

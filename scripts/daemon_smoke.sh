@@ -1,0 +1,72 @@
+#!/bin/sh
+# Daemon smoke: build fusiond, start it on a scratch cache directory,
+# submit the committed smoke request twice (cold, then cache-served), and
+# require both responses byte-identical to the committed golden. Then
+# SIGTERM the daemon and require a clean exit with a non-empty persisted
+# cache. Any drift in the golden bytes means the simulator's results — or
+# the service's canonical serialization — changed, which must be a
+# deliberate, reviewed event (regenerate with this script's REGEN=1).
+set -eu
+
+GO="${GO:-go}"
+ADDR="${FUSIOND_ADDR:-127.0.0.1:7121}"
+REQ=cmd/fusiond/testdata/smoke_request.json
+GOLDEN=cmd/fusiond/testdata/smoke_golden.json
+TMP="$(mktemp -d)"
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+"$GO" build -o "$TMP/fusiond" ./cmd/fusiond
+"$TMP/fusiond" -addr "$ADDR" -cache "$TMP/cache" 2>"$TMP/fusiond.log" &
+PID=$!
+
+ready=""
+i=0
+while [ $i -lt 100 ]; do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then ready=1; break; fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$ready" ]; then
+    echo "fusiond never became healthy:" >&2
+    cat "$TMP/fusiond.log" >&2
+    exit 1
+fi
+
+curl -s -X POST "http://$ADDR/v1/sweep" --data-binary "@$REQ" -o "$TMP/resp1.json"
+
+if [ "${REGEN:-}" = 1 ]; then
+    cp "$TMP/resp1.json" "$GOLDEN"
+    echo "regenerated $GOLDEN"
+fi
+
+curl -s -X POST "http://$ADDR/v1/sweep" --data-binary "@$REQ" -o "$TMP/resp2.json"
+
+for resp in "$TMP/resp1.json" "$TMP/resp2.json"; do
+    if ! cmp -s "$resp" "$GOLDEN"; then
+        echo "daemon response $resp differs from $GOLDEN:" >&2
+        diff "$GOLDEN" "$resp" >&2 || true
+        exit 1
+    fi
+done
+
+kill -TERM "$PID"
+status=0
+wait "$PID" || status=$?
+PID=""
+if [ "$status" -ne 0 ]; then
+    echo "fusiond exited with status $status after SIGTERM:" >&2
+    cat "$TMP/fusiond.log" >&2
+    exit 1
+fi
+
+count=$(find "$TMP/cache/objects" -name '*.json' | wc -l)
+if [ "$count" -lt 1 ]; then
+    echo "no persisted cache entries after shutdown" >&2
+    exit 1
+fi
+echo "daemon smoke OK: golden bytes matched twice, clean SIGTERM exit, $count cached cell(s)"
