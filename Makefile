@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet lint test race bench bench-smoke allocbudget soak-smoke soak fuzz-smoke daemon-smoke cover cover-baseline litmus clean
+.PHONY: tier1 build vet lint test race bench bench-smoke allocbudget soak-smoke soak fuzz-smoke daemon-smoke cover cover-baseline litmus waivers waivers-baseline clean
 
 # tier1 is the gate every change must pass.
 tier1: vet lint build race allocbudget
@@ -83,6 +83,18 @@ cover-baseline:
 # run as tests in internal/litmus; this prints the per-run table).
 litmus:
 	$(GO) run ./cmd/fusionsim -litmus all
+
+# waivers: inventory every //lint: suppression in the tree with its reason
+# (the lint-debt ledger). CI compares the count against .lint-waivers and
+# fails when debt grows without the commit touching ISSUE/docs.
+waivers:
+	$(GO) run ./cmd/fusionlint -waivers ./...
+
+# waivers-baseline: refresh the committed waiver-count baseline after a
+# deliberate, documented waiver change.
+waivers-baseline:
+	$(GO) run ./cmd/fusionlint -waivers -format json ./... | grep -c '"file"' > .lint-waivers
+	@echo "baseline: $$(cat .lint-waivers) waiver(s)"
 
 clean:
 	$(GO) clean ./...

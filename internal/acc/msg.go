@@ -88,10 +88,12 @@ type TileMsg struct {
 // lease responses, writebacks, and forwards carry a line.
 func (m *TileMsg) Bytes() int {
 	switch m.Type {
+	case MsgGetL, MsgGetW:
+		return 8
 	case MsgWB, MsgLease, MsgFwdData:
 		return 8 + mem.LineBytes
 	}
-	return 8
+	return 8 // poisoned/unknown: sized as control, caught by the pool guard
 }
 
 func (m *TileMsg) String() string {

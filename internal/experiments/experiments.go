@@ -53,8 +53,8 @@ type Runner struct {
 	workers int
 
 	mu      sync.Mutex
-	results map[string]*runEntry
-	benches map[string]*benchEntry
+	results map[string]*runEntry   //guard: mu
+	benches map[string]*benchEntry //guard: mu
 
 	// simRuns counts actually-executed (non-memoized) simulations.
 	simRuns atomic.Int64

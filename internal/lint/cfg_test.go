@@ -1,0 +1,285 @@
+package lint
+
+// Structural tests for the CFG builder over the testdata/cfgshapes
+// fixture: labeled break/continue, goto, select variants, defer order,
+// terminating calls, fallthrough, and loop shapes. Assertions are
+// structural (reachability, specific edges, block kinds), not golden
+// strings, so they pin semantics rather than rendering.
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"strings"
+	"testing"
+)
+
+// shapeCFG builds the CFG of the named function in testdata/cfgshapes.
+func shapeCFG(t *testing.T, name string) (*cfg, *Package) {
+	t.Helper()
+	pkg := fixture(t, "cfgshapes")
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != name || fn.Body == nil {
+				continue
+			}
+			return buildCFG(fn.Body, pkg.Info, fixMod), pkg
+		}
+	}
+	t.Fatalf("function %s not found in cfgshapes", name)
+	return nil, nil
+}
+
+// nodeTexts renders a block's nodes as collapsed source strings.
+func nodeTexts(pkg *Package, blk *cfgBlock) []string {
+	out := make([]string, 0, len(blk.nodes))
+	for _, n := range blk.nodes {
+		var buf bytes.Buffer
+		printer.Fprint(&buf, pkg.Fset, n)
+		out = append(out, strings.Join(strings.Fields(buf.String()), " "))
+	}
+	return out
+}
+
+// blockWith returns the unique block one of whose nodes' text contains
+// substr.
+func blockWith(t *testing.T, c *cfg, pkg *Package, substr string) *cfgBlock {
+	t.Helper()
+	var found *cfgBlock
+	for _, blk := range c.blocks {
+		for _, txt := range nodeTexts(pkg, blk) {
+			if strings.Contains(txt, substr) {
+				if found != nil && found != blk {
+					t.Fatalf("node text %q appears in blocks b%d and b%d", substr, found.index, blk.index)
+				}
+				found = blk
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block contains %q", substr)
+	}
+	return found
+}
+
+// reachableFrom returns the set of blocks reachable from start.
+func reachableFrom(start *cfgBlock) map[*cfgBlock]bool {
+	seen := map[*cfgBlock]bool{start: true}
+	work := []*cfgBlock{start}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		for _, s := range blk.succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+func hasEdge(from, to *cfgBlock) bool {
+	for _, s := range from.succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c, pkg := shapeCFG(t, "labeledBreak")
+	// break outer exits BOTH loops: the block assigning found jumps
+	// straight to the block returning it.
+	assign := blockWith(t, c, pkg, "found = j")
+	ret := blockWith(t, c, pkg, "return found")
+	if !hasEdge(assign, ret) {
+		t.Errorf("break outer: want edge b%d -> b%d (out of both loops), succs %v",
+			assign.index, ret.index, assign.succs)
+	}
+	if !reachableFrom(c.entry)[c.exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	c, pkg := shapeCFG(t, "labeledContinue")
+	// continue outer targets the OUTER range head: the range.head block
+	// whose rebound key ident is exactly "i" (the inner one rebinds j).
+	var outerHead *cfgBlock
+	for _, blk := range c.blocks {
+		if blk.kind != "range.head" {
+			continue
+		}
+		for _, txt := range nodeTexts(pkg, blk) {
+			if txt == "i" {
+				outerHead = blk
+			}
+		}
+	}
+	if outerHead == nil {
+		t.Fatal("no range.head block rebinding i")
+	}
+	var fromThen bool
+	for _, blk := range c.blocks {
+		if blk.kind == "if.then" && len(blk.nodes) == 0 && hasEdge(blk, outerHead) {
+			fromThen = true
+		}
+	}
+	if !fromThen {
+		t.Error("continue outer: no empty if.then block jumps to the outer range head")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	c, pkg := shapeCFG(t, "gotoBackward")
+	label := blockWith(t, c, pkg, "total += n")
+	if label.kind != "label.again" {
+		t.Errorf("label target block has kind %q, want label.again", label.kind)
+	}
+	backEdge := false
+	for _, blk := range c.blocks {
+		if blk != label && hasEdge(blk, label) && blk.kind == "if.then" {
+			backEdge = true
+		}
+	}
+	if !backEdge {
+		t.Error("goto again: no if.then block has a back edge to the label block")
+	}
+	if !reachableFrom(c.entry)[c.exit] {
+		t.Error("exit unreachable")
+	}
+
+	c, pkg = shapeCFG(t, "gotoForward")
+	out := blockWith(t, c, pkg, "return 2")
+	if out.kind != "label.out" {
+		t.Errorf("forward label block has kind %q, want label.out", out.kind)
+	}
+	reach := reachableFrom(c.entry)
+	if !reach[out] || !reach[blockWith(t, c, pkg, "return 1")] {
+		t.Error("both the labeled return and the fallthrough return must be reachable")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	c, pkg := shapeCFG(t, "selectNoDefault")
+	comms := 0
+	for _, s := range c.entry.succs {
+		if s.kind == "comm" {
+			comms++
+		}
+	}
+	if comms != 2 || len(c.entry.succs) != 2 {
+		t.Errorf("select entry succs = %v, want exactly 2 comm blocks", c.entry.succs)
+	}
+	// Both cases return, so the join is dead.
+	reach := reachableFrom(c.entry)
+	for _, blk := range c.blocks {
+		if blk.kind == "select.join" && reach[blk] {
+			t.Error("select.join reachable though every case returns")
+		}
+	}
+	if !reach[c.exit] {
+		t.Error("exit unreachable")
+	}
+
+	c, _ = shapeCFG(t, "selectWithDefault")
+	if len(c.entry.succs) != 2 {
+		t.Errorf("select with default: entry succs = %d, want 2 (case + default)", len(c.entry.succs))
+	}
+	_ = pkg
+
+	c, _ = shapeCFG(t, "selectForever")
+	if reachableFrom(c.entry)[c.exit] {
+		t.Error("select {} must block forever: exit reachable")
+	}
+}
+
+func TestCFGDeferOrder(t *testing.T) {
+	c, pkg := shapeCFG(t, "deferOrder")
+	if len(c.defers) != 2 {
+		t.Fatalf("defers = %d, want 2", len(c.defers))
+	}
+	var texts []string
+	for _, d := range c.defers {
+		var buf bytes.Buffer
+		printer.Fprint(&buf, pkg.Fset, d)
+		texts = append(texts, strings.Join(strings.Fields(buf.String()), " "))
+	}
+	if !strings.Contains(texts[0], "cleanup(1)") || !strings.Contains(texts[1], "cleanup(2)") {
+		t.Errorf("defers in encounter order = %v", texts)
+	}
+}
+
+func TestCFGTerminatingCalls(t *testing.T) {
+	for _, tc := range []struct{ fn, call string }{
+		{"panicEdge", `panic("boom")`},
+		{"failfEdge", "sim.Failf"},
+	} {
+		c, pkg := shapeCFG(t, tc.fn)
+		blk := blockWith(t, c, pkg, tc.call)
+		if len(blk.succs) != 0 {
+			t.Errorf("%s: terminating block b%d has successors %v, want none",
+				tc.fn, blk.index, blk.succs)
+		}
+		if !reachableFrom(c.entry)[c.exit] {
+			t.Errorf("%s: exit must stay reachable via the non-panicking path", tc.fn)
+		}
+	}
+}
+
+func TestCFGFallthrough(t *testing.T) {
+	c, pkg := shapeCFG(t, "fallThrough")
+	first := blockWith(t, c, pkg, "out++")
+	second := blockWith(t, c, pkg, "out += 10")
+	if !hasEdge(first, second) {
+		t.Errorf("fallthrough: want edge b%d -> b%d", first.index, second.index)
+	}
+	third := blockWith(t, c, pkg, "out += 7")
+	if hasEdge(first, third) || hasEdge(second, third) {
+		t.Error("fallthrough must only link adjacent clauses")
+	}
+}
+
+func TestCFGLoops(t *testing.T) {
+	c, _ := shapeCFG(t, "infiniteFor")
+	if reachableFrom(c.entry)[c.exit] {
+		t.Error("for {} never exits: exit reachable")
+	}
+
+	c, pkg := shapeCFG(t, "condForExits")
+	head := blockWith(t, c, pkg, "i < n")
+	if head.kind != "for.head" || len(head.succs) != 2 {
+		t.Errorf("conditional for head: kind %q succs %v, want for.head with 2 succs",
+			head.kind, head.succs)
+	}
+	if !reachableFrom(c.entry)[c.exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGDeadJoin(t *testing.T) {
+	c, _ := shapeCFG(t, "bothArmsReturn")
+	reach := reachableFrom(c.entry)
+	for _, blk := range c.blocks {
+		if blk.kind == "if.join" && reach[blk] {
+			t.Error("if.join reachable though both arms return")
+		}
+	}
+	if !reach[c.exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+// TestCFGDebugString smoke-tests the diagnostic renderer.
+func TestCFGDebugString(t *testing.T) {
+	c, pkg := shapeCFG(t, "condForExits")
+	s := c.debugString(pkg.Fset)
+	for _, want := range []string{"entry", "for.head", "{i < n}", "->"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("debugString missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CtxCancel enforces context hygiene on the daemon and sweep layers
+// (internal/service, systems.RunAllCtx, the cmd front-ends): every cancel
+// function returned by context.WithCancel / WithTimeout / WithDeadline /
+// WithCancelCause must run on every path out of the acquiring function —
+// called, deferred, or handed to an owner that will call it (stored in a
+// struct, passed to a callee, captured by a closure). A path that returns
+// with the cancel function untouched leaks the context's timer goroutine
+// and keeps the parent's cancellation tree pinned; under fusiond's
+// singleflight scheduler that is a slow, invisible resource leak.
+//
+// Discarding the cancel outright (`ctx, _ := context.WithCancel(...)`) is
+// reported unconditionally.
+var CtxCancel = &Analyzer{
+	Name:      "ctxcancel",
+	Directive: "ctxcancel",
+	Doc:       "context cancel func not called on every path",
+	Scope:     anyScope,
+	Run:       runCtxCancel,
+}
+
+const (
+	cancelPending uint8 = 1 << iota // acquired; no use seen yet on this path
+	cancelDone                      // called, deferred, or ownership handed off
+)
+
+// cancelFact tracks one cancel variable: its may-states and the
+// acquisition site (pos) plus constructor name (fn) for diagnostics.
+type cancelFact struct {
+	bits uint8
+	pos  token.Pos
+	fn   string
+	name string
+}
+
+type cancelState map[*types.Var]cancelFact
+
+func cloneCancelState(s cancelState) cancelState {
+	out := make(cancelState, len(s))
+	for k, v := range s { //lint:ordered clone of a dataflow fact map; no output depends on order
+		out[k] = v
+	}
+	return out
+}
+
+func mergeCancelInto(dst, src cancelState) bool {
+	changed := false
+	for k, sv := range src { //lint:ordered commutative union into a map; no output depends on order
+		dv, ok := dst[k]
+		if !ok {
+			dst[k] = sv
+			changed = true
+			continue
+		}
+		if merged := dv.bits | sv.bits; merged != dv.bits {
+			dv.bits = merged
+			dst[k] = dv
+			changed = true
+		}
+	}
+	return changed
+}
+
+func runCtxCancel(p *Pass) {
+	a := &cancelAnalysis{pass: p, info: p.Pkg.Info}
+	for _, f := range p.Pkg.Files {
+		for _, fn := range funcUnits(f) {
+			a.checkFunc(fn)
+		}
+	}
+}
+
+type cancelAnalysis struct {
+	pass *Pass
+	info *types.Info
+}
+
+// cancelConstructor returns the context constructor's name when call is
+// context.WithCancel/WithTimeout/WithDeadline/WithCancelCause.
+func (a *cancelAnalysis) cancelConstructor(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	path, name, ok := pkgSelector(a.info, sel)
+	if !ok || path != "context" {
+		return "", false
+	}
+	switch name {
+	case "WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause":
+		return name, true
+	}
+	return "", false
+}
+
+func (a *cancelAnalysis) checkFunc(fn funcUnit) {
+	c := buildCFG(fn.body, a.info, a.pass.Module)
+	transfer := func(blk *cfgBlock, st cancelState) cancelState {
+		for _, n := range blk.nodes {
+			a.node(st, n, false)
+		}
+		return st
+	}
+	in := forwardFlow(c, cancelState{}, cloneCancelState, mergeCancelInto, transfer)
+
+	for _, blk := range c.blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue
+		}
+		st = cloneCancelState(st)
+		for _, n := range blk.nodes {
+			a.node(st, n, true)
+		}
+	}
+
+	exitIn, ok := in[c.exit]
+	if !ok {
+		return
+	}
+	var leaks []cancelFact
+	for _, fact := range exitIn { //lint:ordered findings are collected then sorted by position below
+		if fact.bits&cancelPending != 0 {
+			leaks = append(leaks, fact)
+		}
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].pos < leaks[j].pos })
+	for _, fact := range leaks {
+		a.pass.Reportf(fact.pos,
+			"%s returned by context.%s is not called on every path to return (context leak); call it, defer it, or waive with //lint:ctxcancel <reason>",
+			fact.name, fact.fn)
+	}
+}
+
+func (a *cancelAnalysis) node(st cancelState, n ast.Node, report bool) {
+	if s, ok := n.(*ast.AssignStmt); ok {
+		a.assign(st, s, report)
+		return
+	}
+	a.scan(st, n)
+}
+
+func (a *cancelAnalysis) assign(st cancelState, s *ast.AssignStmt, report bool) {
+	// ctx, cancel := context.WithX(...): the cancel func is Lhs[1].
+	if len(s.Rhs) == 1 && len(s.Lhs) == 2 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if ctor, ok := a.cancelConstructor(call); ok {
+				a.scan(st, call) // arguments may use earlier cancels
+				id, isIdent := s.Lhs[1].(*ast.Ident)
+				if !isIdent || id.Name == "_" {
+					if report {
+						a.pass.Reportf(call.Pos(),
+							"the cancel func returned by context.%s is discarded; the context can never be canceled", ctor)
+					}
+					return
+				}
+				v := a.localVar(id)
+				if v == nil {
+					return
+				}
+				if prev, tracked := st[v]; tracked && prev.bits&cancelPending != 0 && report {
+					a.pass.Reportf(prev.pos,
+						"%s returned by context.%s may be overwritten before it is called (context leak)",
+						prev.name, prev.fn)
+				}
+				st[v] = cancelFact{bits: cancelPending, pos: call.Pos(), fn: ctor, name: id.Name}
+				return
+			}
+		}
+	}
+	// Re-binding a tracked cancel variable from a non-constructor source
+	// unbinds it; its value uses on the RHS count as hand-offs.
+	for _, rhs := range s.Rhs {
+		a.scan(st, rhs)
+	}
+	for _, lhs := range s.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if v := a.localVar(id); v != nil {
+				if prev, tracked := st[v]; tracked {
+					if prev.bits&cancelPending != 0 && report {
+						a.pass.Reportf(prev.pos,
+							"%s returned by context.%s may be overwritten before it is called (context leak)",
+							prev.name, prev.fn)
+					}
+					delete(st, v)
+				}
+			}
+			continue
+		}
+		a.scan(st, lhs)
+	}
+}
+
+// scan marks every appearance of a tracked cancel variable as done: a
+// direct call, a defer, or any hand-off (argument, field value, return,
+// closure capture) satisfies the discipline.
+func (a *cancelAnalysis) scan(st cancelState, n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v := a.localVar(id); v != nil {
+			if fact, tracked := st[v]; tracked {
+				fact.bits = cancelDone
+				st[v] = fact
+			}
+		}
+		return true
+	})
+}
+
+func (a *cancelAnalysis) localVar(id *ast.Ident) *types.Var {
+	obj := a.info.Uses[id]
+	if obj == nil {
+		obj = a.info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}

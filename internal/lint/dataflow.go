@@ -1,0 +1,82 @@
+package lint
+
+// dataflow.go is the worklist fixpoint engine the CFG analyzers share. A
+// client supplies its lattice as three functions — clone, mergeInto, and
+// the block transfer — and gets back the fixed-point in-state of every
+// reachable block. Unreachable blocks (dead code behind a return or a
+// sim.Failf) are simply absent from the result, so analyzers never report
+// on paths that cannot execute.
+//
+// The engine is initialization-by-first-visit: a block's in-state starts
+// as the out-state of whichever predecessor reached it first and is then
+// merged with every later predecessor until nothing changes. With a
+// monotone mergeInto over a finite lattice this converges to the standard
+// maximal-fixed-point solution for both may- (union) and must-
+// (intersection) analyses.
+
+import "go/ast"
+
+// forwardFlow runs a forward dataflow over c to fixpoint.
+//
+//   - init is the entry block's in-state (ownership passes to the engine);
+//   - clone deep-copies a state (states are typically maps);
+//   - mergeInto folds src into dst in place and reports whether dst
+//     changed;
+//   - transfer consumes a private copy of the in-state and returns the
+//     block's out-state (it may mutate its argument).
+//
+// The returned map holds the final in-state of every reachable block.
+func forwardFlow[S any](c *cfg, init S,
+	clone func(S) S,
+	mergeInto func(dst, src S) bool,
+	transfer func(*cfgBlock, S) S,
+) map[*cfgBlock]S {
+	in := map[*cfgBlock]S{c.entry: init}
+	work := []*cfgBlock{c.entry}
+	queued := map[*cfgBlock]bool{c.entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := transfer(blk, clone(in[blk]))
+		for _, succ := range blk.succs {
+			changed := false
+			if prev, ok := in[succ]; !ok {
+				in[succ] = clone(out)
+				changed = true
+			} else if mergeInto(prev, out) {
+				changed = true
+			}
+			if changed && !queued[succ] {
+				work = append(work, succ)
+				queued[succ] = true
+			}
+		}
+	}
+	return in
+}
+
+// funcUnit is one analyzable function body: a declared function or method,
+// or a function literal (each closure is its own unit — its CFG does not
+// leak into the enclosing function's).
+type funcUnit struct {
+	name string // declared name, or "func literal"
+	body *ast.BlockStmt
+}
+
+// funcUnits collects every function body in the file, outermost first.
+func funcUnits(f *ast.File) []funcUnit {
+	var out []funcUnit
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, funcUnit{name: n.Name.Name, body: n.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcUnit{name: "func literal", body: n.Body})
+		}
+		return true
+	})
+	return out
+}

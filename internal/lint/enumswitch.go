@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EnumSwitch keeps switches over protocol enums honest. A protocol enum is
+// a module-local named integer type whose package-scope constants form a
+// dense run 0..N-1 (the iota idiom used by mesi.MsgType, the directory and
+// tile stable states, and obs.Kind); sentinel constants outside the run —
+// such as the 0xFD pool poison — are not members. A switch over such a
+// type must either cover every member or carry an explicit default (the
+// house style for an unreachable default is `sim.Failf`, which also tells
+// the CFG layer the path terminates).
+//
+// Switches with non-constant case expressions are skipped: the analyzer
+// only reasons about literal member sets.
+var EnumSwitch = &Analyzer{
+	Name:      "enumswitch",
+	Directive: "enumswitch",
+	Doc:       "non-exhaustive switch over a protocol enum",
+	Scope:     internalScope,
+	Run:       runEnumSwitch,
+}
+
+type enumMember struct {
+	name  string
+	value int64
+}
+
+func runEnumSwitch(p *Pass) {
+	a := &enumAnalysis{
+		pass:  p,
+		info:  p.Pkg.Info,
+		cache: map[*types.TypeName][]enumMember{},
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sw, ok := n.(*ast.SwitchStmt); ok {
+				a.checkSwitch(sw)
+			}
+			return true
+		})
+	}
+}
+
+type enumAnalysis struct {
+	pass  *Pass
+	info  *types.Info
+	cache map[*types.TypeName][]enumMember
+}
+
+func (a *enumAnalysis) checkSwitch(sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := a.info.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	members := a.enumMembers(named)
+	if members == nil {
+		return
+	}
+
+	covered := map[int64]bool{}
+	for _, cs := range sw.Body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: the switch handles the unexpected
+		}
+		for _, e := range cc.List {
+			etv, ok := a.info.Types[e]
+			if !ok || etv.Value == nil {
+				return // non-constant case: cannot reason about coverage
+			}
+			if v, exact := constant.Int64Val(constant.ToInt(etv.Value)); exact {
+				covered[v] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered[m.value] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	a.pass.Reportf(sw.Pos(),
+		"switch over %s is not exhaustive: missing %s; add the cases or an explicit default (house style: default: sim.Failf(...))",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// enumMembers returns the member set of named if it is a protocol enum,
+// nil otherwise. Membership is computed once per type and cached.
+func (a *enumAnalysis) enumMembers(named *types.Named) []enumMember {
+	tn := named.Obj()
+	if tn.Pkg() == nil || !moduleLocal(a.pass.Module, tn.Pkg().Path()) {
+		return nil
+	}
+	if members, seen := a.cache[tn]; seen {
+		return members
+	}
+	a.cache[tn] = nil // poison against recursion; overwritten below
+
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+
+	// Collect the type's package-scope constants by value. Scope.Names is
+	// sorted, so member discovery is deterministic.
+	byValue := map[int64]string{}
+	scope := tn.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v, exact := constant.Int64Val(constant.ToInt(c.Val()))
+		if !exact {
+			continue
+		}
+		if _, dup := byValue[v]; !dup {
+			byValue[v] = name
+		}
+	}
+
+	// The enum is the maximal dense run 0..N-1; sentinels beyond it (pool
+	// poison bytes and the like) are not members.
+	var members []enumMember
+	for v := int64(0); ; v++ {
+		name, ok := byValue[v]
+		if !ok {
+			break
+		}
+		members = append(members, enumMember{name: name, value: v})
+	}
+	if len(members) < 2 {
+		return nil
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].value < members[j].value })
+	a.cache[tn] = members
+	return members
+}

@@ -1,0 +1,182 @@
+package lint
+
+// format.go renders findings machine-readably — JSON for scripting and
+// SARIF 2.1.0 for CI annotation — and implements the waiver audit that
+// makes suppression debt reviewable (`fusionlint -waivers`).
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// relTo makes file relative to dir with forward slashes (SARIF wants URI
+// form); outside dir the absolute path is kept.
+func relTo(dir, file string) string {
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// jsonFinding is the -format json element shape.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// RenderJSON renders findings as a JSON array (paths relative to dir).
+func RenderJSON(findings []Finding, dir string) ([]byte, error) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     relTo(dir, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// The minimal SARIF 2.1.0 object model fusionlint emits: one run, one
+// driver, one rule per analyzer, one result per finding.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+const sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// RenderSARIF renders findings as a SARIF 2.1.0 log. Every analyzer in
+// the suite appears as a rule even when it produced no results, so CI
+// dashboards show which rules ran.
+func RenderSARIF(analyzers []*Analyzer, findings []Finding, dir string) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, an := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               an.Name,
+			ShortDescription: sarifMessage{Text: an.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relTo(dir, f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "fusionlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// WaiverRecord is one //lint: suppression in the tree, as reported by the
+// -waivers audit: where it is, which analyzer it silences, and why.
+type WaiverRecord struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+}
+
+// AuditWaivers collects every //lint: directive across pkgs, resolving
+// directives to analyzer names (a directive matching no analyzer is kept,
+// labeled "unknown:<directive>", so typos surface in the report). Output
+// is sorted by file, line.
+func AuditWaivers(analyzers []*Analyzer, pkgs []*Package, dir string) []WaiverRecord {
+	byDirective := map[string]string{}
+	for _, an := range analyzers {
+		byDirective[an.Directive] = an.Name
+	}
+	var out []WaiverRecord
+	for _, pkg := range pkgs {
+		for _, w := range collectWaivers(pkg) {
+			name, ok := byDirective[w.directive]
+			if !ok {
+				name = "unknown:" + w.directive
+			}
+			pos := pkg.Fset.Position(w.pos)
+			out = append(out, WaiverRecord{
+				File:     relTo(dir, pos.Filename),
+				Line:     pos.Line,
+				Analyzer: name,
+				Reason:   w.reason,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return out
+}

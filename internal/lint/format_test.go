@@ -1,0 +1,180 @@
+package lint
+
+// Tests for the machine-readable renderers (-format json|sarif) and the
+// -waivers audit. The SARIF test validates the emitted document against
+// the SARIF 2.1.0 shape: schema URI, version, run/tool/driver/rule/result
+// structure, and physical locations with relative forward-slash URIs.
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{
+			Analyzer: "pooldiscipline",
+			Pos:      token.Position{Filename: "/repo/internal/mesi/dir.go", Line: 42},
+			Message:  "pooled value in m is not released on every path",
+		},
+		{
+			Analyzer: "enumswitch",
+			Pos:      token.Position{Filename: "/repo/internal/acc/msg.go", Line: 7},
+			Message:  "switch over TileMsgType is not exhaustive",
+		},
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	out, err := RenderJSON(sampleFindings(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2", len(got))
+	}
+	want := jsonFinding{File: "internal/mesi/dir.go", Line: 42, Analyzer: "pooldiscipline",
+		Message: "pooled value in m is not released on every path"}
+	if got[0] != want {
+		t.Errorf("first finding = %+v, want %+v", got[0], want)
+	}
+}
+
+func TestRenderJSONEmpty(t *testing.T) {
+	out, err := RenderJSON(nil, "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Errorf("empty findings must render as [], got %s", out)
+	}
+}
+
+// TestRenderSARIFShape walks the emitted document with the dynamic JSON
+// model, so the assertions check the wire shape — field names and
+// nesting — not our own struct definitions.
+func TestRenderSARIFShape(t *testing.T) {
+	out, err := RenderSARIF(Analyzers(), sampleFindings(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	schema, _ := doc["$schema"].(string)
+	if !strings.Contains(schema, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %q, want the 2.1.0 schema URI", schema)
+	}
+	if v, _ := doc["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", v)
+	}
+	runs, _ := doc["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if name, _ := driver["name"].(string); name != "fusionlint" {
+		t.Errorf("driver name = %q, want fusionlint", name)
+	}
+	rules, _ := driver["rules"].([]any)
+	if len(rules) != len(Analyzers()) {
+		t.Errorf("rules = %d, want one per analyzer (%d)", len(rules), len(Analyzers()))
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range rules {
+		rule := r.(map[string]any)
+		id, _ := rule["id"].(string)
+		ruleIDs[id] = true
+		if desc := rule["shortDescription"].(map[string]any); desc["text"] == "" {
+			t.Errorf("rule %s has an empty shortDescription", id)
+		}
+	}
+	results, ok := run["results"].([]any)
+	if !ok || len(results) != 2 {
+		t.Fatalf("results = %v, want an array of 2", run["results"])
+	}
+	res := results[0].(map[string]any)
+	if id, _ := res["ruleId"].(string); !ruleIDs[id] {
+		t.Errorf("result ruleId %q does not match any declared rule", id)
+	}
+	if lvl, _ := res["level"].(string); lvl != "error" {
+		t.Errorf("result level = %q, want error", lvl)
+	}
+	if msg := res["message"].(map[string]any); msg["text"] == "" {
+		t.Error("result message.text is empty")
+	}
+	locs := res["locations"].([]any)
+	phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+	uri, _ := phys["artifactLocation"].(map[string]any)["uri"].(string)
+	if uri != "internal/mesi/dir.go" {
+		t.Errorf("artifact uri = %q, want relative forward-slash path", uri)
+	}
+	if line := phys["region"].(map[string]any)["startLine"].(float64); line != 42 {
+		t.Errorf("startLine = %v, want 42", line)
+	}
+}
+
+func TestRenderSARIFEmptyResults(t *testing.T) {
+	out, err := RenderSARIF(Analyzers(), nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Runs[0].Results == nil {
+		t.Error("results must be an empty array, not null, when there are no findings")
+	}
+}
+
+// TestWaiverAudit inventories the waiveraudit fixture: known directives
+// resolve to analyzer names ("ordered" to maporder), reasonless waivers
+// surface with an empty reason, and typo'd directives are labeled unknown.
+func TestWaiverAudit(t *testing.T) {
+	pkg := fixture(t, "waiveraudit")
+	records := AuditWaivers(Analyzers(), []*Package{pkg}, "")
+	if len(records) != 4 {
+		t.Fatalf("got %d waiver records, want 4: %+v", len(records), records)
+	}
+	for i := 1; i < len(records); i++ {
+		if records[i-1].File > records[i].File ||
+			(records[i-1].File == records[i].File && records[i-1].Line > records[i].Line) {
+			t.Errorf("records not sorted by file,line: %+v", records)
+		}
+	}
+	type key struct {
+		analyzer  string
+		hasReason bool
+	}
+	counts := map[key]int{}
+	for _, r := range records {
+		if !strings.HasSuffix(r.File, "audit.go") {
+			t.Errorf("record file = %q, want .../audit.go", r.File)
+		}
+		counts[key{r.Analyzer, r.Reason != ""}]++
+	}
+	want := map[key]int{
+		{"maporder", true}:       1, // //lint:ordered with a reason
+		{"lockguard", true}:      1,
+		{"maporder", false}:      1, // reasonless
+		{"unknown:ordred", true}: 1, // typo'd directive
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("audit records for %+v = %d, want %d (all: %+v)", k, counts[k], n, records)
+		}
+	}
+}

@@ -31,11 +31,25 @@ var hotMethodNames = map[string]bool{
 	"Send":        true,
 }
 
-// HotStats forbids string-keyed stats.Set calls inside hot method bodies:
-// counters touched per cycle or per message must be interned once at
-// construction (Set.Counter) and bumped through the *stats.Counter handle.
-// Closures declared inside a hot body are checked too — they are typically
-// scheduled per event and run just as often.
+// hotFuncNames are the fusiond job-execution bodies: the scheduler worker
+// loop, its panic-fenced run wrapper, and the cell builder each enclose an
+// entire simulation, so a string-keyed stat call there pays the map hash
+// once per job body — and BuildCell is a free function, which the
+// receiver-method match above would never see.
+var hotFuncNames = map[string]bool{
+	"worker":    true,
+	"safeRun":   true,
+	"BuildCell": true,
+}
+
+// HotStats forbids string-keyed stats.Set calls inside hot function
+// bodies: counters touched per cycle or per message must be interned once
+// at construction (Set.Counter) and bumped through the *stats.Counter
+// handle. Hot bodies are the component entry-point methods
+// (hotMethodNames) plus the fusiond job-execution functions (hotFuncNames,
+// matched with or without a receiver). Closures declared inside a hot body
+// are checked too — they are typically scheduled per event and run just as
+// often.
 var HotStats = &Analyzer{
 	Name:      "hotstats",
 	Directive: "hotstats",
@@ -50,7 +64,11 @@ func runHotStats(p *Pass) {
 	for _, f := range p.Pkg.Files {
 		for _, d := range f.Decls {
 			fn, ok := d.(*ast.FuncDecl)
-			if !ok || fn.Recv == nil || fn.Body == nil || !hotMethodNames[fn.Name.Name] {
+			if !ok || fn.Body == nil {
+				continue
+			}
+			hot := (fn.Recv != nil && hotMethodNames[fn.Name.Name]) || hotFuncNames[fn.Name.Name]
+			if !hot {
 				continue
 			}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -76,7 +94,7 @@ func runHotStats(p *Pass) {
 					return true
 				}
 				p.Reportf(call.Pos(),
-					"string-keyed stats.Set.%s in hot method %s; intern a *stats.Counter at construction and increment the handle",
+					"string-keyed stats.Set.%s in hot function %s; intern a *stats.Counter at construction and increment the handle",
 					sel.Sel.Name, fn.Name.Name)
 				return true
 			})

@@ -116,6 +116,24 @@ func TestDroppedErrClean(t *testing.T)   { checkFixture(t, DroppedErr, "droppede
 func TestHotStatsDetects(t *testing.T)   { checkFixture(t, HotStats, "hotstats_bad") }
 func TestHotStatsClean(t *testing.T)     { checkFixture(t, HotStats, "hotstats_clean") }
 
+// The v2 CFG/dataflow analyzers: detection, clean, and waiver fixtures
+// each. Waiver fixtures pair justified suppressions (inline and own-line)
+// with one unwaived violation that must still fire.
+func TestPoolDisciplineDetects(t *testing.T) { checkFixture(t, PoolDiscipline, "pooldiscipline_bad") }
+func TestPoolDisciplineClean(t *testing.T)   { checkFixture(t, PoolDiscipline, "pooldiscipline_clean") }
+func TestPoolDisciplineWaiver(t *testing.T) {
+	checkFixture(t, PoolDiscipline, "pooldiscipline_waiver")
+}
+func TestCtxCancelDetects(t *testing.T)  { checkFixture(t, CtxCancel, "ctxcancel_bad") }
+func TestCtxCancelClean(t *testing.T)    { checkFixture(t, CtxCancel, "ctxcancel_clean") }
+func TestCtxCancelWaiver(t *testing.T)   { checkFixture(t, CtxCancel, "ctxcancel_waiver") }
+func TestLockGuardDetects(t *testing.T)  { checkFixture(t, LockGuard, "lockguard_bad") }
+func TestLockGuardClean(t *testing.T)    { checkFixture(t, LockGuard, "lockguard_clean") }
+func TestLockGuardWaiver(t *testing.T)   { checkFixture(t, LockGuard, "lockguard_waiver") }
+func TestEnumSwitchDetects(t *testing.T) { checkFixture(t, EnumSwitch, "enumswitch_bad") }
+func TestEnumSwitchClean(t *testing.T)   { checkFixture(t, EnumSwitch, "enumswitch_clean") }
+func TestEnumSwitchWaiver(t *testing.T)  { checkFixture(t, EnumSwitch, "enumswitch_waiver") }
+
 // lineContaining returns the 1-based line of the first source line holding
 // marker, failing the test if the marker is absent.
 func lineContaining(t *testing.T, pkg *Package, marker string) (string, int) {
@@ -172,10 +190,13 @@ func TestOrderedWaiver(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRoster pins the suite: exactly these six rules, each with a
+// TestAnalyzerRoster pins the suite: exactly these ten rules, each with a
 // waiver directive and a scope.
 func TestAnalyzerRoster(t *testing.T) {
-	want := []string{"droppederr", "globalrand", "hotstats", "maporder", "rawpanic", "wallclock"}
+	want := []string{
+		"ctxcancel", "droppederr", "enumswitch", "globalrand", "hotstats",
+		"lockguard", "maporder", "pooldiscipline", "rawpanic", "wallclock",
+	}
 	var got []string
 	for _, an := range Analyzers() {
 		got = append(got, an.Name)

@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockGuard enforces annotated mutex discipline: a struct field whose doc
+// or line comment carries `//guard: <mutex>` may only be read or written
+// while `<mutex>` — a sibling field of the same struct — is held on every
+// path into the access. Locking is recognized through Lock/RLock calls on
+// the mutex and forgotten at Unlock/RUnlock; `defer mu.Unlock()` keeps the
+// lock held to the end of the function, which is exactly the hold-until-
+// return idiom. The analysis is a must-held (intersection) dataflow over
+// the function CFG, so a lock taken on only one arm of a branch does not
+// cover an access after the join.
+//
+// The check is intraprocedural and per-unit: a closure is analyzed with an
+// empty lock set. An access that is genuinely protected by a caller's lock
+// (a private helper only invoked under the mutex) gets a reasoned
+// `//lint:lockguard <reason>` waiver.
+var LockGuard = &Analyzer{
+	Name:      "lockguard",
+	Directive: "lockguard",
+	Doc:       "//guard:-annotated field accessed without its mutex held",
+	Scope:     anyScope,
+	Run:       runLockGuard,
+}
+
+// lockState is the must-held set: canonical mutex paths known to be locked
+// on every path reaching the current point.
+type lockState map[string]bool
+
+func cloneLockState(s lockState) lockState {
+	out := make(lockState, len(s))
+	for k, v := range s { //lint:ordered clone of a dataflow fact map; no output depends on order
+		out[k] = v
+	}
+	return out
+}
+
+// mergeLockInto intersects: a mutex counts as held at a join only if it is
+// held on every inbound edge.
+func mergeLockInto(dst, src lockState) bool {
+	changed := false
+	for k := range dst { //lint:ordered commutative intersection; no output depends on order
+		if !src[k] {
+			delete(dst, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func runLockGuard(p *Pass) {
+	a := &lockAnalysis{
+		pass:   p,
+		info:   p.Pkg.Info,
+		guards: collectGuards(p),
+	}
+	if len(a.guards) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, fn := range funcUnits(f) {
+			a.checkFunc(fn)
+		}
+	}
+}
+
+// collectGuards gathers `//guard: <field>` annotations from every struct
+// type in the package, mapping the guarded field object to the name of its
+// mutex field. Annotations naming a non-sibling are reported immediately.
+func collectGuards(p *Pass) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			siblings := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				for _, nm := range fld.Names {
+					siblings[nm.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				guard, ok := guardDirective(fld)
+				if !ok {
+					continue
+				}
+				if !siblings[guard] {
+					p.Reportf(fld.Pos(),
+						"//guard: names %q, which is not a field of this struct", guard)
+					continue
+				}
+				for _, nm := range fld.Names {
+					if v, ok := p.Pkg.Info.Defs[nm].(*types.Var); ok {
+						guards[v] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardDirective extracts the mutex name from a field's `//guard: <name>`
+// doc or line comment. Grammar: `//guard: <mutex> [— prose]` — the first
+// whitespace-separated token names the mutex; anything after it is
+// documentation.
+func guardDirective(fld *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//guard:")
+			if !ok {
+				continue
+			}
+			if fields := strings.Fields(rest); len(fields) > 0 {
+				return fields[0], true
+			}
+		}
+	}
+	return "", false
+}
+
+type lockAnalysis struct {
+	pass   *Pass
+	info   *types.Info
+	guards map[*types.Var]string
+}
+
+func (a *lockAnalysis) checkFunc(fn funcUnit) {
+	c := buildCFG(fn.body, a.info, a.pass.Module)
+	transfer := func(blk *cfgBlock, st lockState) lockState {
+		for _, n := range blk.nodes {
+			a.node(st, n, false)
+		}
+		return st
+	}
+	in := forwardFlow(c, lockState{}, cloneLockState, mergeLockInto, transfer)
+	for _, blk := range c.blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue
+		}
+		st = cloneLockState(st)
+		for _, n := range blk.nodes {
+			a.node(st, n, true)
+		}
+	}
+}
+
+func (a *lockAnalysis) node(st lockState, n ast.Node, report bool) {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		// The deferred call runs at return, not here: its Lock/Unlock
+		// effect is ignored, but its arguments are evaluated now.
+		for _, arg := range d.Call.Args {
+			a.scan(st, arg, report)
+		}
+		return
+	}
+	a.scan(st, n, report)
+}
+
+func (a *lockAnalysis) scan(st lockState, n ast.Node, report bool) {
+	if n == nil {
+		return
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if key, op, ok := a.lockOp(m); ok {
+				switch op {
+				case "Lock", "RLock":
+					st[key] = true
+				case "Unlock", "RUnlock":
+					delete(st, key)
+				}
+			}
+		case *ast.SelectorExpr:
+			a.checkAccess(st, m, report)
+		}
+		return true
+	})
+}
+
+// lockOp recognizes E.Lock / E.RLock / E.Unlock / E.RUnlock method calls
+// where E canonicalizes to a stable path (s.mu, c.group.mu, ...).
+func (a *lockAnalysis) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if s := a.info.Selections[sel]; s == nil || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	base, okc := canonExpr(a.info, sel.X)
+	if !okc {
+		return "", "", false
+	}
+	return base, sel.Sel.Name, true
+}
+
+// checkAccess reports a guarded field access whose mutex is not in the
+// must-held set.
+func (a *lockAnalysis) checkAccess(st lockState, sel *ast.SelectorExpr, report bool) {
+	s := a.info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	fld, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	guard, guarded := a.guards[fld]
+	if !guarded {
+		return
+	}
+	base, okc := canonExpr(a.info, sel.X)
+	if !okc {
+		// Receiver too dynamic to name its mutex; be conservative and
+		// report — such accesses should go through a named receiver.
+		if report {
+			a.pass.Reportf(sel.Sel.Pos(),
+				"field %s is guarded by //guard: %s but its receiver cannot be resolved to a lockable path",
+				fld.Name(), guard)
+		}
+		return
+	}
+	if !st[base+"."+guard] {
+		if report {
+			a.pass.Reportf(sel.Sel.Pos(),
+				"field %s is guarded by //guard: %s but accessed without holding %s.%s",
+				fld.Name(), guard, exprText(sel.X), guard)
+		}
+	}
+}
+
+// canonExpr canonicalizes a receiver expression to a stable key: an ident
+// chain rooted at a named object (s.mu, c.group.mu). The root is keyed by
+// its declaration position so shadowed names stay distinct.
+func canonExpr(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		return fmt.Sprintf("%s@%d", e.Name, obj.Pos()), true
+	case *ast.SelectorExpr:
+		base, ok := canonExpr(info, e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// exprText renders a receiver path for diagnostics (best effort).
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	}
+	return "<expr>"
+}

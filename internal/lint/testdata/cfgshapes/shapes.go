@@ -1,0 +1,132 @@
+// Package cfgshapes holds function bodies exercising the CFG builder's
+// tricky corners: labeled break/continue, goto, select, defer ordering,
+// fallthrough, and terminating calls. The cfg_test suite builds a CFG per
+// function and asserts structural properties.
+package cfgshapes
+
+import "fusion/internal/sim"
+
+func labeledBreak(grid [][]int) int {
+	found := -1
+outer:
+	for i := range grid {
+		for j := range grid[i] {
+			if grid[i][j] == 0 {
+				found = j
+				break outer
+			}
+		}
+	}
+	return found
+}
+
+func labeledContinue(grid [][]int) int {
+	n := 0
+outer:
+	for i := range grid {
+		for j := range grid[i] {
+			if grid[i][j] == 0 {
+				continue outer
+			}
+			n++
+		}
+	}
+	return n
+}
+
+func gotoBackward(n int) int {
+	total := 0
+again:
+	total += n
+	n--
+	if n > 0 {
+		goto again
+	}
+	return total
+}
+
+func gotoForward(flag bool) int {
+	if flag {
+		goto out
+	}
+	return 1
+out:
+	return 2
+}
+
+func selectNoDefault(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func selectWithDefault(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+func selectForever() {
+	select {}
+	// unreachable
+}
+
+func deferOrder(cleanup func(int)) {
+	defer cleanup(1)
+	defer cleanup(2)
+	cleanup(0)
+}
+
+func panicEdge(flag bool, f func()) {
+	if flag {
+		panic("boom")
+	}
+	f()
+}
+
+func failfEdge(flag bool, f func()) {
+	if flag {
+		sim.Failf("cfg", 0, "idle", "boom")
+	}
+	f()
+}
+
+func fallThrough(n int) int {
+	out := 0
+	switch n {
+	case 0:
+		out++
+		fallthrough
+	case 1:
+		out += 10
+	case 2:
+		out += 7
+	}
+	return out
+}
+
+func infiniteFor(f func()) {
+	for {
+		f()
+	}
+}
+
+func condForExits(n int, f func()) {
+	for i := 0; i < n; i++ {
+		f()
+	}
+}
+
+func bothArmsReturn(flag bool) int {
+	if flag {
+		return 1
+	} else {
+		return 2
+	}
+}

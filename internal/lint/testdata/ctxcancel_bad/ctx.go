@@ -1,0 +1,45 @@
+// Package ctxcancelbad leaks context cancel funcs: discarded outright,
+// skipped on a path, or overwritten while still pending.
+package ctxcancelbad
+
+import (
+	"context"
+	"time"
+)
+
+// discarded throws the cancel func away; the context can never be
+// canceled.
+func discarded(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want "is discarded"
+	return ctx
+}
+
+// branchLeak cancels only when flag is set.
+func branchLeak(parent context.Context, flag bool) {
+	ctx, cancel := context.WithCancel(parent) // want "not called on every path"
+	if flag {
+		cancel()
+	}
+	_ = ctx
+}
+
+// earlyReturn leaks on the error-free path's early exit.
+func earlyReturn(parent context.Context, flag bool) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second) // want "not called on every path"
+	if flag {
+		return nil
+	}
+	_ = ctx
+	cancel()
+	return nil
+}
+
+// overwrite rebinds cancel while the first one is still pending.
+func overwrite(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent) // want "may be overwritten"
+	_ = ctx
+	ctx2, cancel2 := context.WithCancel(parent)
+	cancel = cancel2
+	_ = ctx2
+	defer cancel()
+}

@@ -1,0 +1,52 @@
+// Package ctxcancelclean handles every cancel func: deferred, called on
+// all paths, or handed to an owner that will call it.
+package ctxcancelclean
+
+import (
+	"context"
+	"time"
+)
+
+// deferred is the canonical form.
+func deferred(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// allPaths calls cancel explicitly on every path.
+func allPaths(parent context.Context, flag bool) {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	if flag {
+		cancel()
+		return
+	}
+	_ = ctx
+	cancel()
+}
+
+type job struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// stored hands the cancel func to a job struct; the job's owner calls it.
+func stored(parent context.Context) *job {
+	ctx, cancel := context.WithCancel(parent)
+	return &job{ctx: ctx, cancel: cancel}
+}
+
+// passed hands the cancel func to a callee.
+func passed(parent context.Context, sink func(context.CancelFunc)) {
+	ctx, cancel := context.WithDeadline(parent, time.Time{})
+	sink(cancel)
+	_ = ctx
+}
+
+// captured hands the cancel func to a closure.
+func captured(parent context.Context) func() {
+	ctx, cancel := context.WithCancel(parent)
+	_ = ctx
+	return func() { cancel() }
+}

@@ -1,0 +1,25 @@
+// Package ctxcancelwaiver exercises //lint:ctxcancel waivers.
+package ctxcancelwaiver
+
+import "context"
+
+// daemonRoot's context lives for the whole process by design; the waiver
+// records that.
+func daemonRoot(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) //lint:ctxcancel process-lifetime root context; canceled by OS teardown only
+	return ctx
+}
+
+// ownLine carries the waiver on its own line, annotating the acquire
+// below.
+func ownLine(parent context.Context) context.Context {
+	//lint:ctxcancel process-lifetime root context; canceled by OS teardown only
+	ctx, _ := context.WithCancel(parent)
+	return ctx
+}
+
+// unwaived is still reported.
+func unwaived(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want "is discarded"
+	return ctx
+}

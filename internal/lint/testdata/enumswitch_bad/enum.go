@@ -1,0 +1,50 @@
+// Package enumswitchbad switches over protocol enums without covering
+// every member and without an explicit default.
+package enumswitchbad
+
+// color is a protocol enum: a named integer type whose consts form the
+// dense run 0..2.
+type color uint8
+
+const (
+	red color = iota
+	green
+	blue
+)
+
+// colorPoison is a sentinel outside the dense run (the 0xFD pool-poison
+// idiom): not a member, so switches need not cover it.
+const colorPoison color = 0xFD
+
+// name misses blue.
+func name(c color) string {
+	switch c { // want "missing blue"
+	case red:
+		return "red"
+	case green:
+		return "green"
+	}
+	return "?"
+}
+
+// onlyRed misses two members; both are listed.
+func onlyRed(c color) bool {
+	switch c { // want "missing green, blue"
+	case red:
+		return true
+	}
+	return false
+}
+
+// viaExpr switches over an expression of enum type, not just a variable.
+type holder struct{ c color }
+
+func (h *holder) kind() color { return h.c }
+
+func viaExpr(h *holder) int {
+	switch h.kind() { // want "missing red"
+	case green, blue:
+		return 1
+	}
+	return 0
+}

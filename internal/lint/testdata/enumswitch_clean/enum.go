@@ -1,0 +1,93 @@
+// Package enumswitchclean switches over protocol enums exhaustively, or
+// with an explicit default, or over types that are not enums at all.
+package enumswitchclean
+
+type color uint8
+
+const (
+	red color = iota
+	green
+	blue
+)
+
+const colorPoison color = 0xFD // sentinel: not a member
+
+// exhaustive covers every member.
+func exhaustive(c color) string {
+	switch c {
+	case red:
+		return "red"
+	case green:
+		return "green"
+	case blue:
+		return "blue"
+	}
+	return "poisoned"
+}
+
+// defaulted handles the unexpected explicitly.
+func defaulted(c color) string {
+	switch c {
+	case red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+// nonConstant compares against a runtime value; the analyzer cannot reason
+// about coverage and skips the switch.
+func nonConstant(c, d color) bool {
+	switch c {
+	case d:
+		return true
+	}
+	return false
+}
+
+// sparse's consts do not start a dense run at 0: not an enum.
+type sparse uint8
+
+const (
+	sparseA sparse = 1
+	sparseB sparse = 2
+)
+
+func sparseSwitch(s sparse) bool {
+	switch s {
+	case sparseA:
+		return true
+	}
+	return false
+}
+
+// single has one member: too small to be an enum.
+type single uint8
+
+const onlyOne single = 0
+
+func singleSwitch(s single) bool {
+	switch s {
+	case onlyOne:
+		return true
+	}
+	return false
+}
+
+// strings are not integer enums.
+func stringSwitch(s string) bool {
+	switch s {
+	case "a":
+		return true
+	}
+	return false
+}
+
+// tagless switches are ordinary if-chains.
+func tagless(c color) bool {
+	switch {
+	case c == red:
+		return true
+	}
+	return false
+}

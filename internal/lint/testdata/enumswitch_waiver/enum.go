@@ -1,0 +1,40 @@
+// Package enumswitchwaiver exercises //lint:enumswitch waivers on
+// diagnostic-only switches that intentionally ignore unlisted members.
+package enumswitchwaiver
+
+type color uint8
+
+const (
+	red color = iota
+	green
+	blue
+)
+
+// traced logs only the members it cares about; the waiver records why the
+// others are ignored.
+func traced(c color) string {
+	switch c { //lint:enumswitch diagnostic-only trace filter; unlisted members intentionally untraced
+	case red:
+		return "red"
+	}
+	return ""
+}
+
+// ownLine carries the waiver on its own line, annotating the switch below.
+func ownLine(c color) string {
+	//lint:enumswitch diagnostic-only trace filter; unlisted members intentionally untraced
+	switch c {
+	case green:
+		return "green"
+	}
+	return ""
+}
+
+// unwaived is still reported.
+func unwaived(c color) string {
+	switch c { // want "missing blue"
+	case red, green:
+		return "warm"
+	}
+	return ""
+}

@@ -12,16 +12,16 @@ type ctrl struct {
 // Tick is a per-cycle entry point: string-keyed stat calls here run once
 // per simulated cycle.
 func (c *ctrl) Tick(now uint64) {
-	c.st.Inc("ctrl.ticks")          // want "stats.Set.Inc in hot method Tick"
-	c.st.Add("ctrl.work", 3)        // want "stats.Set.Add in hot method Tick"
-	c.st.Counter("ctrl.lazy").Inc() // want "stats.Set.Counter in hot method Tick"
+	c.st.Inc("ctrl.ticks")          // want "stats.Set.Inc in hot function Tick"
+	c.st.Add("ctrl.work", 3)        // want "stats.Set.Add in hot function Tick"
+	c.st.Counter("ctrl.lazy").Inc() // want "stats.Set.Counter in hot function Tick"
 }
 
 // Deliver is a per-message entry point; closures declared here run per
 // event and are just as hot.
 func (c *ctrl) Deliver(m int) {
 	fire := func() {
-		c.st.Inc("ctrl.msgs") // want "stats.Set.Inc in hot method Deliver"
+		c.st.Inc("ctrl.msgs") // want "stats.Set.Inc in hot function Deliver"
 	}
 	fire()
 }

@@ -1,0 +1,23 @@
+// The fusiond job-execution bodies are hot too: worker and safeRun wrap
+// every job, and BuildCell — a free function, which the original
+// receiver-only match missed — encloses an entire simulation.
+package hotstatsbad
+
+import "fusion/internal/stats"
+
+type sched struct {
+	st *stats.Set
+}
+
+func (s *sched) worker() {
+	s.st.Inc("jobs.ran") // want "stats.Set.Inc in hot function worker"
+}
+
+func (s *sched) safeRun() {
+	s.st.Inc("jobs.safe") // want "stats.Set.Inc in hot function safeRun"
+}
+
+// BuildCell is receiver-less: the regression this fixture pins.
+func BuildCell(st *stats.Set) {
+	st.Inc("cells.built") // want "stats.Set.Inc in hot function BuildCell"
+}

@@ -1,0 +1,23 @@
+// Job-execution bodies using interned handles only, plus cold free
+// functions where string keys remain fine.
+package hotstatsclean
+
+import "fusion/internal/stats"
+
+type sched struct {
+	cRan *stats.Counter
+}
+
+func (s *sched) worker()  { s.cRan.Inc() }
+func (s *sched) safeRun() { s.cRan.Inc() }
+
+// BuildCell bumps handles only.
+func BuildCell(c *stats.Counter) {
+	c.Inc()
+}
+
+// setup is a cold free function: string-keyed calls are fine here.
+func setup(st *stats.Set) *sched {
+	st.Inc("sched.built")
+	return &sched{cRan: st.Counter("jobs.ran")}
+}

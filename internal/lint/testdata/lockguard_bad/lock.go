@@ -1,0 +1,56 @@
+// Package lockguardbad touches //guard:-annotated fields without holding
+// their mutex on every path into the access.
+package lockguardbad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //guard: mu
+}
+
+// bare reads the guarded field with no lock at all.
+func (c *counter) bare() int {
+	return c.n // want "accessed without holding c.mu"
+}
+
+// halfLocked only holds the mutex on one arm of the branch, so the access
+// after the join is unprotected on the other.
+func (c *counter) halfLocked(flag bool) {
+	if flag {
+		c.mu.Lock()
+	}
+	c.n++ // want "accessed without holding c.mu"
+	if flag {
+		c.mu.Unlock()
+	}
+}
+
+// afterUnlock releases the mutex and keeps writing.
+func (c *counter) afterUnlock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want "accessed without holding c.mu"
+}
+
+// wrongMutex holds a different lock than the one guarding the field.
+type pair struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	v     int //guard: mu
+}
+
+func (p *pair) wrongMutex() {
+	p.other.Lock()
+	p.v++ // want "accessed without holding p.mu"
+	p.other.Unlock()
+}
+
+// badAnnot names a mutex that is not a sibling field.
+type badAnnot struct {
+	mu sync.Mutex
+	x  int //guard: lock // want "not a field of this struct"
+}
+
+func (b *badAnnot) use() int { return b.x }

@@ -1,0 +1,83 @@
+// Package lockguardclean holds the annotated mutex across every access to
+// its guarded fields.
+package lockguardclean
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //guard: mu — demo counter
+}
+
+// deferred is the hold-until-return idiom: defer Unlock keeps the lock
+// held for the rest of the function.
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// paired brackets the access explicitly.
+func (c *counter) paired() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// bothArms takes the lock before the branch; both arms are covered.
+func (c *counter) bothArms(flag bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if flag {
+		c.n = 1
+	} else {
+		c.n = 2
+	}
+}
+
+// relock drops and retakes the lock between accesses.
+func (c *counter) relock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// rwGuard accepts RLock for reads (the analyzer does not distinguish
+// read/write accesses).
+type rwGuard struct {
+	mu sync.RWMutex
+	m  map[string]int //guard: mu
+}
+
+func (g *rwGuard) read(k string) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.m[k]
+}
+
+// unguarded fields need no lock.
+type mixed struct {
+	mu   sync.Mutex
+	hot  int //guard: mu
+	cold int
+}
+
+func (m *mixed) coldAccess() int { return m.cold }
+
+func (m *mixed) hotAccess() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hot
+}
+
+// closureLocked locks inside the closure that does the access.
+func (c *counter) closureLocked() func() {
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}
+}

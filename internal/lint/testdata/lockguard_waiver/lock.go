@@ -1,0 +1,39 @@
+// Package lockguardwaiver exercises //lint:lockguard waivers: a private
+// helper whose precondition is "mutex held by caller" waives its accesses
+// with that reason.
+package lockguardwaiver
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //guard: mu
+}
+
+// bump's precondition: c.mu held by every caller.
+func (c *counter) bump() {
+	c.n++ //lint:lockguard precondition: c.mu held by every caller (inc and add below)
+}
+
+// ownLine carries the waiver on its own line.
+func (c *counter) bumpBy(d int) {
+	//lint:lockguard precondition: c.mu held by every caller (inc and add below)
+	c.n += d
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+}
+
+func (c *counter) add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpBy(d)
+}
+
+// unwaived is still reported.
+func (c *counter) unwaived() int {
+	return c.n // want "accessed without holding c.mu"
+}

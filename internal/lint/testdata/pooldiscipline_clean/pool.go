@@ -1,0 +1,84 @@
+// Package pooldisciplineclean follows the free-list ownership protocol:
+// every acquired value is released exactly once or transferred to a new
+// owner on every path (panic/Failf paths exempt).
+package pooldisciplineclean
+
+import (
+	"fusion/internal/mesi"
+	"fusion/internal/sim"
+)
+
+type ctrl struct {
+	pool    *mesi.MsgPool
+	out     func(*mesi.Msg)
+	pending *mesi.Msg
+}
+
+// straight releases on the only path.
+func (c *ctrl) straight() {
+	m := c.pool.Get()
+	m.Ver = 1
+	c.pool.Put(m)
+}
+
+// bothArms releases on every arm of the branch.
+func (c *ctrl) bothArms(flag bool) {
+	m := c.pool.Get()
+	if flag {
+		c.pool.Put(m)
+	} else {
+		c.pool.Put(m)
+	}
+}
+
+// send transfers ownership to the fabric: no release owed here.
+func (c *ctrl) send() {
+	m := c.pool.Get()
+	m.Ver = 2
+	c.out(m)
+}
+
+// park transfers ownership into a field; a later handler releases it.
+func (c *ctrl) park() {
+	m := c.pool.Get()
+	c.pending = m
+}
+
+// handoff transfers ownership to the caller.
+func (c *ctrl) handoff() *mesi.Msg {
+	m := c.pool.Get()
+	return m
+}
+
+// failfPath may abandon the message, but only on a path that aborts the
+// simulation — exempt from release accounting.
+func (c *ctrl) failfPath() {
+	m := c.pool.Get()
+	if m.Ver == 0 {
+		sim.Failf("ctrl", 0, "idle", "unversioned message")
+	}
+	c.pool.Put(m)
+}
+
+// perIteration acquires and releases once per loop iteration; the back
+// edge must not look like a double release.
+func (c *ctrl) perIteration(n int) {
+	for i := 0; i < n; i++ {
+		m := c.pool.Get()
+		c.pool.Put(m)
+	}
+}
+
+// drainBatch releases values it never owned the acquisition of (they
+// arrive as parameters): parameters are untracked, nothing to report.
+func (c *ctrl) drainBatch(batch []*mesi.Msg) {
+	for _, m := range batch {
+		c.pool.Put(m)
+	}
+}
+
+// capture hands the message to a closure, which owns it from then on.
+func (c *ctrl) capture() func() {
+	m := c.pool.Get()
+	return func() { c.pool.Put(m) }
+}

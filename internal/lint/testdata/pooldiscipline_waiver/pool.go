@@ -1,0 +1,37 @@
+// Package pooldisciplinewaiver exercises //lint:pooldiscipline waivers: a
+// justified waiver (inline or own-line) suppresses the finding; an
+// unwaived violation in the same package still fires.
+package pooldisciplinewaiver
+
+import "fusion/internal/mesi"
+
+type ctrl struct {
+	pool *mesi.MsgPool
+}
+
+// inlineWaiver holds the message past return by design (post-mortem dump
+// keeps it); the inline waiver documents that.
+func (c *ctrl) inlineWaiver(flag bool) {
+	m := c.pool.Get() //lint:pooldiscipline post-mortem dump keeps the message; process exits right after
+	if flag {
+		c.pool.Put(m)
+	}
+}
+
+// ownLineWaiver carries the waiver on its own line, annotating the acquire
+// below.
+func (c *ctrl) ownLineWaiver(flag bool) {
+	//lint:pooldiscipline post-mortem dump keeps the message; process exits right after
+	m := c.pool.Get()
+	if flag {
+		c.pool.Put(m)
+	}
+}
+
+// unwaived still violates and is still reported.
+func (c *ctrl) unwaived(flag bool) {
+	m := c.pool.Get() // want "not released on every path"
+	if flag {
+		c.pool.Put(m)
+	}
+}

@@ -1,0 +1,46 @@
+// Package waiveraudit is the -waivers fixture: a spread of //lint:
+// directives — known analyzers, the maporder "ordered" alias, a reasonless
+// waiver, and a typo'd directive — that AuditWaivers must inventory.
+package waiveraudit
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //guard: mu
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { //lint:ordered integer addition commutes; the sum is order-free
+		total += v
+	}
+	return total
+}
+
+func (c *counter) bump() {
+	c.n++ //lint:lockguard precondition: c.mu held by every caller
+}
+
+func (c *counter) read() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+	return c.n
+}
+
+func reasonless(m map[string]int) int {
+	total := 0
+	for _, v := range m { //lint:ordered
+		total += v
+	}
+	return total
+}
+
+func typod(m map[string]int) int {
+	total := 0
+	for _, v := range m { //lint:ordred typo'd directive: audit labels it unknown
+		total += v
+	}
+	return total
+}

@@ -82,7 +82,9 @@ func Check(trace []obs.Observation, b *workloads.Benchmark,
 	for i := range trace {
 		o := trace[i]
 		if o.Kind == obs.Grant {
-			continue // diagnostic only; grants are not value-checked
+			// Filtered before the line/epoch bookkeeping below: grants are
+			// diagnostic only and must not advance epoch tracking.
+			continue
 		}
 		line := o.Addr & lineMask
 		if o.Phys {
@@ -103,6 +105,8 @@ func Check(trace []obs.Observation, b *workloads.Benchmark,
 		}
 
 		switch o.Kind {
+		case obs.Grant:
+			continue // unreachable: grants are filtered above
 		case obs.Store:
 			if !o.Delta && o.Ver != c+1 {
 				bad(c+1, "store produced v%d; sequential order requires v%d "+

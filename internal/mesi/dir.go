@@ -266,6 +266,10 @@ func (dir *Directory) start(e *dirEntry, m *Msg) {
 			k = ptrace.DirDMARead
 		case MsgDMAWrite:
 			k = ptrace.DirDMAWrite
+		default:
+			// Only request types reach start; the dispatch below Failf-s
+			// anything else, so an unknown type here is the same bug.
+			sim.Failf("dir", dir.fabric.Now(), dir.DumpState(), "start trace %s", m)
 		}
 		dir.emit(k, m.Addr, fmt.Sprintf("from agent%d", m.Src))
 	}
@@ -420,6 +424,8 @@ func (dir *Directory) handleDMAWrite(e *dirEntry, m *Msg, a uint64) {
 	// Invalidate every cached copy, then commit the DMA data.
 	var targets sharerSet
 	switch e.state {
+	case dirI:
+		// Line uncached: nothing to invalidate, commit immediately below.
 	case dirS:
 		targets = e.sharers
 	case dirE:

@@ -70,6 +70,8 @@ func CheckInvariants(dir *Directory, clients []*Client) []string {
 		var owners, sharers []holder
 		for _, h := range hs {
 			switch h.state {
+			case cache.Invalid:
+				// An invalid way holds nothing; it is not a holder.
 			case cache.Exclusive, cache.Modified:
 				owners = append(owners, h)
 			case cache.Shared:

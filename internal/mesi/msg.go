@@ -78,8 +78,10 @@ func (t MsgType) HasData() bool {
 		// OwnerAck carries data only when the owner was dirty; that case is
 		// flagged per message (Msg.Dirty), not per type.
 		return false
+	default:
+		// Requests, forwards, and acks are control-only.
+		return false
 	}
-	return false
 }
 
 // Msg is one coherence message.

@@ -35,11 +35,11 @@ type Cache struct {
 	root string
 
 	mu     sync.Mutex
-	index  map[string]bool
-	qseq   int // quarantine name counter (not a timestamp: deterministic)
-	hits   int64
-	misses int64
-	badDug int64 // corrupt entries quarantined over this process's life
+	index  map[string]bool //guard: mu
+	qseq   int             //guard: mu — quarantine name counter (not a timestamp: deterministic)
+	hits   int64           //guard: mu
+	misses int64           //guard: mu
+	badDug int64           //guard: mu — corrupt entries quarantined over this process's life
 }
 
 // entryMagic is the first line of every cache file; bumping it invalidates
@@ -74,6 +74,11 @@ func (c *Cache) entryPath(hash string) string {
 // therefore quarantine numbering — is deterministic for a given disk
 // state.
 func (c *Cache) recover() error {
+	// recover runs once from OpenCache, before the cache is shared, but it
+	// mutates the index and (via quarantine) the counters, so it takes the
+	// lock anyway: the discipline stays statically provable.
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	shards, err := os.ReadDir(c.objectsDir())
 	if err != nil {
 		return fmt.Errorf("cache recover: %w", err)
@@ -146,14 +151,16 @@ func (c *Cache) load(hash string) (*CellResult, error) {
 // quarantine moves a bad file into the quarantine directory under a
 // sequence-numbered name (kept for post-mortem, out of the object
 // namespace). Removal is the fallback when the move itself fails.
+// Precondition: c.mu held (both callers, Get and recover, hold it).
 func (c *Cache) quarantine(path string) {
-	c.qseq++
+	c.qseq++ //lint:lockguard c.mu held by both callers (Get and recover); see precondition
 	dst := filepath.Join(c.quarantineDir(),
+		//lint:lockguard c.mu held by both callers (Get and recover); see precondition
 		fmt.Sprintf("%d-%s", c.qseq, filepath.Base(path)))
 	if err := os.Rename(path, dst); err != nil {
 		os.Remove(path)
 	}
-	c.badDug++
+	c.badDug++ //lint:lockguard c.mu held by both callers (Get and recover); see precondition
 }
 
 // Get returns the cached cell for hash, verifying the entry end to end. A

@@ -47,18 +47,18 @@ type scheduler struct {
 	run   func(ctx context.Context, s systems.Spec) *CellResult
 
 	mu       sync.Mutex
-	jobs     map[string]*job
-	draining bool
+	jobs     map[string]*job //guard: mu — the singleflight table
+	draining bool            //guard: mu
 
 	queue   chan *job
 	workers sync.WaitGroup // worker goroutines
 
-	// Counters (under mu).
-	ran       int64 // jobs executed (not coalesced, not cache hits)
-	coalesced int64 // submits attached to an existing job
-	shed      int64 // submits rejected with ErrBusy
-	panics    int64 // cells whose failure was a recovered panic
-	putErrs   int64 // cache writes that failed (cell still served)
+	// Counters.
+	ran       int64 //guard: mu — jobs executed (not coalesced, not cache hits)
+	coalesced int64 //guard: mu — submits attached to an existing job
+	shed      int64 //guard: mu — submits rejected with ErrBusy
+	panics    int64 //guard: mu — cells whose failure was a recovered panic
+	putErrs   int64 //guard: mu — cache writes that failed (cell still served)
 }
 
 // newScheduler starts `workers` workers over a queue of depth `depth`.
