@@ -41,6 +41,7 @@ func main() {
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchOt = flag.String("benchout", "", "time each artifact's regeneration and write a JSON report to this file")
 		budget  = flag.String("allocbudget", "", "compare each artifact's allocs/op and bytes/op against this budget JSON; exit nonzero above tolerance")
+		sched   = flag.String("scheduler", "", "event-queue implementation: heap or wheel (default: wheel); artifacts are byte-identical either way")
 	)
 	flag.Parse()
 
@@ -63,12 +64,13 @@ func main() {
 
 	var err error
 	if *budget != "" {
-		err = checkAllocBudget(*budget, *workers)
+		err = checkAllocBudget(*budget, *workers, *sched)
 	} else if *benchOt != "" {
-		err = writeBenchReport(*benchOt, *workers)
+		err = writeBenchReport(*benchOt, *workers, *sched)
 	} else {
 		r := fusion.NewExperiments()
 		r.SetWorkers(*workers)
+		r.SetScheduler(*sched)
 		if *jsonOut {
 			err = r.PrintJSON(os.Stdout, *exp)
 		} else {
@@ -121,13 +123,14 @@ type benchReport struct {
 
 // measureArtifact cold-regenerates one artifact (a fresh runner, so nothing
 // is memoized across entries) and reports its wall clock and heap cost.
-func measureArtifact(name string, workers int) (benchEntry, error) {
+func measureArtifact(name string, workers int, scheduler string) (benchEntry, error) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	r := fusion.NewExperiments()
 	r.SetWorkers(workers)
+	r.SetScheduler(scheduler)
 	if err := r.Print(io.Discard, name); err != nil {
 		return benchEntry{}, fmt.Errorf("%s: %w", name, err)
 	}
@@ -145,7 +148,7 @@ func measureArtifact(name string, workers int) (benchEntry, error) {
 // writeBenchReport measures every artifact's cold regeneration cost plus
 // the full-set cost and writes the JSON report. Wall-clock numbers depend
 // on -j and the host; the artifact bytes themselves never do.
-func writeBenchReport(path string, workers int) error {
+func writeBenchReport(path string, workers int, scheduler string) error {
 	report := benchReport{
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
@@ -153,7 +156,7 @@ func writeBenchReport(path string, workers int) error {
 		Workers:    workers,
 	}
 	for _, name := range append(fusion.ExperimentNames(), "all") {
-		e, err := measureArtifact(name, workers)
+		e, err := measureArtifact(name, workers, scheduler)
 		if err != nil {
 			return err
 		}
@@ -189,7 +192,7 @@ type budgetEntry struct {
 // measured allocs/op or bytes/op exceed the budget by more than the
 // tolerance. An improvement well under budget passes (with a hint to
 // ratchet the budget down via -benchout).
-func checkAllocBudget(path string, workers int) error {
+func checkAllocBudget(path string, workers int, scheduler string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -201,10 +204,22 @@ func checkAllocBudget(path string, workers int) error {
 	if len(b.Entries) == 0 {
 		return fmt.Errorf("%s: no budget entries", path)
 	}
+	// A budget row naming an artifact that no longer exists would silently
+	// gate nothing; reject it so renames keep the budget honest.
+	known := make(map[string]bool)
+	for _, n := range append(fusion.ExperimentNames(), "all") {
+		known[n] = true
+	}
+	for _, want := range b.Entries {
+		if !known[want.Name] {
+			return fmt.Errorf("%s: unknown artifact %q (valid: %s, all)",
+				path, want.Name, strings.Join(fusion.ExperimentNames(), ", "))
+		}
+	}
 	tol := 1 + b.TolerancePct/100
 	var failures []string
 	for _, want := range b.Entries {
-		got, err := measureArtifact(want.Name, workers)
+		got, err := measureArtifact(want.Name, workers, scheduler)
 		if err != nil {
 			return err
 		}

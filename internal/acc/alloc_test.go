@@ -1,0 +1,37 @@
+//go:build !race
+
+// Allocation-discipline tests, excluded under the race detector (the race
+// runtime instruments allocations and makes AllocsPerRun counts
+// meaningless).
+package acc
+
+import (
+	"testing"
+
+	"fusion/internal/mem"
+)
+
+// TestClearForwardsZeroAlloc pins the task-boundary cost of the Dx
+// forwarding table: after the table has reached steady-state capacity, a
+// full mark/clear cycle must not touch the allocator. ClearForwards used
+// to reallocate the map each invocation, which showed up in allocation
+// profiles at every task boundary.
+func TestClearForwardsZeroAlloc(t *testing.T) {
+	h := newHarness(t, 2, true)
+	l0 := h.tile.L0Xs[0]
+	mark := func() {
+		for i := 0; i < 48; i++ {
+			l0.MarkForward(mem.VAddr(0x8000+i*64), 1)
+		}
+	}
+	// One warm-up cycle sizes the table; growth is amortized construction
+	// cost, not task-boundary cost.
+	mark()
+	l0.ClearForwards()
+	if avg := testing.AllocsPerRun(100, func() {
+		mark()
+		l0.ClearForwards()
+	}); avg != 0 {
+		t.Fatalf("MarkForward/ClearForwards cycle allocated %.1f per run, want 0", avg)
+	}
+}

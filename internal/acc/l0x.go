@@ -7,6 +7,7 @@ import (
 
 	"fusion/internal/cache"
 	"fusion/internal/energy"
+	"fusion/internal/flat"
 	"fusion/internal/interconnect"
 	"fusion/internal/mem"
 	"fusion/internal/obs"
@@ -64,16 +65,22 @@ type L0X struct {
 	arr  *cache.Array
 	mshr *cache.MSHR
 
-	eng      *sim.Engine
-	toL1X    *interconnect.Link
-	fwdTo    map[AXCID]*interconnect.Link
-	txns     map[uint64]*l0txn
+	eng   *sim.Engine
+	toL1X *interconnect.Link
+	// fwdTo is indexed by the consumer AXCID (IDs are small and dense
+	// within a tile); nil means no forwarding link to that sibling.
+	fwdTo []*interconnect.Link
+	// txns is keyed by MSHR slot: the miss record for the line in slot s
+	// of the MSHR file. Slot resolution is the MSHR's bitmap walk, so the
+	// per-access "is a miss outstanding" question never touches a map.
+	txns     []*l0txn
 	freeTxns []*l0txn
 
 	// fwdTable maps line addresses to the consumer accelerator that should
 	// receive the dirty line directly (FUSION-Dx, Section 3.2). It is
-	// populated by trace post-processing before the producer runs.
-	fwdTable map[uint64]AXCID
+	// populated by trace post-processing before the producer runs and
+	// cleared (without reallocating) at every task boundary.
+	fwdTable *flat.Map[AXCID]
 
 	pool TileMsgPool
 
@@ -131,9 +138,8 @@ func NewL0X(eng *sim.Engine, id AXCID, pid mem.PID, cfg L0XConfig,
 		arr:           cache.NewArray(cfg.Cache),
 		mshr:          cache.NewMSHR(cfg.MSHRs),
 		eng:           eng,
-		fwdTo:         make(map[AXCID]*interconnect.Link),
-		txns:          make(map[uint64]*l0txn),
-		fwdTable:      make(map[uint64]AXCID),
+		txns:          make([]*l0txn, cfg.MSHRs),
+		fwdTable:      flat.New[AXCID](64),
 		meter:         meter,
 		cAccesses:     st.Counter(name + ".accesses"),
 		cWriteThrough: st.Counter(name + ".write_through"),
@@ -154,7 +160,12 @@ func NewL0X(eng *sim.Engine, id AXCID, pid mem.PID, cfg L0XConfig,
 func (c *L0X) ConnectL1X(l *interconnect.Link) { c.toL1X = l }
 
 // ConnectPeer attaches the direct forwarding link to a sibling L0X (Dx).
-func (c *L0X) ConnectPeer(id AXCID, l *interconnect.Link) { c.fwdTo[id] = l }
+func (c *L0X) ConnectPeer(id AXCID, l *interconnect.Link) {
+	for int(id) >= len(c.fwdTo) {
+		c.fwdTo = append(c.fwdTo, nil)
+	}
+	c.fwdTo[id] = l
+}
 
 // SetLeaseTime adjusts the lease requested per miss (functions differ, LT
 // column of Table 3).
@@ -163,11 +174,13 @@ func (c *L0X) SetLeaseTime(lt uint64) { c.cfg.LeaseTime = lt }
 // MarkForward registers that the line holding va should be pushed to
 // consumer when this producer is done with it.
 func (c *L0X) MarkForward(va mem.VAddr, consumer AXCID) {
-	c.fwdTable[uint64(va.LineAddr())] = consumer
+	c.fwdTable.Put(uint64(va.LineAddr()), consumer)
 }
 
-// ClearForwards empties the forwarding table (between invocations).
-func (c *L0X) ClearForwards() { c.fwdTable = make(map[uint64]AXCID) }
+// ClearForwards empties the forwarding table (between invocations). It
+// zeroes the table's occupancy bitmap in place: task boundaries are
+// frequent, and reallocating here used to show up in allocation profiles.
+func (c *L0X) ClearForwards() { c.fwdTable.Clear() }
 
 // ID returns the accelerator ID this cache serves.
 func (c *L0X) ID() AXCID { return c.id }
@@ -242,7 +255,8 @@ func (c *L0X) Access(kind mem.AccessKind, va mem.VAddr, done func(now uint64)) b
 		}
 	}
 
-	if t, ok := c.txns[a]; ok {
+	if slot := c.mshr.Slot(a); slot >= 0 {
+		t := c.txns[slot]
 		t.waiters = append(t.waiters, l0waiter{kind, va, done})
 		return true
 	}
@@ -250,11 +264,10 @@ func (c *L0X) Access(kind mem.AccessKind, va mem.VAddr, done func(now uint64)) b
 		c.cMSHRFull.Inc()
 		return false
 	}
-	c.mshr.Allocate(a)
 	t := c.newTxn()
 	t.addr, t.write = a, kind == mem.Store
 	t.waiters = append(t.waiters, l0waiter{kind, va, done})
-	c.txns[a] = t
+	c.txns[c.mshr.Allocate(a)] = t
 	c.cMisses.Inc()
 	mt := MsgGetL
 	if t.write {
@@ -316,7 +329,11 @@ func (c *L0X) Handle(msg interconnect.Message) {
 // the lease.
 func (c *L0X) fill(m *TileMsg) {
 	a := uint64(m.Addr.LineAddr())
-	t := c.txns[a]
+	slot := c.mshr.Slot(a)
+	var t *l0txn
+	if slot >= 0 {
+		t = c.txns[slot]
+	}
 	if t == nil {
 		if l := c.arr.LookupPID(a, c.pid); l != nil && m.Lease > l.LTime {
 			l.LTime = m.Lease
@@ -335,7 +352,7 @@ func (c *L0X) fill(m *TileMsg) {
 		}
 		// No Progress beat here: this is a retry loop, and a persistent
 		// dead-grant spin must still trip the watchdog.
-		delete(c.txns, a)
+		c.txns[slot] = nil
 		c.mshr.Free(a)
 		c.cDeadGrants.Inc()
 		for _, w := range t.waiters {
@@ -352,7 +369,7 @@ func (c *L0X) fill(m *TileMsg) {
 		c.eng.Schedule(1, func(uint64) { c.fill(m) })
 		return
 	}
-	delete(c.txns, a)
+	c.txns[slot] = nil
 	c.mshr.Free(a)
 	c.eng.Progress() // miss resolved: heartbeat
 
@@ -432,7 +449,7 @@ func (c *L0X) pickVictim(a uint64) *cache.Line {
 		if !v.Valid {
 			return v
 		}
-		if _, busy := c.txns[v.Addr]; !busy {
+		if c.mshr.Slot(v.Addr) < 0 {
 			return v
 		}
 		c.arr.Touch(v)
@@ -465,8 +482,8 @@ func (c *L0X) dropLine(l *cache.Line) {
 // hops and stall any L1X requester for the full lease (the L1X cannot close
 // the epoch until a writeback finally lands).
 func (c *L0X) flushLine(l *cache.Line) {
-	if consumer, ok := c.fwdTable[l.Addr]; ok && l.State != cache.Shared {
-		if link, up := c.fwdTo[consumer]; up {
+	if consumer, ok := c.fwdTable.Get(l.Addr); ok && l.State != cache.Shared {
+		if link := c.peerLink(consumer); link != nil {
 			if c.tracer != nil {
 				c.emit(ptrace.DxForward, l.Addr, fmt.Sprintf("to axc%d lease=%d", consumer, maxU64(l.WTime, l.LTime)))
 			}
@@ -486,6 +503,14 @@ func (c *L0X) flushLine(l *cache.Line) {
 	c.sendWB(l.Addr, l.Ver, l.WTime, false)
 	c.cWBs.Inc()
 	l.Dirty = false
+}
+
+// peerLink returns the Dx forwarding link to sibling id, or nil.
+func (c *L0X) peerLink(id AXCID) *interconnect.Link {
+	if int(id) < len(c.fwdTo) {
+		return c.fwdTo[id]
+	}
+	return nil
 }
 
 // selfDowngrade fires when a write epoch expires: the line (if still
@@ -535,8 +560,9 @@ func (c *L0X) receiveForward(m *TileMsg) {
 	// A miss may already be outstanding for this line (the consumer raced
 	// ahead of the push). The forward satisfies it; the L1X's eventual
 	// grant, if any, arrives with no transaction and is ignored by fill.
-	if t, ok := c.txns[a]; ok {
-		delete(c.txns, a)
+	if slot := c.mshr.Slot(a); slot >= 0 {
+		t := c.txns[slot]
+		c.txns[slot] = nil
 		c.mshr.Free(a)
 		c.eng.Progress()
 		for _, w := range t.waiters {
@@ -579,19 +605,16 @@ func (c *L0X) Drain() {
 // DumpState summarizes in-flight work for watchdog/failure diagnostics.
 // Empty when the cache is idle.
 func (c *L0X) DumpState() string {
-	if len(c.txns) == 0 {
+	if c.mshr.Len() == 0 {
 		return ""
 	}
-	addrs := make([]uint64, 0, len(c.txns))
-	for a := range c.txns {
-		addrs = append(addrs, a)
-	}
+	addrs := c.mshr.Outstanding()
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %d open txns, %d/%d MSHRs\n",
-		c.name, len(c.txns), c.mshr.Len(), c.cfg.MSHRs)
+		c.name, c.mshr.Len(), c.mshr.Len(), c.cfg.MSHRs)
 	for _, a := range addrs {
-		t := c.txns[a]
+		t := c.txns[c.mshr.Slot(a)]
 		kind := "GetL"
 		if t.write {
 			kind = "GetW"
@@ -605,7 +628,7 @@ func (c *L0X) DumpState() string {
 func (c *L0X) InvalidateAll() { c.arr.InvalidateAll() }
 
 // Outstanding reports open transactions (drain checks).
-func (c *L0X) Outstanding() int { return len(c.txns) }
+func (c *L0X) Outstanding() int { return c.mshr.Len() }
 
 // Peek exposes a line for tests.
 func (c *L0X) Peek(va mem.VAddr) *cache.Line {

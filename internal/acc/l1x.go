@@ -2,6 +2,7 @@ package acc
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -44,6 +45,7 @@ type l1txn struct {
 }
 
 const (
+	holderAbsent   = -3 // no lease interaction since the line was installed
 	holderNone     = -2
 	holderMultiple = -1
 )
@@ -70,14 +72,22 @@ type L1X struct {
 	tlb    Translator
 	rmap   ReverseMap
 
-	toL0X map[AXCID]*interconnect.Link
+	// toL0X is indexed by AXCID (dense within a tile).
+	toL0X []*interconnect.Link
 
-	txns     map[uint64]*l1txn      // by virtual line address
-	freeTxns []*l1txn               // recycled fetch records
-	byPA     map[mem.PAddr]uint64   // pending fetch: physical -> virtual
-	waiting  map[uint64][]*TileMsg  // lease requests stalled on WLock
-	holder   map[uint64]int         // sole read-lease holder per line
-	evict    map[mem.PAddr]evictBuf // awaiting PutAck; can serve host Fwds
+	// txns is keyed by MSHR slot (the file is keyed by virtual line
+	// address); a pending fetch's physical address lives on the txn, so
+	// the PA->VA question is a walk of the MSHR occupancy bitmap.
+	txns     []*l1txn
+	freeTxns []*l1txn // recycled fetch records
+	// waiting and holder are per-(set, way) line-slot arrays parallel to
+	// the tag array (cache.Array.SlotOf): the stall list and sole
+	// read-lease holder belong to the line currently in the slot. A line
+	// can only leave the array with no open write epoch, hence with an
+	// empty stall list (evictLine checks), so slot reuse is safe.
+	waiting [][]*TileMsg
+	holder  []int
+	evict   []evictEntry // awaiting PutAck; can serve host Fwds
 
 	tilePool TileMsgPool
 	mesiPool mesi.MsgPool
@@ -126,6 +136,40 @@ type evictBuf struct {
 	dirty bool
 }
 
+// evictEntry is one writeback awaiting the directory's PutAck. The handful
+// in flight live in a linear list: shorter than a map bucket walk, and
+// deletion is a swap with the tail.
+type evictEntry struct {
+	pa mem.PAddr
+	evictBuf
+}
+
+// evictFind returns the index of pa's eviction buffer, or -1.
+func (x *L1X) evictFind(pa mem.PAddr) int {
+	for i := range x.evict {
+		if x.evict[i].pa == pa {
+			return i
+		}
+	}
+	return -1
+}
+
+// evictPut records (or refreshes) the eviction buffer for pa.
+func (x *L1X) evictPut(pa mem.PAddr, b evictBuf) {
+	if i := x.evictFind(pa); i >= 0 {
+		x.evict[i].evictBuf = b
+		return
+	}
+	x.evict = append(x.evict, evictEntry{pa: pa, evictBuf: b})
+}
+
+// evictRemove drops entry i by swapping the tail in.
+func (x *L1X) evictRemove(i int) {
+	last := len(x.evict) - 1
+	x.evict[i] = x.evict[last]
+	x.evict = x.evict[:last]
+}
+
 // Translator is the AX-TLB interface (satisfied by *vm.TLB).
 type Translator interface {
 	Translate(pid mem.PID, va mem.VAddr) (mem.PAddr, uint64)
@@ -150,22 +194,24 @@ func NewL1X(eng *sim.Engine, fabric *mesi.Fabric, agent mesi.AgentID,
 	cfg L1XConfig, tlb Translator, rmap ReverseMap,
 	meter *energy.Meter, st *stats.Set) *L1X {
 	name := cfg.StatPrefix + "l1x"
+	arr := cache.NewArray(cfg.Cache)
+	holder := make([]int, arr.NumLines())
+	for i := range holder {
+		holder[i] = holderAbsent
+	}
 	x := &L1X{
 		name:        name,
 		cfg:         cfg,
-		arr:         cache.NewArray(cfg.Cache),
+		arr:         arr,
 		mshr:        cache.NewMSHR(cfg.MSHRs),
 		eng:         eng,
 		fabric:      fabric,
 		agent:       agent,
 		tlb:         tlb,
 		rmap:        rmap,
-		toL0X:       make(map[AXCID]*interconnect.Link),
-		txns:        make(map[uint64]*l1txn),
-		byPA:        make(map[mem.PAddr]uint64),
-		waiting:     make(map[uint64][]*TileMsg),
-		holder:      make(map[uint64]int),
-		evict:       make(map[mem.PAddr]evictBuf),
+		txns:        make([]*l1txn, cfg.MSHRs),
+		waiting:     make([][]*TileMsg, arr.NumLines()),
+		holder:      holder,
 		meter:       meter,
 		cAccesses:   st.Counter(name + ".accesses"),
 		cStallWLock: st.Counter(name + ".stall_wlock"),
@@ -189,7 +235,12 @@ func NewL1X(eng *sim.Engine, fabric *mesi.Fabric, agent mesi.AgentID,
 }
 
 // ConnectL0X attaches the downlink to one accelerator's private cache.
-func (x *L1X) ConnectL0X(id AXCID, l *interconnect.Link) { x.toL0X[id] = l }
+func (x *L1X) ConnectL0X(id AXCID, l *interconnect.Link) {
+	for int(id) >= len(x.toL0X) {
+		x.toL0X = append(x.toL0X, nil)
+	}
+	x.toL0X[id] = l
+}
 
 // Agent returns the tile's MESI agent ID.
 func (x *L1X) Agent() mesi.AgentID { return x.agent }
@@ -269,10 +320,11 @@ func (x *L1X) lease(m *TileMsg) {
 		return
 	}
 	now := x.eng.Now()
+	slot := x.arr.SlotOf(a, l)
 	if l.WLock {
 		// An outstanding write epoch: everyone stalls at the L1X until the
 		// writeback lands (Section 3.2, Figure 4).
-		x.waiting[a] = append(x.waiting[a], m)
+		x.waiting[slot] = append(x.waiting[slot], m)
 		x.cStallWLock.Inc()
 		if x.tracer != nil {
 			x.emit(ptrace.WLockStall, a, fmt.Sprintf("axc%d %s", m.Src, m.Type))
@@ -283,7 +335,11 @@ func (x *L1X) lease(m *TileMsg) {
 	// stalled behind an epoch still gets a full-length lease.
 	expiry := now + m.Lease
 	if m.Type == MsgGetW {
-		soleOK := x.holder[a] == int(m.Src) || l.GTime <= now
+		h := x.holder[slot]
+		if h == holderAbsent {
+			h = 0 // the address-keyed table read absent entries as zero
+		}
+		soleOK := h == int(m.Src) || l.GTime <= now
 		if !soleOK {
 			// Another accelerator may still be reading under its lease;
 			// the write epoch cannot open until GTIME passes.
@@ -295,7 +351,7 @@ func (x *L1X) lease(m *TileMsg) {
 			return
 		}
 		l.WLock = true
-		x.holder[a] = int(m.Src)
+		x.holder[slot] = int(m.Src)
 		if expiry > l.GTime {
 			l.GTime = expiry
 		}
@@ -306,10 +362,10 @@ func (x *L1X) lease(m *TileMsg) {
 	// Read lease. If every previously granted lease has lapsed (GTIME in
 	// the past), this requester becomes the sole holder — stale holdership
 	// from long-expired leases must not pin the line as "shared".
-	if h, ok := x.holder[a]; !ok || h == holderNone || l.GTime <= now {
-		x.holder[a] = int(m.Src)
+	if h := x.holder[slot]; h == holderAbsent || h == holderNone || l.GTime <= now {
+		x.holder[slot] = int(m.Src)
 	} else if h != int(m.Src) {
-		x.holder[a] = holderMultiple
+		x.holder[slot] = holderMultiple
 	}
 	if expiry > l.GTime {
 		l.GTime = expiry
@@ -320,8 +376,11 @@ func (x *L1X) lease(m *TileMsg) {
 
 // grant sends a lease response back to the requesting L0X.
 func (x *L1X) grant(m *TileMsg, l *cache.Line, write bool, expiry uint64) {
-	link, ok := x.toL0X[m.Src]
-	if !ok {
+	var link *interconnect.Link
+	if int(m.Src) < len(x.toL0X) {
+		link = x.toL0X[m.Src]
+	}
+	if link == nil {
 		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "no downlink to axc %d", m.Src)
 	}
 	if write {
@@ -370,25 +429,27 @@ func (x *L1X) writeback(m *TileMsg) {
 	// Any non-through writeback closes the epoch. The holder identity is
 	// deliberately not checked: under FUSION-Dx the lease migrates to the
 	// consumer L0X without informing the L1X (Section 3.2).
+	slot := x.arr.SlotOf(a, l)
 	if l.WLock && !m.Through {
 		l.WLock = false
-		x.holder[a] = holderNone
+		x.holder[slot] = holderNone
 	}
 	x.cWBIn.Inc()
 	if !m.Through {
-		x.wake(a)
+		x.wake(slot)
 	}
 }
 
 // wake replays stalled lease requests for a line after an epoch closes.
-func (x *L1X) wake(a uint64) {
-	q := x.waiting[a]
+func (x *L1X) wake(slot int) {
+	q := x.waiting[slot]
 	if len(q) == 0 {
 		return
 	}
-	delete(x.waiting, a)
-	for _, m := range q {
+	x.waiting[slot] = q[:0] // keep the capacity for the next epoch
+	for i, m := range q {
 		x.scheduleProcess(1, m)
+		q[i] = nil
 	}
 }
 
@@ -409,7 +470,8 @@ func (x *L1X) newTxn() *l1txn {
 // exclusive (GetM): the L1X caches every block in E/M regardless of the
 // accelerator operation (Section 3.2).
 func (x *L1X) missFetch(a uint64, m *TileMsg) {
-	if t, ok := x.txns[a]; ok {
+	if slot := x.mshr.Slot(a); slot >= 0 {
+		t := x.txns[slot]
 		t.waiters = append(t.waiters, m)
 		return
 	}
@@ -433,13 +495,11 @@ func (x *L1X) missFetch(a uint64, m *TileMsg) {
 		}
 	}
 
-	x.mshr.Allocate(a)
 	x.cMisses.Inc()
 	t := x.newTxn()
 	t.va, t.pa, t.pid, t.acksNeeded = a, pa, m.PID, -1
 	t.waiters = append(t.waiters, m)
-	x.txns[a] = t
-	x.byPA[pa] = a
+	x.txns[x.mshr.Allocate(a)] = t
 	if x.tracer != nil {
 		x.emit(ptrace.L1XFetch, a, fmt.Sprintf("pa=%#x", uint64(pa)))
 	}
@@ -457,15 +517,16 @@ func (x *L1X) resolveSynonym(a uint64, m *TileMsg, pa mem.PAddr, ptr ReversePoin
 	if old == nil {
 		return false
 	}
+	oldSlot := x.arr.SlotOf(oldVA, old)
 	if old.WLock {
 		// A write epoch is open under the old alias; retry after it drains.
-		x.waiting[oldVA] = append(x.waiting[oldVA], m)
+		x.waiting[oldSlot] = append(x.waiting[oldSlot], m)
 		return true
 	}
 	x.cSynEvict.Inc()
 	ver, dirty, gtime := old.Ver, old.Dirty, old.GTime
 	x.rmap.Remove(pa)
-	delete(x.holder, oldVA)
+	x.holder[oldSlot] = holderAbsent
 	*old = cache.Line{}
 
 	l := x.install(a, m.PID, pa, ver)
@@ -498,7 +559,9 @@ func (x *L1X) HandleMESI(m *mesi.Msg) {
 		x.fabric.Send(ack)
 		x.mesiPool.Put(m)
 	case mesi.MsgPutAck:
-		delete(x.evict, m.Addr.LineAddr())
+		if i := x.evictFind(m.Addr.LineAddr()); i >= 0 {
+			x.evictRemove(i)
+		}
 		x.mesiPool.Put(m)
 	case mesi.MsgInvAck:
 		// GetM with requester-collected acks: the tile counts them like any
@@ -510,13 +573,25 @@ func (x *L1X) HandleMESI(m *mesi.Msg) {
 	}
 }
 
+// slotByPA finds the pending fetch for a physical line by walking the MSHR
+// occupancy bitmap (the txn records the translation).
+func (x *L1X) slotByPA(pa mem.PAddr) int {
+	for w := x.mshr.Occupied(); w != 0; w &= w - 1 {
+		s := bits.TrailingZeros64(w)
+		if t := x.txns[s]; t != nil && t.pa == pa {
+			return s
+		}
+	}
+	return -1
+}
+
 // invAck notes one invalidation ack for a pending exclusive fetch.
 func (x *L1X) invAck(m *mesi.Msg) {
-	va, ok := x.byPA[m.Addr.LineAddr()]
-	if !ok {
+	slot := x.slotByPA(m.Addr.LineAddr())
+	if slot < 0 {
 		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "InvAck with no fetch: %s", m)
 	}
-	t := x.txns[va]
+	t := x.txns[slot]
 	t.acksGot++
 	x.maybeFill(t)
 }
@@ -524,11 +599,11 @@ func (x *L1X) invAck(m *mesi.Msg) {
 // fillFromHost completes a fetch once data (and acks) arrive.
 func (x *L1X) fillFromHost(m *mesi.Msg) {
 	pa := m.Addr.LineAddr()
-	va, ok := x.byPA[pa]
-	if !ok {
+	slot := x.slotByPA(pa)
+	if slot < 0 {
 		sim.Failf(x.name, x.eng.Now(), x.DumpState(), "data with no fetch: %s", m)
 	}
-	t := x.txns[va]
+	t := x.txns[slot]
 	t.arrived = true
 	t.ver = m.Ver
 	if t.acksNeeded == -1 {
@@ -546,9 +621,7 @@ func (x *L1X) maybeFill(t *l1txn) {
 		x.eng.Schedule(2, func(uint64) { x.maybeFill(t) })
 		return
 	}
-	delete(x.txns, t.va)
-	delete(x.byPA, t.pa)
-	x.mshr.Free(t.va)
+	x.txns[x.mshr.Free(t.va)] = nil
 	x.eng.Progress() // host fetch resolved: heartbeat
 	unb := x.mesiPool.Get()
 	unb.Type, unb.Addr, unb.Src, unb.Dst, unb.Excl =
@@ -591,8 +664,7 @@ func (x *L1X) pickVictim(va uint64) *cache.Line {
 		if !v.Valid {
 			return v
 		}
-		_, busy := x.txns[v.Addr]
-		if !busy && !v.WLock && v.GTime <= now {
+		if x.mshr.Slot(v.Addr) < 0 && !v.WLock && v.GTime <= now {
 			return v
 		}
 		x.arr.Touch(v)
@@ -609,14 +681,14 @@ func (x *L1X) evictLine(v *cache.Line) {
 	}
 	x.cEvictions.Inc()
 	x.rmap.Remove(v.PAddr)
-	delete(x.holder, v.Addr)
+	x.holder[x.arr.SlotOf(v.Addr, v)] = holderAbsent
 	put := x.mesiPool.Get()
 	if v.Dirty {
-		x.evict[v.PAddr] = evictBuf{ver: v.Ver, dirty: true}
+		x.evictPut(v.PAddr, evictBuf{ver: v.Ver, dirty: true})
 		put.Type, put.Addr, put.Src, put.Dst, put.Ver =
 			mesi.MsgPutM, v.PAddr, x.agent, mesi.DirID, v.Ver
 	} else {
-		x.evict[v.PAddr] = evictBuf{ver: v.Ver}
+		x.evictPut(v.PAddr, evictBuf{ver: v.Ver})
 		put.Type, put.Addr, put.Src, put.Dst = mesi.MsgPutE, v.PAddr, x.agent, mesi.DirID
 	}
 	x.fabric.Send(put)
@@ -632,6 +704,7 @@ func (x *L1X) evictNoNotice(v *cache.Line) {
 		x.fabric.Send(put)
 	}
 	x.rmap.Remove(v.PAddr)
+	x.holder[x.arr.SlotOf(v.Addr, v)] = holderAbsent
 	*v = cache.Line{}
 }
 
@@ -645,9 +718,10 @@ func (x *L1X) hostForward(m *mesi.Msg) {
 	x.emit(ptrace.HostFwdIn, uint64(pa), m.Type.String())
 	ptr, ok := x.rmap.Lookup(pa)
 	if !ok {
-		if buf, ev := x.evict[pa]; ev {
+		if i := x.evictFind(pa); i >= 0 {
 			// Eviction raced with the forward: serve from the buffer.
-			delete(x.evict, pa)
+			buf := x.evict[i].evictBuf
+			x.evictRemove(i)
 			x.respondHost(m, buf.ver, buf.dirty)
 			return
 		}
@@ -663,8 +737,9 @@ func (x *L1X) tryRelinquish(m *mesi.Msg, ptr ReversePointer, first bool) {
 	va := uint64(ptr.VAddr.LineAddr())
 	l := x.arr.LookupPID(va, ptr.PID)
 	if l == nil {
-		if buf, ev := x.evict[pa]; ev {
-			delete(x.evict, pa)
+		if i := x.evictFind(pa); i >= 0 {
+			buf := x.evict[i].evictBuf
+			x.evictRemove(i)
 			x.respondHost(m, buf.ver, buf.dirty)
 			return
 		}
@@ -691,7 +766,7 @@ func (x *L1X) tryRelinquish(m *mesi.Msg, ptr ReversePointer, first bool) {
 	x.access()
 	ver, dirty := l.Ver, l.Dirty
 	x.rmap.Remove(pa)
-	delete(x.holder, va)
+	x.holder[x.arr.SlotOf(va, l)] = holderAbsent
 	*l = cache.Line{}
 	x.respondHost(m, ver, dirty)
 }
@@ -722,43 +797,46 @@ func (x *L1X) respondHost(m *mesi.Msg, ver uint64, dirty bool) {
 // tile (end of workload).
 func (x *L1X) FlushAll() {
 	x.arr.ForEach(func(l *cache.Line) {
-		if l.Valid {
-			cp := *l
-			x.evictLine(&cp)
-			*l = cache.Line{}
-		}
+		x.evictLine(l)
 	})
 }
 
 // Outstanding reports in-flight host fetches plus eviction buffers.
-func (x *L1X) Outstanding() int { return len(x.txns) + len(x.evict) }
+func (x *L1X) Outstanding() int { return x.mshr.Len() + len(x.evict) }
 
 // DumpState summarizes in-flight host fetches, stalled lease requests, and
 // eviction buffers for watchdog/failure diagnostics. Empty when idle.
 func (x *L1X) DumpState() string {
-	if len(x.txns) == 0 && len(x.waiting) == 0 && len(x.evict) == 0 {
+	stalled := 0
+	for slot := range x.waiting {
+		if len(x.waiting[slot]) > 0 {
+			stalled++
+		}
+	}
+	if x.mshr.Len() == 0 && stalled == 0 && len(x.evict) == 0 {
 		return ""
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %d host fetches, %d wlock queues, %d evict buffers, %d/%d MSHRs\n",
-		x.name, len(x.txns), len(x.waiting), len(x.evict), x.mshr.Len(), x.cfg.MSHRs)
-	vas := make([]uint64, 0, len(x.txns))
-	for va := range x.txns {
-		vas = append(vas, va)
-	}
-	sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
-	for _, va := range vas {
-		t := x.txns[va]
+		x.name, x.mshr.Len(), stalled, len(x.evict), x.mshr.Len(), x.cfg.MSHRs)
+	for _, va := range x.mshr.Outstanding() {
+		t := x.txns[x.mshr.Slot(va)]
 		fmt.Fprintf(&b, "  fetch va=%#x pa=%#x arrived=%v acks=%d/%d waiters=%d\n",
 			t.va, uint64(t.pa), t.arrived, t.acksGot, t.acksNeeded, len(t.waiters))
 	}
-	was := make([]uint64, 0, len(x.waiting))
-	for a := range x.waiting {
-		was = append(was, a)
+	type stall struct {
+		va uint64
+		n  int
 	}
-	sort.Slice(was, func(i, j int) bool { return was[i] < was[j] })
-	for _, a := range was {
-		fmt.Fprintf(&b, "  wlock-stalled va=%#x waiters=%d\n", a, len(x.waiting[a]))
+	var stalls []stall
+	for slot := range x.waiting {
+		if n := len(x.waiting[slot]); n > 0 {
+			stalls = append(stalls, stall{x.arr.LineAt(slot).Addr, n})
+		}
+	}
+	sort.Slice(stalls, func(i, j int) bool { return stalls[i].va < stalls[j].va })
+	for _, s := range stalls {
+		fmt.Fprintf(&b, "  wlock-stalled va=%#x waiters=%d\n", s.va, s.n)
 	}
 	return b.String()
 }

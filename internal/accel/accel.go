@@ -94,8 +94,9 @@ type Accelerator struct {
 	// outstanding tracks in-flight memory requests at cache-line
 	// granularity: several word accesses to one line count as a single
 	// outstanding request (they merge in the cache's MSHR), matching how
-	// the paper's Table 1 MLP is measured.
-	outstanding map[uint64]int
+	// the paper's Table 1 MLP is measured. Bounded by cfg.MLP, so a
+	// linearly-scanned list replaces the former map.
+	outstanding []lineCount
 
 	startCycle uint64
 
@@ -114,6 +115,31 @@ type Accelerator struct {
 	busyCycles uint64
 	mlpSamples uint64
 	mlpSum     uint64
+}
+
+// lineCount is one outstanding line and its in-flight access count.
+type lineCount struct {
+	line  uint64
+	count int
+}
+
+// outFind returns the index of line in the outstanding list, or -1.
+func (a *Accelerator) outFind(line uint64) int {
+	for i := range a.outstanding {
+		if a.outstanding[i].line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// outInc bumps line's outstanding count, appending it if new.
+func (a *Accelerator) outInc(line uint64) {
+	if i := a.outFind(line); i >= 0 {
+		a.outstanding[i].count++
+		return
+	}
+	a.outstanding = append(a.outstanding, lineCount{line, 1})
 }
 
 // New builds an accelerator and registers it with the engine.
@@ -154,9 +180,7 @@ func (a *Accelerator) Start(inv *trace.Invocation, port MemPort, onDone func(now
 	a.onDone = onDone
 	a.nextIter = 0
 	a.inflight = a.inflight[:0]
-	if a.outstanding == nil {
-		a.outstanding = make(map[uint64]int)
-	}
+	a.outstanding = a.outstanding[:0]
 	a.startCycle = a.eng.Now()
 	a.cInvocations.Inc()
 }
@@ -246,11 +270,14 @@ func (a *Accelerator) Tick(now uint64) {
 	// Issue loads (oldest iteration first), then advance compute, then
 	// issue stores of iterations whose compute is done.
 	for _, st := range a.inflight {
+		if memIssued >= a.cfg.MemPorts {
+			break // ports exhausted; no younger iteration can issue
+		}
 		it := &a.inv.Iterations[st.idx]
 		for st.loadsIssued < len(it.Loads) && memIssued < a.cfg.MemPorts {
 			addr := it.Loads[st.loadsIssued]
 			line := uint64(addr) >> 6
-			if _, merged := a.outstanding[line]; !merged && len(a.outstanding) >= a.cfg.MLP {
+			if a.outFind(line) < 0 && len(a.outstanding) >= a.cfg.MLP {
 				break // a fresh line would exceed the MLP cap
 			}
 			cb := a.getCb(st, line, true)
@@ -258,7 +285,7 @@ func (a *Accelerator) Tick(now uint64) {
 				a.freeCbs = append(a.freeCbs, cb)
 				break // port back-pressure; retry next cycle
 			}
-			a.outstanding[line]++
+			a.outInc(line)
 			st.loadsIssued++
 			memIssued++
 			a.cLoads.Inc()
@@ -273,6 +300,9 @@ func (a *Accelerator) Tick(now uint64) {
 	}
 
 	for _, st := range a.inflight {
+		if memIssued >= a.cfg.MemPorts {
+			break // ports exhausted; no younger iteration can issue
+		}
 		it := &a.inv.Iterations[st.idx]
 		if st.loadsDone < len(it.Loads) || st.computeLeft > 0 {
 			continue
@@ -280,7 +310,7 @@ func (a *Accelerator) Tick(now uint64) {
 		for st.storesIssued < len(it.Stores) && memIssued < a.cfg.MemPorts {
 			addr := it.Stores[st.storesIssued]
 			line := uint64(addr) >> 6
-			if _, merged := a.outstanding[line]; !merged && len(a.outstanding) >= a.cfg.MLP {
+			if a.outFind(line) < 0 && len(a.outstanding) >= a.cfg.MLP {
 				break
 			}
 			cb := a.getCb(st, line, false)
@@ -288,7 +318,7 @@ func (a *Accelerator) Tick(now uint64) {
 				a.freeCbs = append(a.freeCbs, cb)
 				break
 			}
-			a.outstanding[line]++
+			a.outInc(line)
 			st.storesIssued++
 			memIssued++
 			a.cStores.Inc()
@@ -336,9 +366,12 @@ func (a *Accelerator) computeDrained() bool {
 
 // release retires one access against its line's outstanding count.
 func (a *Accelerator) release(line uint64) {
-	a.outstanding[line]--
-	if a.outstanding[line] <= 0 {
-		delete(a.outstanding, line)
+	i := a.outFind(line)
+	a.outstanding[i].count--
+	if a.outstanding[i].count <= 0 {
+		last := len(a.outstanding) - 1
+		a.outstanding[i] = a.outstanding[last]
+		a.outstanding = a.outstanding[:last]
 	}
 }
 

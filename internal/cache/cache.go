@@ -217,6 +217,30 @@ func (a *Array) ForEach(fn func(*Line)) {
 	}
 }
 
+// NumLines returns sets*ways, the bound for line-slot indices.
+func (a *Array) NumLines() int { return len(a.lines) }
+
+// LineAt returns the line at slot i (row-major by set, as SlotOf numbers
+// them).
+func (a *Array) LineAt(i int) *Line { return &a.lines[i] }
+
+// SlotOf returns the dense (set, way) slot index of l, which must be a
+// line of addr's set (as returned by Lookup/Victim/Peek for addr).
+// Controllers use the slot to key per-line side state — stall lists,
+// holder tags — in flat arrays parallel to the tag array, instead of
+// address-keyed maps.
+func (a *Array) SlotOf(addr uint64, l *Line) int {
+	base := a.SetIndex(addr) * a.params.Ways
+	set := a.lines[base : base+a.params.Ways]
+	for i := range set {
+		if &set[i] == l {
+			return base + i
+		}
+	}
+	sim.Failf("cache", 0, "", "SlotOf: line %#x not in set of addr %#x", l.Addr, addr)
+	return -1
+}
+
 // CountValid returns the number of valid lines.
 func (a *Array) CountValid() int {
 	n := 0

@@ -1,73 +1,107 @@
 package cache
 
+import (
+	"math/bits"
+	"sort"
+
+	"fusion/internal/sim"
+)
+
 // MSHR models a miss-status holding register file: one entry per outstanding
-// line-granularity miss, with secondary misses to the same line merged onto
-// the primary entry's waiter list. Every cache controller in the simulator
-// (host L1, L1X, L0X) allocates from one of these; a full MSHR back-pressures
-// the requester, which is how the accelerator MLP limits of Table 1 manifest
-// in the memory system.
+// line-granularity miss. Every cache controller in the simulator (host L1,
+// L1X, L0X) allocates from one of these; a full MSHR back-pressures the
+// requester, which is how the accelerator MLP limits of Table 1 manifest in
+// the memory system.
+//
+// The file is a dense register bank, as in hardware: a uint64 occupancy
+// bitmap plus flat address/stamp arrays, indexed by slot. Lookups walk the
+// occupancy word with bits.TrailingZeros64 — at most capacity compares, no
+// hashing, no pointers. The slot number is stable for the lifetime of the
+// miss, so controllers key their per-miss transaction state by slot in a
+// flat array instead of a map (see acc.L0X, acc.L1X, mesi.Client).
 type MSHR struct {
 	capacity int
-	order    []uint64 // allocation order, for deterministic iteration
-	entries  map[uint64]*MSHREntry
+	count    int
+	occ      uint64 // bit s set: slot s holds an outstanding miss
+	addrs    [64]uint64
+	stamps   [64]uint64 // allocation order, for deterministic iteration
+	clock    uint64
 }
 
-// MSHREntry tracks one outstanding miss.
-type MSHREntry struct {
-	Addr    uint64 // line-aligned address
-	Waiters []any  // protocol-specific contexts resumed on fill
-}
-
-// NewMSHR returns an MSHR file with the given number of entries.
+// NewMSHR returns an MSHR file with the given number of entries (at most
+// 64: one occupancy word covers every configuration in the paper).
 func NewMSHR(capacity int) *MSHR {
-	return &MSHR{capacity: capacity, entries: make(map[uint64]*MSHREntry)}
+	if capacity < 1 || capacity > 64 {
+		sim.Failf("cache", 0, "", "MSHR capacity %d out of range [1,64]", capacity)
+	}
+	return &MSHR{capacity: capacity}
 }
 
-// Lookup returns the entry for addr, or nil.
-func (m *MSHR) Lookup(addr uint64) *MSHREntry {
-	return m.entries[addr]
-}
-
-// Allocate creates an entry for addr. It returns (entry, true) on a fresh
-// allocation, (existing, false) if addr already has an entry (secondary
-// miss: caller should append a waiter), and (nil, false) if the file is full
-// and addr is not present.
-func (m *MSHR) Allocate(addr uint64) (*MSHREntry, bool) {
-	if e, ok := m.entries[addr]; ok {
-		return e, false
-	}
-	if len(m.entries) >= m.capacity {
-		return nil, false
-	}
-	e := &MSHREntry{Addr: addr}
-	m.entries[addr] = e
-	m.order = append(m.order, addr)
-	return e, true
-}
-
-// Free releases the entry for addr and returns its waiters (nil if absent).
-func (m *MSHR) Free(addr uint64) []any {
-	e, ok := m.entries[addr]
-	if !ok {
-		return nil
-	}
-	delete(m.entries, addr)
-	for i, a := range m.order {
-		if a == addr {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
+// Slot returns the slot holding addr, or -1.
+func (m *MSHR) Slot(addr uint64) int {
+	for w := m.occ; w != 0; w &= w - 1 {
+		s := bits.TrailingZeros64(w)
+		if m.addrs[s] == addr {
+			return s
 		}
 	}
-	return e.Waiters
+	return -1
+}
+
+// Allocate returns the slot for addr: the existing slot on a secondary
+// miss, a fresh one otherwise, or -1 if the file is full and addr is not
+// present.
+func (m *MSHR) Allocate(addr uint64) int {
+	if s := m.Slot(addr); s >= 0 {
+		return s
+	}
+	if m.count >= m.capacity {
+		return -1
+	}
+	s := bits.TrailingZeros64(^m.occ) // capacity<=64 keeps this in range
+	m.occ |= 1 << s
+	m.addrs[s] = addr
+	m.clock++
+	m.stamps[s] = m.clock
+	m.count++
+	return s
+}
+
+// Free releases the entry for addr and returns the slot it held, or -1 if
+// addr was not outstanding.
+func (m *MSHR) Free(addr uint64) int {
+	s := m.Slot(addr)
+	if s < 0 {
+		return -1
+	}
+	m.occ &^= 1 << s
+	m.count--
+	return s
 }
 
 // Full reports whether a fresh allocation would fail.
-func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+func (m *MSHR) Full() bool { return m.count >= m.capacity }
 
 // Len returns the number of outstanding entries.
-func (m *MSHR) Len() int { return len(m.entries) }
+func (m *MSHR) Len() int { return m.count }
+
+// Occupied returns the occupancy bitmap; callers walk it with
+// bits.TrailingZeros64 and index their slot-keyed state directly.
+func (m *MSHR) Occupied() uint64 { return m.occ }
+
+// AddrAt returns the line address held by an occupied slot.
+func (m *MSHR) AddrAt(slot int) uint64 { return m.addrs[slot] }
 
 // Outstanding returns the outstanding line addresses in allocation order.
 func (m *MSHR) Outstanding() []uint64 {
-	return append([]uint64(nil), m.order...)
+	slots := make([]int, 0, m.count)
+	for w := m.occ; w != 0; w &= w - 1 {
+		slots = append(slots, bits.TrailingZeros64(w))
+	}
+	sort.Slice(slots, func(i, j int) bool { return m.stamps[slots[i]] < m.stamps[slots[j]] })
+	out := make([]uint64, len(slots))
+	for i, s := range slots {
+		out[i] = m.addrs[s]
+	}
+	return out
 }

@@ -1,39 +1,37 @@
 package cache
 
 import (
+	"math/bits"
 	"testing"
 	"testing/quick"
 )
 
 func TestMSHRAllocateFresh(t *testing.T) {
 	m := NewMSHR(4)
-	e, fresh := m.Allocate(0x40)
-	if !fresh || e == nil || e.Addr != 0x40 {
-		t.Fatalf("fresh allocate = (%v,%v)", e, fresh)
+	s := m.Allocate(0x40)
+	if s < 0 || m.AddrAt(s) != 0x40 {
+		t.Fatalf("fresh allocate = slot %d (addr %#x)", s, m.AddrAt(s))
 	}
 	if m.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	if m.Slot(0x40) != s {
+		t.Fatalf("Slot = %d, want %d", m.Slot(0x40), s)
 	}
 }
 
 func TestMSHRSecondaryMissMerges(t *testing.T) {
 	m := NewMSHR(4)
-	e1, _ := m.Allocate(0x40)
-	e1.Waiters = append(e1.Waiters, "first")
-	e2, fresh := m.Allocate(0x40)
-	if fresh {
-		t.Fatal("second allocate to same line reported fresh")
+	s1 := m.Allocate(0x40)
+	s2 := m.Allocate(0x40)
+	if s2 != s1 {
+		t.Fatalf("secondary miss got slot %d, want primary's %d", s2, s1)
 	}
-	if e2 != e1 {
-		t.Fatal("secondary miss got a different entry")
-	}
-	e2.Waiters = append(e2.Waiters, "second")
 	if m.Len() != 1 {
 		t.Fatalf("Len = %d after merge, want 1", m.Len())
 	}
-	w := m.Free(0x40)
-	if len(w) != 2 || w[0] != "first" || w[1] != "second" {
-		t.Fatalf("waiters = %v", w)
+	if got := m.Free(0x40); got != s1 {
+		t.Fatalf("Free returned slot %d, want %d", got, s1)
 	}
 }
 
@@ -44,13 +42,11 @@ func TestMSHRCapacity(t *testing.T) {
 	if !m.Full() {
 		t.Fatal("MSHR should be full")
 	}
-	e, fresh := m.Allocate(0x80)
-	if e != nil || fresh {
+	if s := m.Allocate(0x80); s >= 0 {
 		t.Fatal("allocation beyond capacity succeeded")
 	}
 	// Existing line still reachable when full.
-	e, fresh = m.Allocate(0x00)
-	if e == nil || fresh {
+	if s := m.Allocate(0x00); s < 0 {
 		t.Fatal("secondary miss rejected while full")
 	}
 	m.Free(0x00)
@@ -61,8 +57,8 @@ func TestMSHRCapacity(t *testing.T) {
 
 func TestMSHRFreeUnknown(t *testing.T) {
 	m := NewMSHR(2)
-	if w := m.Free(0x999); w != nil {
-		t.Fatal("Free of unknown address returned waiters")
+	if s := m.Free(0x999); s != -1 {
+		t.Fatalf("Free of unknown address returned slot %d", s)
 	}
 }
 
@@ -83,10 +79,18 @@ func TestMSHROutstandingOrder(t *testing.T) {
 	if len(out) != 2 || out[0] != 0x80 || out[1] != 0x40 {
 		t.Fatalf("Outstanding after free = %v", out)
 	}
+	// Slot reuse must not disturb allocation order: the freed slot is
+	// recycled but its stamp is fresh.
+	m.Allocate(0xc0)
+	out = m.Outstanding()
+	if len(out) != 3 || out[2] != 0xc0 {
+		t.Fatalf("Outstanding after reuse = %v", out)
+	}
 }
 
-// Property: Len never exceeds capacity and Lookup agrees with Allocate
-// bookkeeping under arbitrary alloc/free interleavings.
+// Property: Len never exceeds capacity, Slot agrees with Allocate/Free
+// bookkeeping, and the occupancy bitmap popcount matches Len under
+// arbitrary alloc/free interleavings.
 func TestMSHRInvariantProperty(t *testing.T) {
 	f := func(ops []uint16) bool {
 		m := NewMSHR(4)
@@ -96,16 +100,15 @@ func TestMSHRInvariantProperty(t *testing.T) {
 			if op&0x8000 != 0 {
 				m.Free(addr)
 				delete(live, addr)
-			} else {
-				if e, fresh := m.Allocate(addr); e != nil && fresh {
-					live[addr] = true
-				}
+			} else if m.Allocate(addr) >= 0 {
+				live[addr] = true
 			}
-			if m.Len() > 4 {
+			if m.Len() > 4 || bits.OnesCount64(m.Occupied()) != m.Len() {
 				return false
 			}
 			for a := range live {
-				if m.Lookup(a) == nil {
+				s := m.Slot(a)
+				if s < 0 || m.AddrAt(s) != a {
 					return false
 				}
 			}

@@ -87,47 +87,83 @@ func Default() Model {
 	}
 }
 
+// Cat is a meter category: a dense index into the meter's accumulator
+// array. The meter is bumped on every cache access, link transfer, and
+// datapath op, so categories are small integers, not strings — a string
+// key would pay a map hash per event (the hot-path discipline of
+// DESIGN.md §4c).
+type Cat uint8
+
 // Standard meter categories. Figure 6a stacks energy by these components.
+// CatNone is the zero value, "unmetered": Add ignores it, so components
+// whose config leaves the category unset stay free.
 const (
-	CatL0X      = "l0x"       // private L0X cache accesses
-	CatL1X      = "l1x"       // shared L1X cache accesses
-	CatScratch  = "scratch"   // scratchpad RAM accesses
-	CatL2       = "l2"        // host LLC accesses
-	CatDRAM     = "dram"      // main memory
-	CatHostL1   = "hostl1"    // host L1D
-	CatLinkTile = "link.tile" // L0X<->L1X link (msgs + data)
-	CatLinkHost = "link.host" // L1X<->L2 link (and scratchpad DMA path)
-	CatLinkFwd  = "link.fwd"  // L0X<->L0X direct forwarding
-	CatLinkMem  = "link.mem"  // L2<->DRAM
-	CatVM       = "vm"        // AX-TLB + AX-RMAP
-	CatCompute  = "compute"   // accelerator datapath ops
+	CatNone     Cat = iota // unmetered
+	CatL0X                 // private L0X cache accesses
+	CatL1X                 // shared L1X cache accesses
+	CatScratch             // scratchpad RAM accesses
+	CatL2                  // host LLC accesses
+	CatDRAM                // main memory
+	CatHostL1              // host L1D
+	CatLinkTile            // L0X<->L1X link (msgs + data)
+	CatLinkHost            // L1X<->L2 link (and scratchpad DMA path)
+	CatLinkFwd             // L0X<->L0X direct forwarding
+	CatLinkMem             // L2<->DRAM
+	CatVM                  // AX-TLB + AX-RMAP
+	CatCompute             // accelerator datapath ops
+	numCats
 )
 
+var catNames = [numCats]string{
+	CatNone:     "",
+	CatL0X:      "l0x",
+	CatL1X:      "l1x",
+	CatScratch:  "scratch",
+	CatL2:       "l2",
+	CatDRAM:     "dram",
+	CatHostL1:   "hostl1",
+	CatLinkTile: "link.tile",
+	CatLinkHost: "link.host",
+	CatLinkFwd:  "link.fwd",
+	CatLinkMem:  "link.mem",
+	CatVM:       "vm",
+	CatCompute:  "compute",
+}
+
+// String returns the category's report name.
+func (c Cat) String() string { return catNames[c] }
+
 // Meter accumulates picojoules by category, preserving insertion order.
+// The accumulators are a dense array indexed by Cat, so Add on the hot
+// path is two array stores and no hashing.
 type Meter struct {
-	order []string
-	pJ    map[string]float64
+	order []Cat
+	seen  [numCats]bool
+	pJ    [numCats]float64
 }
 
 // NewMeter returns an empty meter.
-func NewMeter() *Meter {
-	return &Meter{pJ: make(map[string]float64)}
-}
+func NewMeter() *Meter { return &Meter{} }
 
-// Add accumulates pj picojoules under category cat.
-func (m *Meter) Add(cat string, pj float64) {
-	if _, ok := m.pJ[cat]; !ok {
+// Add accumulates pj picojoules under category cat (CatNone is ignored).
+func (m *Meter) Add(cat Cat, pj float64) {
+	if cat == CatNone {
+		return
+	}
+	if !m.seen[cat] {
+		m.seen[cat] = true
 		m.order = append(m.order, cat)
 	}
 	m.pJ[cat] += pj
 }
 
 // Get returns the picojoules accumulated under cat.
-func (m *Meter) Get(cat string) float64 { return m.pJ[cat] }
+func (m *Meter) Get(cat Cat) float64 { return m.pJ[cat] }
 
 // Total returns the sum over all categories. Summation follows insertion
-// order: float addition is not associative, and iterating the map directly
-// would make totals vary in the last bits from run to run.
+// order: float addition is not associative, and a fixed array-order sweep
+// would change totals in the last bits relative to the order categories
+// first appeared in.
 func (m *Meter) Total() float64 {
 	var t float64
 	for _, c := range m.order {
@@ -137,7 +173,13 @@ func (m *Meter) Total() float64 {
 }
 
 // Categories returns the category names in insertion order.
-func (m *Meter) Categories() []string { return append([]string(nil), m.order...) }
+func (m *Meter) Categories() []string {
+	out := make([]string, len(m.order))
+	for i, c := range m.order {
+		out[i] = catNames[c]
+	}
+	return out
+}
 
 // Merge adds every category of other into m.
 func (m *Meter) Merge(other *Meter) {
@@ -149,15 +191,16 @@ func (m *Meter) Merge(other *Meter) {
 // Reset clears the meter.
 func (m *Meter) Reset() {
 	m.order = m.order[:0]
-	m.pJ = make(map[string]float64)
+	m.seen = [numCats]bool{}
+	m.pJ = [numCats]float64{}
 }
 
-// Dump writes "category picojoules" lines sorted by category.
+// Dump writes "category picojoules" lines sorted by category name.
 func (m *Meter) Dump(w io.Writer) {
-	cats := append([]string(nil), m.order...)
-	sort.Strings(cats)
+	cats := append([]Cat(nil), m.order...)
+	sort.Slice(cats, func(i, j int) bool { return catNames[cats[i]] < catNames[cats[j]] })
 	for _, c := range cats {
-		fmt.Fprintf(w, "%-16s %18.1f pJ\n", c, m.pJ[c])
+		fmt.Fprintf(w, "%-16s %18.1f pJ\n", catNames[c], m.pJ[c])
 	}
 	fmt.Fprintf(w, "%-16s %18.1f pJ\n", "TOTAL", m.Total())
 }

@@ -75,16 +75,21 @@ func TestMeterMerge(t *testing.T) {
 
 func TestMeterCategoriesOrderAndReset(t *testing.T) {
 	mt := NewMeter()
-	mt.Add("z", 1)
-	mt.Add("a", 1)
-	mt.Add("z", 1)
+	mt.Add(CatVM, 1)
+	mt.Add(CatCompute, 1)
+	mt.Add(CatVM, 1)
 	cats := mt.Categories()
-	if len(cats) != 2 || cats[0] != "z" || cats[1] != "a" {
+	if len(cats) != 2 || cats[0] != "vm" || cats[1] != "compute" {
 		t.Fatalf("Categories = %v", cats)
 	}
 	mt.Reset()
 	if mt.Total() != 0 || len(mt.Categories()) != 0 {
 		t.Fatal("Reset did not clear")
+	}
+	// CatNone is the "unmetered" sink: adding under it must be invisible.
+	mt.Add(CatNone, 7)
+	if mt.Total() != 0 || len(mt.Categories()) != 0 {
+		t.Fatal("CatNone was metered")
 	}
 }
 
@@ -103,7 +108,7 @@ func TestMeterTotalProperty(t *testing.T) {
 	f := func(adds []uint8) bool {
 		mt := NewMeter()
 		var want float64
-		cats := []string{CatL0X, CatL1X, CatL2, CatDRAM}
+		cats := []Cat{CatL0X, CatL1X, CatL2, CatDRAM}
 		for i, v := range adds {
 			mt.Add(cats[i%len(cats)], float64(v))
 			want += float64(v)

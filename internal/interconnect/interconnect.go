@@ -48,7 +48,7 @@ type Link struct {
 	bwFlits   uint64 // flits per cycle; 0 means infinite
 	pJPerByte float64
 	meter     *energy.Meter
-	meterCat  string
+	meterCat  energy.Cat
 	deliver   func(Message)
 	inj       *faults.Injector
 
@@ -79,7 +79,7 @@ type Config struct {
 	FlitsPerCycle uint64 // 0 = unlimited
 	PJPerByte     float64
 	Meter         *energy.Meter
-	MeterCategory string
+	MeterCategory energy.Cat
 	Stats         *stats.Set
 	// Deliver is invoked at the receiver when a message arrives.
 	Deliver func(Message)

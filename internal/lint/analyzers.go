@@ -1,13 +1,15 @@
 package lint
 
 // Analyzers returns the full suite in reporting order. Scopes: maporder,
-// wallclock, rawpanic, hotstats, pooldiscipline, and enumswitch guard the
-// simulation packages under internal/; globalrand, droppederr, ctxcancel,
-// and lockguard apply module-wide (a cmd that drops errors, leaks a cancel
-// func, or races a guarded field corrupts experiments just as surely).
+// wallclock, rawpanic, hotstats, hotmap, pooldiscipline, and enumswitch
+// guard the simulation packages under internal/; globalrand, droppederr,
+// ctxcancel, and lockguard apply module-wide (a cmd that drops errors,
+// leaks a cancel func, or races a guarded field corrupts experiments just
+// as surely).
 //
-// The last four are the v2 CFG/dataflow analyzers (see cfg.go): they
-// reason about every path through a function, not just its AST.
+// Pooldiscipline, ctxcancel, lockguard, and enumswitch are the v2
+// CFG/dataflow analyzers (see cfg.go): they reason about every path
+// through a function, not just its AST.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MapOrder,
@@ -16,6 +18,7 @@ func Analyzers() []*Analyzer {
 		RawPanic,
 		DroppedErr,
 		HotStats,
+		HotMap,
 		PoolDiscipline,
 		CtxCancel,
 		LockGuard,

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotMap forbids runtime-map operations — index expressions, range loops,
+// and delete calls — inside hot function bodies. Every map touch on a
+// per-cycle or per-message path pays interface hashing and, for stale
+// tables, reallocation; the dense replacements (per-(set,way) slot arrays
+// keyed by cache.Array.SlotOf, MSHR-slot-parallel slices, occupancy
+// bitmaps, or internal/flat.Map for genuinely sparse keys) cost an index or
+// a bitmap scan. Hot bodies are the same set hotstats guards: the component
+// entry-point methods (hotMethodNames) plus the fusiond job-execution
+// functions (hotFuncNames), with closures declared inside them included.
+var HotMap = &Analyzer{
+	Name:      "hotmap",
+	Directive: "hotmap",
+	Doc:       "runtime-map operation in a per-cycle hot path",
+	Scope:     internalScope,
+	Run:       runHotMap,
+}
+
+func runHotMap(p *Pass) {
+	info := p.Pkg.Info
+	// isMap reports whether e evaluates to a runtime map. Checking the
+	// operand's type also keeps generic instantiations (New[int] parses as
+	// an IndexExpr too) out of the net.
+	isMap := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		_, is := tv.Type.Underlying().(*types.Map)
+		return is
+	}
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			hot := (fn.Recv != nil && hotMethodNames[fn.Name.Name]) || hotFuncNames[fn.Name.Name]
+			if !hot {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.IndexExpr:
+					if isMap(x.X) {
+						p.Reportf(x.Pos(),
+							"map index in hot function %s; key the state by dense slot (cache.Array.SlotOf, MSHR slots) or use internal/flat",
+							fn.Name.Name)
+					}
+				case *ast.RangeStmt:
+					if isMap(x.X) {
+						p.Reportf(x.Pos(),
+							"map range in hot function %s; walk an occupancy bitmap or a dense slice instead",
+							fn.Name.Name)
+					}
+				case *ast.CallExpr:
+					if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "delete" {
+						if obj, ok := info.Uses[id].(*types.Builtin); ok && obj.Name() == "delete" {
+							p.Reportf(x.Pos(),
+								"map delete in hot function %s; clear an occupancy bit or swap-delete a dense list instead",
+								fn.Name.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -115,6 +115,9 @@ func TestDroppedErrDetects(t *testing.T) { checkFixture(t, DroppedErr, "droppede
 func TestDroppedErrClean(t *testing.T)   { checkFixture(t, DroppedErr, "droppederr_clean") }
 func TestHotStatsDetects(t *testing.T)   { checkFixture(t, HotStats, "hotstats_bad") }
 func TestHotStatsClean(t *testing.T)     { checkFixture(t, HotStats, "hotstats_clean") }
+func TestHotMapDetects(t *testing.T)     { checkFixture(t, HotMap, "hotmap_bad") }
+func TestHotMapClean(t *testing.T)       { checkFixture(t, HotMap, "hotmap_clean") }
+func TestHotMapWaiver(t *testing.T)      { checkFixture(t, HotMap, "hotmap_waiver") }
 
 // The v2 CFG/dataflow analyzers: detection, clean, and waiver fixtures
 // each. Waiver fixtures pair justified suppressions (inline and own-line)
@@ -190,12 +193,13 @@ func TestOrderedWaiver(t *testing.T) {
 	}
 }
 
-// TestAnalyzerRoster pins the suite: exactly these ten rules, each with a
-// waiver directive and a scope.
+// TestAnalyzerRoster pins the suite: exactly these eleven rules, each with
+// a waiver directive and a scope.
 func TestAnalyzerRoster(t *testing.T) {
 	want := []string{
-		"ctxcancel", "droppederr", "enumswitch", "globalrand", "hotstats",
-		"lockguard", "maporder", "pooldiscipline", "rawpanic", "wallclock",
+		"ctxcancel", "droppederr", "enumswitch", "globalrand", "hotmap",
+		"hotstats", "lockguard", "maporder", "pooldiscipline", "rawpanic",
+		"wallclock",
 	}
 	var got []string
 	for _, an := range Analyzers() {

@@ -1,0 +1,55 @@
+// Package hotmapclean keeps its hot paths on dense state — slot-indexed
+// slices, occupancy bitmaps, and flat.Map — and confines runtime maps to
+// cold construction and reporting code.
+package hotmapclean
+
+import (
+	"math/bits"
+
+	"fusion/internal/flat"
+)
+
+type ctrl struct {
+	txns     []int             // parallel to MSHR slots
+	occupied uint64            // occupancy bitmap over txns
+	sparse   *flat.Map[uint64] // genuinely sparse keys
+	names    map[int]string    // cold-path only
+}
+
+// newCtrl builds the dense state; map literals and generic instantiation
+// (an IndexExpr in the AST) are fine here and in hot bodies alike.
+func newCtrl() *ctrl {
+	return &ctrl{
+		txns:   make([]int, 64),
+		sparse: flat.New[uint64](64),
+		names:  map[int]string{0: "boot"},
+	}
+}
+
+// Tick walks the occupancy bitmap and indexes slices — no hashing.
+func (c *ctrl) Tick(now uint64) {
+	for w := c.occupied; w != 0; w &= w - 1 {
+		c.txns[bits.TrailingZeros64(w)]++
+	}
+}
+
+// Handle uses flat.Map for the sparse table; a generic IndexExpr
+// (flat.New[uint64]) must not be mistaken for a map index.
+func (c *ctrl) Handle(a uint64) {
+	if v, ok := c.sparse.Get(a); ok {
+		c.sparse.Put(a, v+1)
+	}
+	if c.sparse.Len() > 32 {
+		c.sparse = flat.New[uint64](64)
+	}
+}
+
+// report is cold (invoked once at exit); map use is fine here.
+func (c *ctrl) report() string {
+	out := ""
+	for _, n := range c.names {
+		out += n
+	}
+	delete(c.names, 0)
+	return out
+}

@@ -1,0 +1,18 @@
+// Package hotmapwaiver exercises //lint:hotmap waivers: a justified
+// waiver (inline or own-line) suppresses the finding; an unwaived map
+// touch in the same package still fires.
+package hotmapwaiver
+
+type ctrl struct {
+	debug map[uint64]int
+	stale map[uint64]int
+}
+
+// Tick carries one justified inline waiver, one justified own-line
+// waiver, and one unwaived access that must still be reported.
+func (c *ctrl) Tick(now uint64) {
+	c.debug[now]++ //lint:hotmap debug-only table, nil unless -d; never allocated in measured runs
+	//lint:hotmap debug-only table, nil unless -d; never allocated in measured runs
+	c.debug[now+1]++
+	c.stale[now] = 0 // want "map index in hot function Tick"
+}

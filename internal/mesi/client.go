@@ -2,7 +2,6 @@ package mesi
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"fusion/internal/cache"
@@ -42,6 +41,14 @@ type evicting struct {
 	dirty bool
 }
 
+// evictEntry is one slot of the linear eviction-buffer list. The buffer is
+// bounded by the ways of a set times in-flight evictions (always a handful),
+// so a scanned slice beats a map.
+type evictEntry struct {
+	addr uint64
+	evicting
+}
+
 // Client is a MESI L1 cache controller: the host core's L1D. It exposes a
 // processor-side Access API and speaks the directory protocol on the fabric.
 type Client struct {
@@ -53,14 +60,14 @@ type Client struct {
 
 	hitLatency uint64
 
-	txns     map[uint64]*txn
+	txns     []*txn // parallel to MSHR slots
 	freeTxns []*txn
-	evicting map[uint64]evicting
+	evicting []evictEntry
 	pool     MsgPool
 
 	model     energy.Model
 	meter     *energy.Meter
-	energyCat string
+	energyCat energy.Cat
 	accessPJ  float64
 	obsv      obs.Observer
 
@@ -83,7 +90,7 @@ type ClientConfig struct {
 	HitLatency uint64 // Table 2: 3 cycles
 	// EnergyCategory and AccessPJ define where and how much each array
 	// access costs.
-	EnergyCategory string
+	EnergyCategory energy.Cat
 	AccessPJ       float64
 }
 
@@ -109,8 +116,7 @@ func NewClient(f *Fabric, id AgentID, cfg ClientConfig,
 		arr:        cache.NewArray(cfg.Cache),
 		mshr:       cache.NewMSHR(cfg.MSHRs),
 		hitLatency: cfg.HitLatency,
-		txns:       make(map[uint64]*txn),
-		evicting:   make(map[uint64]evicting),
+		txns:       make([]*txn, cfg.MSHRs),
 		model:      model,
 		meter:      meter,
 		energyCat:  cfg.EnergyCategory,
@@ -148,6 +154,33 @@ func (c *Client) access() {
 		c.meter.Add(c.energyCat, c.accessPJ)
 	}
 	c.cAccesses.Inc()
+}
+
+// evictFind returns the index of addr's eviction buffer, or -1.
+func (c *Client) evictFind(addr uint64) int {
+	for i := range c.evicting {
+		if c.evicting[i].addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// evictPut appends (or overwrites) addr's eviction buffer.
+func (c *Client) evictPut(addr uint64, ev evicting) {
+	if i := c.evictFind(addr); i >= 0 {
+		c.evicting[i].evicting = ev
+		return
+	}
+	c.evicting = append(c.evicting, evictEntry{addr, ev})
+}
+
+// evictRemove drops entry i by swapping the tail in (order is irrelevant:
+// lookups are by address).
+func (c *Client) evictRemove(i int) {
+	last := len(c.evicting) - 1
+	c.evicting[i] = c.evicting[last]
+	c.evicting = c.evicting[:last]
 }
 
 // newTxn returns a zeroed transaction from the free list (retaining waiter
@@ -206,7 +239,8 @@ func (c *Client) Access(kind mem.AccessKind, addr mem.PAddr, done func(now uint6
 	}
 
 	// Miss (or upgrade). Merge into an existing transaction when possible.
-	if t, ok := c.txns[a]; ok {
+	if slot := c.mshr.Slot(a); slot >= 0 {
+		t := c.txns[slot]
 		if kind == mem.Store && !t.write {
 			// A store behind a pending GetS: replay after the fill; the
 			// replay will find S/E and upgrade.
@@ -219,10 +253,9 @@ func (c *Client) Access(kind mem.AccessKind, addr mem.PAddr, done func(now uint6
 		c.cMSHRFull.Inc()
 		return false
 	}
-	c.mshr.Allocate(a)
 	t := c.newTxn(a, kind == mem.Store)
 	t.waiters = append(t.waiters, waiter{kind, addr, done})
-	c.txns[a] = t
+	c.txns[c.mshr.Allocate(a)] = t
 	c.cMisses.Inc()
 	mt := MsgGetS
 	if t.write {
@@ -246,10 +279,11 @@ func (c *Client) Handle(m *Msg) {
 	a := uint64(m.Addr.LineAddr())
 	switch m.Type {
 	case MsgData, MsgDataE, MsgDataM:
-		t := c.txns[a]
-		if t == nil {
+		slot := c.mshr.Slot(a)
+		if slot < 0 {
 			sim.Failf(c.name, c.fabric.Now(), c.DumpState(), "data with no txn: %s", m)
 		}
+		t := c.txns[slot]
 		t.dataArrived = true
 		t.ver = m.Ver
 		switch m.Type {
@@ -266,10 +300,11 @@ func (c *Client) Handle(m *Msg) {
 		c.maybeComplete(t)
 
 	case MsgInvAck:
-		t := c.txns[a]
-		if t == nil {
+		slot := c.mshr.Slot(a)
+		if slot < 0 {
 			sim.Failf(c.name, c.fabric.Now(), c.DumpState(), "InvAck with no txn: %s", m)
 		}
+		t := c.txns[slot]
 		t.acksGot++
 		c.maybeComplete(t)
 
@@ -282,7 +317,9 @@ func (c *Client) Handle(m *Msg) {
 		}
 		// An eviction racing with an invalidation: the buffered data is
 		// superseded, drop it. The in-flight PutM will be stale-acked.
-		delete(c.evicting, a)
+		if i := c.evictFind(a); i >= 0 {
+			c.evictRemove(i)
+		}
 		c.cInvals.Inc()
 		ack := c.pool.Get()
 		ack.Type, ack.Addr, ack.Src, ack.Dst = MsgInvAck, m.Addr, c.id, m.Requester
@@ -295,7 +332,9 @@ func (c *Client) Handle(m *Msg) {
 		c.handleFwd(m, a, true)
 
 	case MsgPutAck:
-		delete(c.evicting, a)
+		if i := c.evictFind(a); i >= 0 {
+			c.evictRemove(i)
+		}
 
 	default:
 		sim.Failf(c.name, c.fabric.Now(), c.DumpState(), "unexpected %s", m)
@@ -321,12 +360,13 @@ func (c *Client) handleFwd(m *Msg, a uint64, exclusive bool) {
 			l.State = cache.Shared
 			l.Dirty = false
 		}
-	} else if ev, ok := c.evicting[a]; ok {
+	} else if i := c.evictFind(a); i >= 0 {
 		// Serve from the eviction buffer; the line is gone either way.
+		ev := c.evicting[i].evicting
 		ver = ev.ver
 		dirty = ev.dirty
 		dropped = true
-		delete(c.evicting, a)
+		c.evictRemove(i)
 	} else {
 		sim.Failf(c.name, c.fabric.Now(), c.DumpState(), "Fwd for line %#x not owned", a)
 	}
@@ -374,8 +414,7 @@ func (c *Client) maybeComplete(t *txn) {
 	v.State = state
 	v.Dirty = state == cache.Modified
 
-	delete(c.txns, a)
-	c.mshr.Free(a)
+	c.txns[c.mshr.Free(a)] = nil
 	c.fabric.Engine().Progress() // miss resolved: heartbeat
 	unb := c.pool.Get()
 	unb.Type, unb.Addr, unb.Src, unb.Dst = MsgUnblock, mem.PAddr(a), c.id, DirID
@@ -421,7 +460,7 @@ func (c *Client) pickVictim(a uint64) *cache.Line {
 		if !v.Valid {
 			return v
 		}
-		if _, busy := c.txns[v.Addr]; !busy {
+		if c.mshr.Slot(v.Addr) < 0 {
 			return v
 		}
 		c.arr.Touch(v) // rotate past the busy line
@@ -436,14 +475,14 @@ func (c *Client) evict(v *cache.Line) {
 	}
 	switch v.State {
 	case cache.Modified:
-		c.evicting[v.Addr] = evicting{ver: v.Ver, dirty: true}
+		c.evictPut(v.Addr, evicting{ver: v.Ver, dirty: true})
 		put := c.pool.Get()
 		put.Type, put.Addr, put.Src, put.Dst, put.Ver =
 			MsgPutM, mem.PAddr(v.Addr), c.id, DirID, v.Ver
 		c.fabric.Send(put)
 		c.cWBs.Inc()
 	case cache.Exclusive:
-		c.evicting[v.Addr] = evicting{ver: v.Ver, dirty: false}
+		c.evictPut(v.Addr, evicting{ver: v.Ver, dirty: false})
 		put := c.pool.Get()
 		put.Type, put.Addr, put.Src, put.Dst = MsgPutE, mem.PAddr(v.Addr), c.id, DirID
 		c.fabric.Send(put)
@@ -458,29 +497,20 @@ func (c *Client) evict(v *cache.Line) {
 // the end of a program phase. Writebacks are fire-and-forget.
 func (c *Client) FlushAll() {
 	c.arr.ForEach(func(l *cache.Line) {
-		if l.Valid {
-			cp := *l
-			c.evict(&cp)
-			*l = cache.Line{}
-		}
+		c.evict(l)
 	})
 }
 
 // DumpState summarizes in-flight transactions and eviction buffers for
 // watchdog/failure diagnostics. Empty when idle.
 func (c *Client) DumpState() string {
-	if len(c.txns) == 0 && len(c.evicting) == 0 {
+	if c.mshr.Len() == 0 && len(c.evicting) == 0 {
 		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %d txns, %d evicting\n", c.name, len(c.txns), len(c.evicting))
-	addrs := make([]uint64, 0, len(c.txns))
-	for a := range c.txns {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	for _, a := range addrs {
-		t := c.txns[a]
+	fmt.Fprintf(&b, "%s: %d txns, %d evicting\n", c.name, c.mshr.Len(), len(c.evicting))
+	for _, a := range c.mshr.Outstanding() {
+		t := c.txns[c.mshr.Slot(a)]
 		kind := "GetS"
 		if t.write {
 			kind = "GetM"
@@ -492,7 +522,7 @@ func (c *Client) DumpState() string {
 }
 
 // Outstanding reports in-flight transactions (for drain checks in tests).
-func (c *Client) Outstanding() int { return len(c.txns) + len(c.evicting) }
+func (c *Client) Outstanding() int { return c.mshr.Len() + len(c.evicting) }
 
 // Peek exposes line state for tests.
 func (c *Client) Peek(addr mem.PAddr) *cache.Line {

@@ -8,6 +8,7 @@ import (
 	"fusion/internal/cache"
 	"fusion/internal/dram"
 	"fusion/internal/energy"
+	"fusion/internal/flat"
 	"fusion/internal/interconnect"
 	"fusion/internal/mem"
 	"fusion/internal/ptrace"
@@ -77,10 +78,13 @@ type Directory struct {
 	ring   interconnect.Ring
 
 	// ver is the golden backing store: the latest version written back for
-	// every line. It stands in for both LLC data and DRAM contents.
-	ver map[uint64]uint64
+	// every line. It stands in for both LLC data and DRAM contents. Absent
+	// lines read as version 0, which flat.Map's zero-value Get preserves.
+	ver *flat.Map[uint64]
 
-	entries map[uint64]*dirEntry
+	// entries stores pointers so records stay stable across map growth —
+	// readData continuations capture *dirEntry.
+	entries *flat.Map[*dirEntry]
 
 	model energy.Model
 	meter *energy.Meter
@@ -145,8 +149,8 @@ func NewDirectory(f *Fabric, cfg DirConfig, d *dram.DRAM,
 		llc:       cache.NewArray(cfg.LLC),
 		dram:      d,
 		ring:      cfg.Ring,
-		ver:       make(map[uint64]uint64),
-		entries:   make(map[uint64]*dirEntry),
+		ver:       flat.New[uint64](1024),
+		entries:   flat.New[*dirEntry](1024),
 		model:     model,
 		meter:     meter,
 		cQueued:   st.Counter("dir.queued"),
@@ -168,7 +172,7 @@ func NewDirectory(f *Fabric, cfg DirConfig, d *dram.DRAM,
 // LLC, modeling data the host wrote before offload began.
 func (dir *Directory) Preload(addr mem.PAddr, v uint64) {
 	a := uint64(addr.LineAddr())
-	dir.ver[a] = v
+	dir.ver.Put(a, v)
 	if dir.llc.Peek(a) == nil {
 		dir.llc.Fill(dir.llc.Victim(a), a, 0)
 	}
@@ -176,16 +180,22 @@ func (dir *Directory) Preload(addr mem.PAddr, v uint64) {
 
 // Version returns the backing-store version of a line (0 if never written).
 func (dir *Directory) Version(addr mem.PAddr) uint64 {
-	return dir.ver[uint64(addr.LineAddr())]
+	return dir.verOf(uint64(addr.LineAddr()))
+}
+
+// verOf reads the golden store; absent lines are version 0.
+func (dir *Directory) verOf(a uint64) uint64 {
+	v, _ := dir.ver.Get(a)
+	return v
 }
 
 // entry fetches or creates the directory record for a line address.
 func (dir *Directory) entry(a uint64) *dirEntry {
-	e, ok := dir.entries[a]
-	if !ok {
-		e = &dirEntry{}
-		dir.entries[a] = e
+	if e, ok := dir.entries.Get(a); ok {
+		return e
 	}
+	e := &dirEntry{}
+	dir.entries.Put(a, e)
 	return e
 }
 
@@ -375,8 +385,8 @@ func (dir *Directory) handlePutM(e *dirEntry, m *Msg, a uint64) {
 	}
 	// Accept the data only if it is not older than what we already hold
 	// (a stale PutM races with a completed forward).
-	if m.Ver >= dir.ver[a] {
-		dir.ver[a] = m.Ver
+	if m.Ver >= dir.verOf(a) {
+		dir.ver.Put(a, m.Ver)
 		dir.fillLLC(a, true)
 	}
 	ack := dir.pool.Get()
@@ -451,9 +461,9 @@ func (dir *Directory) handleDMAWrite(e *dirEntry, m *Msg, a uint64) {
 // owned (handed over either directly or via pendingDMA).
 func (dir *Directory) commitDMAWrite(e *dirEntry, m *Msg, a uint64) {
 	if m.Delta {
-		dir.ver[a] += m.Ver
-	} else if m.Ver >= dir.ver[a] {
-		dir.ver[a] = m.Ver
+		dir.ver.Put(a, dir.verOf(a)+m.Ver)
+	} else if m.Ver >= dir.verOf(a) {
+		dir.ver.Put(a, m.Ver)
 	}
 	dir.fillLLC(a, true)
 	ack := dir.pool.Get()
@@ -472,8 +482,8 @@ func (dir *Directory) ownerAck(m *Msg) {
 	}
 	e.waitOwnerAck = false
 	if m.Dirty {
-		if m.Ver >= dir.ver[a] {
-			dir.ver[a] = m.Ver
+		if m.Ver >= dir.verOf(a) {
+			dir.ver.Put(a, m.Ver)
 		}
 		dir.fillLLC(a, true)
 	}
@@ -571,7 +581,7 @@ func (dir *Directory) readData(a uint64, cont func(ver uint64)) {
 	dir.accessL2()
 	if dir.llc.Lookup(a) != nil {
 		dir.cL2Hits.Inc()
-		dir.fabric.Engine().Schedule(1, func(uint64) { cont(dir.ver[a]) })
+		dir.fabric.Engine().Schedule(1, func(uint64) { cont(dir.verOf(a)) })
 		return
 	}
 	dir.cL2Misses.Inc()
@@ -583,7 +593,7 @@ func (dir *Directory) fetchDRAM(a uint64, cont func(ver uint64)) {
 		Addr: mem.PAddr(a),
 		Done: func(uint64) {
 			dir.fillLLC(a, false)
-			cont(dir.ver[a])
+			cont(dir.verOf(a))
 		},
 	})
 	if !ok {
@@ -613,12 +623,13 @@ func (dir *Directory) fillLLC(a uint64, dirty bool) {
 // hung protocol is stuck on. Empty when everything is quiescent.
 func (dir *Directory) DumpState() string {
 	addrs := make([]uint64, 0)
-	for a, e := range dir.entries {
+	dir.entries.ForEach(func(a uint64, ep **dirEntry) {
+		e := *ep
 		if e.busy || e.waitUnblock || e.waitOwnerAck || e.waitInvAcks > 0 ||
 			e.pendingDMA != nil || len(e.queue) > 0 {
 			addrs = append(addrs, a)
 		}
-	}
+	})
 	if len(addrs) == 0 {
 		return ""
 	}
@@ -626,7 +637,7 @@ func (dir *Directory) DumpState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "dir: %d transient entries\n", len(addrs))
 	for _, a := range addrs {
-		e := dir.entries[a]
+		e, _ := dir.entries.Get(a)
 		st := [...]string{"I", "S", "E"}[e.state]
 		fmt.Fprintf(&b, "  %#x state=%s owner=%d busy=%v waitUnblock=%v waitOwnerAck=%v waitInvAcks=%d queued=%d\n",
 			a, st, e.owner, e.busy, e.waitUnblock, e.waitOwnerAck, e.waitInvAcks, len(e.queue))

@@ -26,7 +26,7 @@ type Route struct {
 	// Zero means unlimited.
 	FlitsPerCycle uint64
 	// Category is the energy.Meter bucket this route's traffic lands in.
-	Category string
+	Category energy.Cat
 	// StatName, when non-empty, counts msgs/bytes/flits under this name.
 	StatName string
 }
@@ -144,7 +144,7 @@ func (f *Fabric) Send(m *Msg) {
 		f.initCell(rs, f.DefaultRoute)
 	}
 	bytes := m.Bytes()
-	if f.meter != nil && rs.route.Category != "" {
+	if f.meter != nil && rs.route.Category != energy.CatNone {
 		f.meter.Add(rs.route.Category, rs.route.PJPerByte*float64(bytes))
 	}
 	rs.cMsgs.Inc()

@@ -37,11 +37,11 @@ func CheckInvariants(dir *Directory, clients []*Client) []string {
 
 	for _, c := range clients {
 		c := c
-		for a := range c.txns {
+		for _, a := range c.mshr.Outstanding() {
 			skip[a] = true
 		}
-		for a := range c.evicting {
-			skip[a] = true
+		for i := range c.evicting {
+			skip[c.evicting[i].addr] = true
 		}
 		c.arr.ForEach(func(l *cache.Line) {
 			if l.Valid {
@@ -49,11 +49,11 @@ func CheckInvariants(dir *Directory, clients []*Client) []string {
 			}
 		})
 	}
-	for a, e := range dir.entries {
-		if e.busy || len(e.queue) > 0 {
+	dir.entries.ForEach(func(a uint64, ep **dirEntry) {
+		if e := *ep; e.busy || len(e.queue) > 0 {
 			skip[a] = true
 		}
-	}
+	})
 
 	// Sorted scan order keeps the violation report reproducible across runs.
 	addrs := make([]uint64, 0, len(holders))
@@ -66,7 +66,7 @@ func CheckInvariants(dir *Directory, clients []*Client) []string {
 		if skip[addr] {
 			continue
 		}
-		e := dir.entries[addr]
+		e, _ := dir.entries.Get(addr)
 		var owners, sharers []holder
 		for _, h := range hs {
 			switch h.state {
@@ -107,12 +107,13 @@ func CheckInvariants(dir *Directory, clients []*Client) []string {
 // Quiesced reports whether the directory has no busy or queued lines (used
 // by tests to decide when a full invariant sweep is meaningful).
 func (dir *Directory) Quiesced() bool {
-	for _, e := range dir.entries {
-		if e.busy || len(e.queue) > 0 {
-			return false
+	quiet := true
+	dir.entries.ForEach(func(_ uint64, ep **dirEntry) {
+		if e := *ep; e.busy || len(e.queue) > 0 {
+			quiet = false
 		}
-	}
-	return true
+	})
+	return quiet
 }
 
 // LineAddrFor exposes line alignment for test helpers.

@@ -31,8 +31,11 @@ type DMA struct {
 	nextIssue uint64
 	queue     []dmaOp
 
-	pendingReads  map[mem.PAddr]*readCtx
-	pendingWrites map[mem.PAddr]func(now uint64)
+	// pending transfers are bounded by maxOutstanding (a handful), so
+	// linearly-scanned slices with swap-delete replace the former maps.
+	pendingReads  []pendingRead
+	pendingWrites []pendingWrite
+	freeOnVer     [][]func(uint64) // recycled callback slices
 }
 
 type dmaOp struct {
@@ -44,8 +47,15 @@ type dmaOp struct {
 	done  func(now uint64) // writes: ack callback
 }
 
-type readCtx struct {
+// pendingRead collects the callbacks of (possibly merged) reads of one line.
+type pendingRead struct {
+	pa    mem.PAddr
 	onVer []func(uint64)
+}
+
+type pendingWrite struct {
+	pa   mem.PAddr
+	done func(now uint64)
 }
 
 // NewDMA registers the engine as agent id on the fabric. gap is the
@@ -56,8 +66,6 @@ func NewDMA(fabric *mesi.Fabric, id mesi.AgentID, maxOutstanding int, gap uint64
 		fabric:         fabric,
 		maxOutstanding: maxOutstanding,
 		gap:            gap,
-		pendingReads:   make(map[mem.PAddr]*readCtx),
-		pendingWrites:  make(map[mem.PAddr]func(uint64)),
 		cReads:         st.Counter("dma.reads"),
 		cWrites:        st.Counter("dma.writes"),
 	}
@@ -100,20 +108,25 @@ func (d *DMA) pump() {
 		d.queue = d.queue[1:]
 		d.outstanding++
 		if op.write {
-			if _, dup := d.pendingWrites[op.pa]; dup {
+			if d.writeFind(op.pa) >= 0 {
 				sim.Failf("dma", d.fabric.Now(), d.DumpState(), "overlapping writes to %s", op.pa)
 			}
-			d.pendingWrites[op.pa] = op.done
+			d.pendingWrites = append(d.pendingWrites, pendingWrite{op.pa, op.done})
 			w := d.pool.Get()
 			w.Type, w.Addr, w.Src, w.Dst = mesi.MsgDMAWrite, op.pa, d.agent, mesi.DirID
 			w.Ver, w.Delta = op.ver, op.delta
 			d.fabric.Send(w)
 			continue
 		}
-		ctx := d.pendingReads[op.pa]
-		if ctx == nil {
-			ctx = &readCtx{}
-			d.pendingReads[op.pa] = ctx
+		i := d.readFind(op.pa)
+		if i < 0 {
+			var ov []func(uint64)
+			if n := len(d.freeOnVer); n > 0 {
+				ov = d.freeOnVer[n-1]
+				d.freeOnVer = d.freeOnVer[:n-1]
+			}
+			d.pendingReads = append(d.pendingReads, pendingRead{pa: op.pa, onVer: ov})
+			i = len(d.pendingReads) - 1
 			r := d.pool.Get()
 			r.Type, r.Addr, r.Src, r.Dst = mesi.MsgDMARead, op.pa, d.agent, mesi.DirID
 			d.fabric.Send(r)
@@ -121,7 +134,7 @@ func (d *DMA) pump() {
 			// Merged duplicate read; it resolves with the first response.
 			d.outstanding--
 		}
-		ctx.onVer = append(ctx.onVer, op.onVer)
+		d.pendingReads[i].onVer = append(d.pendingReads[i].onVer, op.onVer)
 	}
 }
 
@@ -134,23 +147,33 @@ func (d *DMA) Handle(m *mesi.Msg) {
 	switch m.Type {
 	case mesi.MsgDMAReadResp, mesi.MsgData, mesi.MsgDataE, mesi.MsgDataM:
 		pa := m.Addr.LineAddr()
-		ctx, ok := d.pendingReads[pa]
-		if !ok {
+		i := d.readFind(pa)
+		if i < 0 {
 			sim.Failf("dma", d.fabric.Now(), d.DumpState(), "unexpected data for %s", pa)
 		}
-		delete(d.pendingReads, pa)
+		ov := d.pendingReads[i].onVer
+		last := len(d.pendingReads) - 1
+		d.pendingReads[i] = d.pendingReads[last]
+		d.pendingReads[last] = pendingRead{}
+		d.pendingReads = d.pendingReads[:last]
 		d.outstanding--
-		for _, f := range ctx.onVer {
+		for j, f := range ov {
 			f(m.Ver)
+			ov[j] = nil
 		}
+		d.freeOnVer = append(d.freeOnVer, ov[:0])
 		d.pump()
 	case mesi.MsgDMAWriteAck:
 		pa := m.Addr.LineAddr()
-		done, ok := d.pendingWrites[pa]
-		if !ok {
+		i := d.writeFind(pa)
+		if i < 0 {
 			sim.Failf("dma", d.fabric.Now(), d.DumpState(), "unexpected write ack for %s", pa)
 		}
-		delete(d.pendingWrites, pa)
+		done := d.pendingWrites[i].done
+		last := len(d.pendingWrites) - 1
+		d.pendingWrites[i] = d.pendingWrites[last]
+		d.pendingWrites[last] = pendingWrite{}
+		d.pendingWrites = d.pendingWrites[:last]
 		d.outstanding--
 		if done != nil {
 			done(d.fabric.Now())
@@ -161,6 +184,26 @@ func (d *DMA) Handle(m *mesi.Msg) {
 	default:
 		sim.Failf("dma", d.fabric.Now(), d.DumpState(), "unexpected %s", m)
 	}
+}
+
+// readFind returns the index of pa's pending read, or -1.
+func (d *DMA) readFind(pa mem.PAddr) int {
+	for i := range d.pendingReads {
+		if d.pendingReads[i].pa == pa {
+			return i
+		}
+	}
+	return -1
+}
+
+// writeFind returns the index of pa's pending write, or -1.
+func (d *DMA) writeFind(pa mem.PAddr) int {
+	for i := range d.pendingWrites {
+		if d.pendingWrites[i].pa == pa {
+			return i
+		}
+	}
+	return -1
 }
 
 // DumpState summarizes in-flight DMA transfers for failure diagnostics.

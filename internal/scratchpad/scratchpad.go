@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"fusion/internal/energy"
+	"fusion/internal/flat"
 	"fusion/internal/mem"
 	"fusion/internal/obs"
 	"fusion/internal/sim"
@@ -45,7 +46,7 @@ type Scratchpad struct {
 	name  string
 	cfg   Config
 	eng   *sim.Engine
-	lines map[uint64]*padLine
+	lines *flat.Map[padLine]
 	meter *energy.Meter
 	obsv  obs.Observer
 
@@ -64,7 +65,7 @@ func New(eng *sim.Engine, name string, cfg Config,
 		name:      name,
 		cfg:       cfg,
 		eng:       eng,
-		lines:     make(map[uint64]*padLine),
+		lines:     flat.New[padLine](cfg.SizeBytes / mem.LineBytes),
 		meter:     meter,
 		cAccesses: st.Counter(name + ".accesses"),
 	}
@@ -77,13 +78,11 @@ func (s *Scratchpad) CapacityLines() int { return s.cfg.SizeBytes / mem.LineByte
 // write-only lines).
 func (s *Scratchpad) Fill(va mem.VAddr, ver uint64) {
 	a := uint64(va.LineAddr())
-	if len(s.lines) >= s.CapacityLines() {
-		if _, present := s.lines[a]; !present {
-			sim.Failf(s.name, s.eng.Now(), "",
-				"overfilled beyond %d lines", s.CapacityLines())
-		}
+	if s.lines.Len() >= s.CapacityLines() && s.lines.Ptr(a) == nil {
+		sim.Failf(s.name, s.eng.Now(), "",
+			"overfilled beyond %d lines", s.CapacityLines())
 	}
-	s.lines[a] = &padLine{base: ver, baseKnown: true}
+	s.lines.Put(a, padLine{base: ver, baseKnown: true})
 	if s.obsv != nil {
 		s.obsv.Record(obs.Observation{Cycle: s.eng.Now(), Agent: s.name,
 			Addr: a, Ver: ver, Kind: obs.Fill})
@@ -93,17 +92,16 @@ func (s *Scratchpad) Fill(va mem.VAddr, ver uint64) {
 // Access implements accel.MemPort. A miss is an oracle violation and panics.
 func (s *Scratchpad) Access(kind mem.AccessKind, va mem.VAddr, done func(now uint64)) bool {
 	a := uint64(va.LineAddr())
-	l, ok := s.lines[a]
-	if !ok {
+	l := s.lines.Ptr(a)
+	if l == nil {
 		if kind == mem.Store {
 			// Write-allocate: a fully-written line needs no DMA-in, but its
 			// base version is unknown (writeback will carry a delta).
-			if len(s.lines) >= s.CapacityLines() {
+			if s.lines.Len() >= s.CapacityLines() {
 				sim.Failf(s.name, s.eng.Now(), "",
 					"overfilled beyond %d lines", s.CapacityLines())
 			}
-			l = &padLine{}
-			s.lines[a] = l
+			l = s.lines.Put(a, padLine{})
 		} else {
 			sim.Failf(s.name, s.eng.Now(), "",
 				"load from line %#x not DMA'd in (oracle violation)", a)
@@ -131,8 +129,8 @@ func (s *Scratchpad) Access(kind mem.AccessKind, va mem.VAddr, done func(now uin
 
 // Version returns the current version of a resident line (base + stores).
 func (s *Scratchpad) Version(va mem.VAddr) (uint64, bool) {
-	l, ok := s.lines[uint64(va.LineAddr())]
-	if !ok {
+	l := s.lines.Ptr(uint64(va.LineAddr()))
+	if l == nil {
 		return 0, false
 	}
 	return l.base + l.delta, true
@@ -141,14 +139,12 @@ func (s *Scratchpad) Version(va mem.VAddr) (uint64, bool) {
 // DirtyLines returns the resident dirty lines in deterministic order
 // (sorted by address) with their writeback payloads.
 func (s *Scratchpad) DirtyLines() []DirtyLine {
-	addrs := make([]uint64, 0, len(s.lines))
-	for a := range s.lines {
-		addrs = append(addrs, a)
-	}
+	addrs := make([]uint64, 0, s.lines.Len())
+	s.lines.ForEach(func(a uint64, _ *padLine) { addrs = append(addrs, a) })
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	out := make([]DirtyLine, 0, len(addrs))
 	for _, a := range addrs {
-		l := s.lines[a]
+		l := s.lines.Ptr(a)
 		if !l.dirty {
 			continue
 		}
@@ -172,13 +168,14 @@ type DirtyLine struct {
 	Delta bool
 }
 
-// Clear empties the scratchpad (window boundary, after the drain).
+// Clear empties the scratchpad (window boundary, after the drain): a
+// bitmap wipe, not a reallocation.
 func (s *Scratchpad) Clear() {
-	s.lines = make(map[uint64]*padLine)
+	s.lines.Clear()
 }
 
 // Resident returns the number of resident lines.
-func (s *Scratchpad) Resident() int { return len(s.lines) }
+func (s *Scratchpad) Resident() int { return s.lines.Len() }
 
 // Window is one execution window of an invocation: the iterations that run
 // plus the oracle-computed transfer sets.

@@ -185,6 +185,7 @@ func (s *scheduler) worker() {
 		if cell.Component == "service.worker" {
 			s.panics++
 		}
+		//lint:hotmap dedup table keyed by spec hash; one delete per job, and a job is an entire simulation
 		delete(s.jobs, j.hash)
 		j.cell = cell
 		s.mu.Unlock()

@@ -89,17 +89,32 @@ func TestZeroDelayFIFODuringEventPhase(t *testing.T) {
 	}
 }
 
-// TestHeapPopZeroesSlot guards the GC-ability property: after an event
-// runs, the heap's backing array no longer references its closure.
-func TestHeapPopZeroesSlot(t *testing.T) {
-	e := NewEngine()
-	for i := 0; i < 4; i++ {
-		e.Schedule(0, func(uint64) {})
-	}
-	e.Step()
-	for i := range e.events[:cap(e.events)] {
-		if ev := e.events[:cap(e.events)][i]; ev.fn != nil {
-			t.Fatalf("heap slot %d still references a retired closure", i)
+// TestPopZeroesSlot guards the GC-ability property for both schedulers:
+// after an event runs, no backing array (heap slots or wheel buckets)
+// still references its closure.
+func TestPopZeroesSlot(t *testing.T) {
+	for _, kind := range []string{SchedulerHeap, SchedulerWheel} {
+		e := NewEngine()
+		e.SetScheduler(kind)
+		for i := 0; i < 4; i++ {
+			e.Schedule(0, func(uint64) {})
+		}
+		e.Step()
+		checkSlice := func(q []event, where string) {
+			for i := range q[:cap(q)] {
+				if ev := q[:cap(q)][i]; ev.fn != nil {
+					t.Fatalf("%s: %s slot %d still references a retired closure", kind, where, i)
+				}
+			}
+		}
+		switch s := e.sched.(type) {
+		case *heapScheduler:
+			checkSlice(s.h, "heap")
+		case *wheelScheduler:
+			checkSlice(s.overflow, "overflow")
+			for b := range s.buckets {
+				checkSlice(s.buckets[b], "bucket")
+			}
 		}
 	}
 }

@@ -131,7 +131,7 @@ func (h *eventHeap) pop() event {
 type Engine struct {
 	now     uint64
 	seq     uint64
-	events  eventHeap
+	sched   scheduler
 	tickers []Ticker
 
 	// idlers[i] is tickers[i]'s IdleTicker view, nil if not implemented.
@@ -161,9 +161,30 @@ type Engine struct {
 	interruptErr   error
 }
 
-// NewEngine returns an engine with the clock at cycle 0.
+// NewEngine returns an engine with the clock at cycle 0, using the default
+// time-wheel scheduler (see SetScheduler).
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{sched: newWheelScheduler()}
+}
+
+// SetScheduler selects the event-queue implementation: SchedulerWheel (the
+// default — O(1) push/pop through a calendar of cycle buckets) or
+// SchedulerHeap (the reference binary heap). The two are observationally
+// identical; the knob exists for A/B validation and as an escape hatch.
+// It must be called before any event is scheduled.
+func (e *Engine) SetScheduler(kind string) {
+	if e.sched.len() != 0 {
+		Failf("sim.engine", e.now, "", "SetScheduler(%q) with %d events pending", kind, e.sched.len())
+	}
+	switch kind {
+	case SchedulerHeap:
+		e.sched = &heapScheduler{}
+	case SchedulerWheel:
+		e.sched = newWheelScheduler()
+	default:
+		Failf("sim.engine", e.now, "", "unknown scheduler %q (want %q or %q)", kind, SchedulerHeap, SchedulerWheel)
+	}
+	e.sched.advance(e.now)
 }
 
 // Now returns the current cycle.
@@ -188,13 +209,13 @@ func (e *Engine) Register(t Ticker) {
 func (e *Engine) SetIdleSkip(enabled bool) { e.noIdleSkip = !enabled }
 
 // bumpSeq returns the next event sequence number. seq only ever needs to
-// order events that coexist in the heap, so it rebases to zero whenever the
-// heap drains. Wraparound would otherwise (after 2^64 schedules) violate
-// the FIFO tie-break; with rebasing, a wrap requires 2^64 events in the
-// heap at once, which cannot be represented in memory. See
+// order events that coexist in the queue, so it rebases to zero whenever
+// the queue drains. Wraparound would otherwise (after 2^64 schedules)
+// violate the FIFO tie-break; with rebasing, a wrap requires 2^64 events
+// pending at once, which cannot be represented in memory. See
 // TestSeqRebasesWhenHeapDrains / TestSeqOrderingNearMax.
 func (e *Engine) bumpSeq() uint64 {
-	if len(e.events) == 0 {
+	if e.sched.len() == 0 {
 		e.seq = 0
 	}
 	e.seq++
@@ -205,7 +226,7 @@ func (e *Engine) bumpSeq() uint64 {
 // the current cycle's event phase if that phase is still draining, otherwise
 // at the start of the next cycle's event phase.
 func (e *Engine) Schedule(delay uint64, fn func(now uint64)) {
-	e.events.push(event{at: e.now + delay, seq: e.bumpSeq(), fn: fn})
+	e.sched.push(event{at: e.now + delay, seq: e.bumpSeq(), fn: fn})
 }
 
 // ScheduleAt runs fn at absolute cycle at, which must not be in the past.
@@ -213,7 +234,7 @@ func (e *Engine) ScheduleAt(at uint64, fn func(now uint64)) {
 	if at < e.now {
 		Failf("sim.engine", e.now, "", "ScheduleAt(%d) is in the past", at)
 	}
-	e.events.push(event{at: at, seq: e.bumpSeq(), fn: fn})
+	e.sched.push(event{at: at, seq: e.bumpSeq(), fn: fn})
 }
 
 // ScheduleCall runs h.HandleEvent(now, op, arg) delay cycles from now. It is
@@ -221,7 +242,7 @@ func (e *Engine) ScheduleAt(at uint64, fn func(now uint64)) {
 // steady-state schedule allocates nothing once the heap's backing array has
 // warmed up. op and arg are opaque to the engine.
 func (e *Engine) ScheduleCall(delay uint64, h EventHandler, op uint8, arg uint64) {
-	e.events.push(event{at: e.now + delay, seq: e.bumpSeq(), h: h, op: op, arg: arg})
+	e.sched.push(event{at: e.now + delay, seq: e.bumpSeq(), h: h, op: op, arg: arg})
 }
 
 // ScheduleCallAt is ScheduleCall with an absolute cycle, which must not be
@@ -230,7 +251,7 @@ func (e *Engine) ScheduleCallAt(at uint64, h EventHandler, op uint8, arg uint64)
 	if at < e.now {
 		Failf("sim.engine", e.now, "", "ScheduleCallAt(%d) is in the past", at)
 	}
-	e.events.push(event{at: at, seq: e.bumpSeq(), h: h, op: op, arg: arg})
+	e.sched.push(event{at: at, seq: e.bumpSeq(), h: h, op: op, arg: arg})
 }
 
 // Stop makes Run return at the end of the current cycle. A Stop issued
@@ -285,10 +306,16 @@ func (e *Engine) Progress() {
 // Step advances the clock by exactly one cycle. It never fast-forwards;
 // manual Step loops retain strict per-cycle semantics.
 func (e *Engine) Step() {
+	// Let the scheduler catch up with the clock (the wheel promotes
+	// overflow events that entered the near horizon; the heap ignores it).
+	e.sched.advance(e.now)
 	// Event phase: drain everything scheduled for the current cycle,
 	// including events scheduled with zero delay while draining.
-	for len(e.events) > 0 && e.events[0].at <= e.now {
-		ev := e.events.pop()
+	for {
+		ev, ok := e.sched.popDue(e.now)
+		if !ok {
+			break
+		}
 		if ev.fn != nil {
 			ev.fn(e.now)
 		} else {
@@ -312,8 +339,8 @@ func (e *Engine) skipTarget(limit uint64) (uint64, bool) {
 		return 0, false
 	}
 	target := limit
-	if len(e.events) > 0 {
-		if at := e.events[0].at; at <= e.now {
+	if at, ok := e.sched.next(); ok {
+		if at <= e.now {
 			return 0, false // work is due this cycle
 		} else if at < target {
 			target = at
@@ -402,4 +429,4 @@ func (e *Engine) RunE(maxCycles uint64, pred func() bool) (cycles uint64, done b
 }
 
 // Pending reports the number of outstanding scheduled events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.sched.len() }

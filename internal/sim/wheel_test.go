@@ -1,0 +1,207 @@
+package sim
+
+// Tests for the time-wheel scheduler: FIFO among equal-cycle events,
+// far-future overflow promotion (including promotion into a bucket that
+// still holds stragglers for a previous lap), drain-rebase of the seq
+// counter, fast-forward jumps across empty buckets, and a randomized
+// heap-vs-wheel differential.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestWheelEqualCycleFIFO schedules a same-cycle batch from three origins
+// — directly within the horizon, via the overflow heap, and with zero
+// delay while that cycle's event phase is draining — and requires strict
+// scheduling order.
+func TestWheelEqualCycleFIFO(t *testing.T) {
+	e := NewEngine()
+	const at = wheelSize * 2 // beyond the horizon at schedule time
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.ScheduleAt(at, func(uint64) {
+			order = append(order, i)
+			if i == 3 {
+				// Zero-delay events land after the queued batch, in order.
+				for j := 0; j < 3; j++ {
+					j := j
+					e.Schedule(0, func(uint64) { order = append(order, 100+j) })
+				}
+			}
+		})
+	}
+	e.Run(at+1, nil)
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 100, 101, 102}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("equal-cycle order = %v, want %v", order, want)
+	}
+}
+
+// TestWheelOverflowPromotion checks that events parked beyond the horizon
+// fire at exactly their cycle once the wheel reaches them, and that a
+// promoted event that shares a bucket with stragglers from one lap earlier
+// runs after those stragglers but at its own, later cycle.
+func TestWheelOverflowPromotion(t *testing.T) {
+	e := NewEngine()
+	fired := map[string]uint64{}
+	// Far-future events, scheduled out of cycle order.
+	e.ScheduleAt(3*wheelSize+5, func(now uint64) { fired["far2"] = now })
+	e.ScheduleAt(2*wheelSize+5, func(now uint64) { fired["far1"] = now })
+	if got := e.sched.(*wheelScheduler); len(got.overflow) != 2 {
+		t.Fatalf("overflow holds %d events, want 2", len(got.overflow))
+	}
+	// A straggler for cycle 9, scheduled during cycle 9's tick phase (an
+	// event callback would drain in the same cycle; only a Ticker runs
+	// after the event phase), plus a promoted event one lap later in the
+	// same bucket (cycle 9+wheelSize).
+	e.ScheduleAt(9+wheelSize, func(now uint64) { fired["lap"] = now })
+	e.Register(&tickScheduler{eng: e, at: 9, fn: func(now uint64) { fired["straggler"] = now }})
+	e.Run(4*wheelSize, nil)
+	want := map[string]uint64{
+		"far1": 2*wheelSize + 5, "far2": 3*wheelSize + 5,
+		"straggler": 10, "lap": 9 + wheelSize,
+	}
+	for k, w := range want {
+		if fired[k] != w {
+			t.Fatalf("%s fired at %d, want %d (all: %v)", k, fired[k], w, fired)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending", e.Pending())
+	}
+}
+
+// TestWheelDrainRebase is the wheel twin of TestSeqRebasesWhenHeapDrains:
+// the seq counter rebases when the wheel (including its overflow heap)
+// fully drains, and not while overflow events are still pending.
+func TestWheelDrainRebase(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleAt(wheelSize*2, func(uint64) {}) // overflow resident
+	for i := 0; i < 10; i++ {
+		e.Schedule(0, func(uint64) {})
+	}
+	e.Step()
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want the one overflow event", e.Pending())
+	}
+	e.Schedule(1, func(uint64) {})
+	if e.seq == 1 {
+		t.Fatal("seq rebased while an overflow event was pending")
+	}
+	e.Run(wheelSize*2+2, nil)
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after run, want 0", e.Pending())
+	}
+	e.Schedule(1, func(uint64) {})
+	if e.seq != 1 {
+		t.Fatalf("seq = %d after full drain, want rebase to 1", e.seq)
+	}
+}
+
+// TestWheelFastForwardJump verifies Run's quiescence jump lands exactly on
+// the next event even when that event is several empty buckets — or a
+// whole wheel lap — away, with no tickers to pin the clock.
+func TestWheelFastForwardJump(t *testing.T) {
+	e := NewEngine()
+	var fired []uint64
+	for _, at := range []uint64{7, 700, wheelSize + 3, 5 * wheelSize} {
+		e.ScheduleAt(at, func(now uint64) { fired = append(fired, now) })
+	}
+	cycles, _ := e.Run(6*wheelSize, nil)
+	if cycles != 6*wheelSize {
+		t.Fatalf("ran %d cycles, want %d", cycles, 6*wheelSize)
+	}
+	want := []uint64{7, 700, wheelSize + 3, 5 * wheelSize}
+	if fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+}
+
+// tickScheduler schedules fn with zero delay during the tick phase of
+// cycle at, producing a bucket straggler: the event's cycle has already
+// drained, so it runs at the head of the next cycle's event phase.
+type tickScheduler struct {
+	eng *Engine
+	at  uint64
+	fn  func(now uint64)
+}
+
+func (ts *tickScheduler) Name() string { return "tickScheduler" }
+
+func (ts *tickScheduler) Tick(now uint64) {
+	if now == ts.at {
+		ts.eng.Schedule(0, ts.fn)
+	}
+}
+
+// diffTicker drives the differential test below: each Tick it may schedule
+// events at pseudo-random delays (drawn from its own generator, so both
+// engines see the same sequence). Once its event budget is spent it goes
+// idle, so the tail of the run exercises fast-forwarding over the
+// far-future events it left behind.
+type diffTicker struct {
+	eng *Engine
+	rng *rand.Rand
+	log *[]string
+	n   int
+}
+
+func (d *diffTicker) Name() string { return "diff" }
+func (d *diffTicker) Idle() bool   { return d.n >= 200 }
+
+func (d *diffTicker) Tick(now uint64) {
+	if d.n >= 200 || d.rng.Intn(4) != 0 {
+		return
+	}
+	d.schedule(now, 0)
+}
+
+func (d *diffTicker) schedule(now uint64, depth int) {
+	d.n++
+	id := d.n
+	// Delays cover same-cycle (0), near-wheel, bucket-collision (exactly
+	// one lap), and deep-overflow cases.
+	delay := [...]uint64{0, 1, 3, 50, wheelSize, wheelSize + 1, 3 * wheelSize}[d.rng.Intn(7)]
+	d.eng.Schedule(delay, func(at uint64) {
+		*d.log = append(*d.log, fmt.Sprintf("%d@%d", id, at))
+		if depth < 3 && d.rng.Intn(3) == 0 {
+			d.schedule(at, depth+1)
+		}
+	})
+}
+
+// TestHeapWheelDifferential runs the same randomized workload — a ticker
+// scheduling events at mixed delays, events rescheduling recursively,
+// quiescent stretches fast-forwarded — under both schedulers and requires
+// the complete (id, cycle) firing logs to match.
+func TestHeapWheelDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		logs := map[string][]string{}
+		for _, kind := range []string{SchedulerHeap, SchedulerWheel} {
+			e := NewEngine()
+			e.SetScheduler(kind)
+			var log []string
+			e.Register(&diffTicker{eng: e, rng: rand.New(rand.NewSource(seed)), log: &log})
+			e.Run(20*wheelSize, nil)
+			if e.Pending() != 0 {
+				t.Fatalf("seed %d %s: %d events still pending", seed, kind, e.Pending())
+			}
+			logs[kind] = log
+		}
+		h, w := logs[SchedulerHeap], logs[SchedulerWheel]
+		if len(h) == 0 {
+			t.Fatalf("seed %d: empty firing log", seed)
+		}
+		if fmt.Sprint(h) != fmt.Sprint(w) {
+			for i := range h {
+				if i >= len(w) || h[i] != w[i] {
+					t.Fatalf("seed %d: firing logs diverge at %d: heap %q vs wheel %q", seed, i, h[i], w[i])
+				}
+			}
+			t.Fatalf("seed %d: wheel log longer than heap log (%d vs %d)", seed, len(w), len(h))
+		}
+	}
+}

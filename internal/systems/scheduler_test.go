@@ -1,0 +1,65 @@
+package systems
+
+// A/B validation of the engine's time-wheel scheduler: a full system run on
+// the default wheel must produce a byte-identical report to the same run on
+// the reference binary heap. Cycle counts, stats, energy, and the final
+// memory image all participate via renderResult.
+
+import (
+	"strings"
+	"testing"
+
+	"fusion/internal/sim"
+	"fusion/internal/workloads"
+)
+
+func TestSchedulerInvariant(t *testing.T) {
+	const bench = "adpcm"
+	for _, kind := range []Kind{Scratch, Shared, Fusion, FusionDx} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := DefaultConfig(kind)
+			cfg.Scheduler = sim.SchedulerWheel
+			wheel, err := Run(workloads.Get(bench), cfg)
+			if err != nil {
+				t.Fatalf("wheel run: %v", err)
+			}
+			cfg = DefaultConfig(kind)
+			cfg.Scheduler = sim.SchedulerHeap
+			heap, err := Run(workloads.Get(bench), cfg)
+			if err != nil {
+				t.Fatalf("heap run: %v", err)
+			}
+			// The configs differ only in the scheduler knob, which is not
+			// part of the simulated machine; blank it before comparing.
+			wheel.Config.Scheduler = ""
+			heap.Config.Scheduler = ""
+			a, b := renderResult(wheel), renderResult(heap)
+			if a != b {
+				t.Fatalf("scheduler choice changed the %v report:\nwheel:\n%s\nheap:\n%s",
+					kind, a, b)
+			}
+		})
+	}
+}
+
+func TestSpecSchedulerValidation(t *testing.T) {
+	ok := Spec{Bench: "adpcm", System: "fusion", Scheduler: "Heap "}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("heap spec rejected: %v", err)
+	}
+	if n := ok.Normalized().Scheduler; n != sim.SchedulerHeap {
+		t.Fatalf("Normalized scheduler = %q, want %q", n, sim.SchedulerHeap)
+	}
+	bad := Spec{Bench: "adpcm", System: "fusion", Scheduler: "calendar"}
+	err := bad.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unknown scheduler") {
+		t.Fatalf("bad scheduler error = %v", err)
+	}
+	// The default stays implicit so pre-knob spec keys (and their cached
+	// result hashes) are unchanged.
+	def := Spec{Bench: "adpcm", System: "fusion"}
+	if strings.Contains(def.Key(), "scheduler") {
+		t.Fatalf("default spec key mentions scheduler: %s", def.Key())
+	}
+}

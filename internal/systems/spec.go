@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"fusion/internal/faults"
+	"fusion/internal/sim"
 	"fusion/internal/workloads"
 )
 
@@ -39,6 +40,7 @@ type Spec struct {
 	DMAGap         uint64       `json:"dma_gap,omitempty"`
 	WatchdogCycles uint64       `json:"watchdog_cycles,omitempty"`
 	NoIdleSkip     bool         `json:"no_idle_skip,omitempty"`
+	Scheduler      string       `json:"scheduler,omitempty"`
 	Faults         *faults.Plan `json:"faults,omitempty"`
 }
 
@@ -75,6 +77,7 @@ func SpecOf(bench string, cfg Config) Spec {
 		DMAGap:         cfg.DMAGap,
 		WatchdogCycles: cfg.WatchdogCycles,
 		NoIdleSkip:     cfg.NoIdleSkip,
+		Scheduler:      cfg.Scheduler,
 	}
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		plan := *cfg.Faults
@@ -109,6 +112,10 @@ func (s Spec) Normalized() Spec {
 	if out.DMAGap == 0 {
 		out.DMAGap = dmaControllerGap
 	}
+	// The scheduler knob does not change results, so the default stays
+	// implicit ("" rather than "wheel") and pre-knob spec hashes remain
+	// valid cache keys.
+	out.Scheduler = strings.ToLower(strings.TrimSpace(out.Scheduler))
 	if out.Faults != nil {
 		if !out.Faults.Enabled() {
 			out.Faults = nil
@@ -120,10 +127,17 @@ func (s Spec) Normalized() Spec {
 	return out
 }
 
-// Validate reports whether the spec names a known benchmark and system.
+// Validate reports whether the spec names a known benchmark, system, and
+// scheduler.
 func (s Spec) Validate() error {
 	if _, ok := ParseKind(s.System); !ok {
 		return fmt.Errorf("spec: unknown system %q (valid: scratch, shared, fusion, fusion-dx)", s.System)
+	}
+	switch strings.ToLower(strings.TrimSpace(s.Scheduler)) {
+	case "", sim.SchedulerHeap, sim.SchedulerWheel:
+	default:
+		return fmt.Errorf("spec: unknown scheduler %q (valid: %s, %s)",
+			s.Scheduler, sim.SchedulerHeap, sim.SchedulerWheel)
 	}
 	bench := strings.ToLower(strings.TrimSpace(s.Bench))
 	for _, n := range workloads.Names() {
@@ -155,6 +169,7 @@ func (s Spec) Config() (Config, error) {
 		DMAGap:         n.DMAGap,
 		WatchdogCycles: n.WatchdogCycles,
 		NoIdleSkip:     n.NoIdleSkip,
+		Scheduler:      n.Scheduler,
 	}
 	if n.Faults != nil {
 		plan := *n.Faults

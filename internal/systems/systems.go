@@ -127,6 +127,13 @@ type Config struct {
 	// by TestIdleSkipInvariant); the knob exists for that A/B check and for
 	// benchmarking the skip itself.
 	NoIdleSkip bool
+	// Scheduler selects the engine's event-queue implementation:
+	// sim.SchedulerWheel (the default hierarchical time-wheel) or
+	// sim.SchedulerHeap (the reference binary heap). The two are
+	// observationally equivalent (asserted by TestSchedulerInvariant); the
+	// knob exists for that A/B check and for benchmarking the wheel itself.
+	// Empty means the default.
+	Scheduler string
 	// Observer, when set, receives a (cycle, agent, address, value, epoch)
 	// observation for every load and store any agent performs, plus epoch
 	// marks at phase boundaries — the litmus harness's value-checking feed
@@ -341,6 +348,9 @@ func RunCtx(ctx context.Context, b *workloads.Benchmark, cfg Config) (*Result, e
 	cfg = cfg.normalize()
 	m := newMachine()
 	m.eng.SetIdleSkip(!cfg.NoIdleSkip)
+	if cfg.Scheduler != "" {
+		m.eng.SetScheduler(cfg.Scheduler)
+	}
 	res := &Result{
 		Benchmark:   b.Program.Name,
 		System:      cfg.Kind.String(),

@@ -37,11 +37,33 @@ type Invocation struct {
 	// higher load-to-use latency costs the most (Lesson 2).
 	Serial     bool
 	Iterations []Iteration
+
+	// memo caches the Lines view; Program.Seal fills it once the trace is
+	// final. A plain pointer (not a sync.Once): sealing happens
+	// single-threaded at build time, before the benchmark is shared.
+	memo *invLines
+}
+
+// invLines is the immutable memoized result of Lines.
+type invLines struct {
+	lines   []mem.VAddr
+	written map[mem.VAddr]bool
 }
 
 // Lines returns the distinct cache-line addresses an invocation touches,
-// in first-touch order, along with which are written.
-func (inv *Invocation) Lines() (lines []mem.VAddr, written map[mem.VAddr]bool) {
+// in first-touch order, along with which are written. Callers must treat
+// both return values as read-only: sealed programs (every generated
+// benchmark) share one memoized copy across all runs. The per-phase
+// callers in systems and experiments make this a hot-ish path — the memo
+// is what keeps repeated phase setups from re-hashing the whole trace.
+func (inv *Invocation) Lines() ([]mem.VAddr, map[mem.VAddr]bool) {
+	if m := inv.memo; m != nil {
+		return m.lines, m.written
+	}
+	return inv.computeLines()
+}
+
+func (inv *Invocation) computeLines() (lines []mem.VAddr, written map[mem.VAddr]bool) {
 	seen := make(map[mem.VAddr]bool)
 	written = make(map[mem.VAddr]bool)
 	add := func(a mem.VAddr, w bool) {
@@ -99,6 +121,17 @@ const (
 type Phase struct {
 	Kind PhaseKind
 	Inv  Invocation
+}
+
+// Seal memoizes every phase's Lines view. Call once the trace is final
+// (and before the program is shared across concurrent runs); mutating any
+// Iterations afterwards leaves the memo stale. Sealing is idempotent.
+func (p *Program) Seal() {
+	for i := range p.Phases {
+		inv := &p.Phases[i].Inv
+		l, w := inv.computeLines()
+		inv.memo = &invLines{lines: l, written: w}
+	}
 }
 
 // NumAXCs returns how many distinct accelerators the program uses.

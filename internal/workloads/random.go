@@ -131,6 +131,7 @@ func Random(seed int64, p RandomParams) *Benchmark {
 	}
 
 	compactAXCs(b)
+	b.Program.Seal() // trace is final; memoize the per-phase Lines views
 	ComputeForwards(b)
 	return b
 }

@@ -38,6 +38,7 @@ func LoadJSON(r io.Reader) (*Benchmark, error) {
 	if b.MLP == nil {
 		b.MLP = make(map[string]int)
 	}
+	b.Program.Seal() // trace is final; memoize the per-phase Lines views
 	if b.Forwards == nil {
 		ComputeForwards(&b)
 	}

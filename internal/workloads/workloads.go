@@ -425,6 +425,7 @@ func build(spec benchSpec) *Benchmark {
 			trace.Phase{Kind: trace.PhaseHost, Inv: hostTail(spec, regs)})
 	}
 
+	b.Program.Seal() // trace is final; memoize the per-phase Lines views
 	ComputeForwards(b)
 	return b
 }
@@ -465,19 +466,26 @@ func genInvocation(fn fnSpec, regs map[string]region, rng *rand.Rand) trace.Invo
 	}
 
 	inv := trace.Invocation{Function: fn.name, AXC: fn.axc, LeaseTime: fn.lt, Serial: fn.serial}
+	inv.Iterations = make([]trace.Iteration, 0, iters)
 	li, si := 0, 0
 	for i := 0; i < iters; i++ {
 		var it trace.Iteration
-		for j := 0; j < nLd && li < len(loads); j++ {
-			it.Loads = append(it.Loads, loads[li])
-			li++
+		// Each iteration's streams are consecutive runs of the expanded
+		// address sequences; sub-slice them (full-capacity slices) instead
+		// of copying — iteration traces dominate benchmark memory.
+		l0 := li
+		if li += nLd; li > len(loads) {
+			li = len(loads)
+		}
+		if li > l0 {
+			it.Loads = loads[l0:li:li]
 		}
 		// Spread stores evenly across iterations.
 		wantSt := (i + 1) * len(stores) / iters
-		for si < wantSt {
-			it.Stores = append(it.Stores, stores[si])
-			si++
+		if wantSt > si {
+			it.Stores = stores[si:wantSt:wantSt]
 		}
+		si = wantSt
 		it.IntOps = nInt
 		it.FPOps = nFp
 		inv.Iterations = append(inv.Iterations, it)
@@ -500,7 +508,11 @@ func expandStreams(ss []strm, regs map[string]region, rng *rand.Rand) []mem.VAdd
 			// accesses (Lesson 3).
 			stride = 8
 		}
-		var seq []mem.VAddr
+		// Every pattern's per-pass length is deterministic, so size the
+		// sequence exactly up front: benchmark builds run once per simulated
+		// config, and append-doubling here was a measurable share of build
+		// garbage.
+		seq := make([]mem.VAddr, 0, max(1, s.passes)*passLen(s, r, stride))
 		for p := 0; p < max(1, s.passes); p++ {
 			switch s.pattern {
 			case patRandom:
@@ -550,7 +562,11 @@ func expandStreams(ss []strm, regs map[string]region, rng *rand.Rand) []mem.VAdd
 		seqs = append(seqs, seq)
 	}
 	// Round-robin interleave the streams.
-	var out []mem.VAddr
+	total := 0
+	for _, s := range seqs {
+		total += len(s)
+	}
+	out := make([]mem.VAddr, 0, total)
 	for len(seqs) > 0 {
 		live := seqs[:0]
 		for _, s := range seqs {
@@ -563,6 +579,44 @@ func expandStreams(ss []strm, regs map[string]region, rng *rand.Rand) []mem.VAdd
 		seqs = live
 	}
 	return out
+}
+
+// passLen computes one pass's sequence length for a stream without
+// generating it — every pattern (including patRandom, whose *count* is
+// fixed even though its addresses are not) is deterministic in length.
+func passLen(s strm, r region, stride int) int {
+	switch s.pattern {
+	case patRandom:
+		return r.size / stride
+	case patStencil:
+		n := 0
+		for off := 0; off < r.size; off += stride {
+			n++
+			if off >= mem.LineBytes {
+				n++
+			}
+			if off+mem.LineBytes < r.size {
+				n++
+			}
+		}
+		return n
+	case patBlocked:
+		reuse := s.reuse
+		if reuse == 0 {
+			reuse = blockedReuse
+		}
+		n := 0
+		for blk := 0; blk < r.size; blk += blockedBytes {
+			end := blk + blockedBytes
+			if end > r.size {
+				end = r.size
+			}
+			n += reuse * ((end - blk + stride - 1) / stride)
+		}
+		return n
+	default:
+		return (r.size + stride - 1) / stride
+	}
 }
 
 // hostTail builds the final host phase: the host incrementally reads the
