@@ -48,7 +48,8 @@ allocbudget:
 soak-smoke:
 	$(GO) test -short -run 'TestSoak|TestFaulted|TestWatchdog' ./internal/systems/
 
-# soak: the full randomized fault-injection sweep across all four systems.
+# soak: the full randomized fault-injection sweep across every registered
+# system (ADAPTIVE and HYDRA included).
 soak:
 	$(GO) test -run 'TestSoak|TestFaulted|TestWatchdog' -timeout 30m ./internal/systems/
 

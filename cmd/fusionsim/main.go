@@ -14,7 +14,7 @@
 //	fusionsim -bench fft -deadline 30s           # bound wall time; abort is structured
 //	fusionsim -bench fft -maxcycles 1000000      # bound simulated cycles likewise
 //
-// Systems: scratch, shared, fusion, fusion-dx.
+// Systems: scratch, shared, fusion, fusion-dx, adaptive, hydra.
 // Benchmarks: fft, disp, track, adpcm, susan, filt, hist.
 //
 // When -bench/-system name more than one cell (comma-separated lists or
@@ -36,7 +36,9 @@ import (
 	"fusion"
 )
 
-var systemNames = []string{"scratch", "shared", "fusion", "fusion-dx"}
+// systemNames derives from the systems registry, so "-system all" and the
+// flag help track new Kinds without a CLI change.
+var systemNames = fusion.Systems()
 
 func systemOf(name string) (fusion.System, bool) { return fusion.ParseSystem(name) }
 
@@ -65,7 +67,7 @@ func main() {
 	var (
 		benchName = flag.String("bench", "fft", "benchmark(s): comma-separated from "+strings.Join(fusion.Benchmarks(), ", ")+", or all")
 		benchFile = flag.String("benchfile", "", "run a benchmark loaded from this JSON file (see tracegen -save)")
-		sysName   = flag.String("system", "fusion", "system(s): comma-separated from scratch, shared, fusion, fusion-dx, or all")
+		sysName   = flag.String("system", "fusion", "system(s): comma-separated from "+strings.Join(systemNames, ", ")+", or all")
 		large     = flag.Bool("large", false, "AXC-Large configuration (8K L0X / 256K L1X, Section 5.5)")
 		wt        = flag.Bool("writethrough", false, "disable L0X write caching (Table 4)")
 		phases    = flag.Bool("phases", false, "print per-phase cycles and energy")

@@ -73,6 +73,18 @@ func TestParseSystem(t *testing.T) {
 	}
 }
 
+func TestSystemsRegistry(t *testing.T) {
+	names := fusion.Systems()
+	if len(names) != 6 {
+		t.Fatalf("Systems() = %v, want six systems", names)
+	}
+	for _, n := range names {
+		if _, ok := fusion.ParseSystem(n); !ok {
+			t.Errorf("registry name %q does not parse", n)
+		}
+	}
+}
+
 func TestSpecOfNormalizes(t *testing.T) {
 	cfg := fusion.DefaultConfig(fusion.SharedSystem)
 	a := fusion.SpecOf("fft", cfg)

@@ -59,16 +59,24 @@ import (
 	"fusion/internal/workloads"
 )
 
-// System selects one of the four architectures under study.
+// System selects one of the architectures under study.
 type System = systems.Kind
 
-// The four systems of the paper's evaluation.
+// The four systems of the paper's evaluation, plus the adaptive-placement
+// and deadline-aware extensions.
 const (
 	ScratchSystem  System = systems.Scratch
 	SharedSystem   System = systems.Shared
 	FusionSystem   System = systems.Fusion
 	FusionDxSystem System = systems.FusionDx
+	AdaptiveSystem System = systems.Adaptive
+	HydraSystem    System = systems.Hydra
 )
+
+// Systems lists every registered system's canonical name in enum order —
+// the names ParseSystem accepts and the sweep surfaces ("-system all",
+// soak, litmus) iterate.
+func Systems() []string { return systems.KindNames() }
 
 // Config tunes a simulation run (cache sizing, write policy, cycle budget).
 type Config = systems.Config
@@ -138,7 +146,8 @@ type Spec = systems.Spec
 func SpecOf(bench string, cfg Config) Spec { return systems.SpecOf(bench, cfg) }
 
 // ParseSystem resolves a system name ("scratch", "shared", "fusion",
-// "fusion-dx" and common aliases, case-insensitive) to its Kind.
+// "fusion-dx", "adaptive", "hydra" and common aliases, case-insensitive)
+// to its Kind.
 func ParseSystem(name string) (System, bool) { return systems.ParseKind(name) }
 
 // IsCancellation reports whether err is a context cancellation or
@@ -253,7 +262,7 @@ func NewExperiments() *Experiments { return experiments.NewRunner() }
 // ExperimentNames lists the regenerable artifacts in the paper's order.
 func ExperimentNames() []string {
 	return []string{"table1", "table3", "fig6a", "fig6b", "fig6c", "fig6d",
-		"table4", "table5", "fig7", "table6", "chart6a", "chart6b",
+		"fig6e", "table4", "table5", "fig7", "table6", "chart6a", "chart6b",
 		"ablate-lease", "ablate-dma", "ablate-tiles"}
 }
 

@@ -341,6 +341,30 @@ func (c *L0X) fill(m *TileMsg) {
 		c.pool.Put(m)
 		return
 	}
+	if m.NoAlloc {
+		// HYDRA bypass: the L1X declined to allocate and sent the data with
+		// no lease at all. Serve the waiting loads one-shot — the payload is
+		// the globally ordered version, observed strictly — and install
+		// nothing. Store waiters (merged behind the read miss) re-request a
+		// real write epoch, which forces allocation.
+		c.txns[slot] = nil
+		c.mshr.Free(a)
+		c.eng.Progress() // miss resolved: heartbeat
+		for _, w := range t.waiters {
+			if w.kind == mem.Store {
+				w := w
+				c.eng.Schedule(1, func(uint64) { c.retryAccess(w.kind, w.va, w.done) })
+				continue
+			}
+			if c.obsv != nil {
+				c.observe(obs.Load, w.va, m.Ver, 0)
+			}
+			c.eng.Schedule(c.cfg.HitLatency, w.done)
+		}
+		c.freeTxn(t)
+		c.pool.Put(m)
+		return
+	}
 	if m.Lease <= c.eng.Now() {
 		// The grant died in transit (delivery delay outlived the lease).
 		// Installing it would extend the lease past the L1X's GTIME promise,

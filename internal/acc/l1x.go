@@ -8,6 +8,7 @@ import (
 
 	"fusion/internal/cache"
 	"fusion/internal/energy"
+	"fusion/internal/flat"
 	"fusion/internal/interconnect"
 	"fusion/internal/mem"
 	"fusion/internal/mesi"
@@ -99,6 +100,19 @@ type L1X struct {
 	meter  *energy.Meter
 	tracer ptrace.Tracer
 	obsv   obs.Observer
+	st     *stats.Set
+	mut    *Mutations
+
+	// HYDRA cacheability filter (nil/zero when disarmed — see
+	// EnableBypassFilter). touches counts lease requests per virtual line;
+	// a fetch whose demand stays below bypassThreshold, or that completes
+	// past the task deadline, is served to its waiting loads without
+	// allocating.
+	filterOn        bool
+	bypassThreshold int
+	bypassPJ        float64
+	deadline        uint64
+	touches         *flat.Map[uint32]
 
 	cAccesses   *stats.Counter
 	cStallWLock *stats.Counter
@@ -113,7 +127,35 @@ type L1X struct {
 	cEvictions  *stats.Counter
 	cHostFwds   *stats.Counter
 	cFwdStalled *stats.Counter
+	// Created by EnableBypassFilter so non-HYDRA systems' stat dumps are
+	// undisturbed.
+	cBypassAlloc    *stats.Counter
+	cBypassDeadline *stats.Counter
 }
+
+// SetMutations arms test-only protocol mutations at the L1X (nil disarms).
+// Only IgnoreDeadline is interpreted here; the L0X mutations ride on the
+// same struct.
+func (x *L1X) SetMutations(m *Mutations) { x.mut = m }
+
+// EnableBypassFilter arms the HYDRA cacheability filter: a fetch serving
+// only loads is examined before allocation, and bypassed — data handed to
+// the waiting L0Xs one-shot, ownership relinquished immediately — when the
+// line's request count is below threshold (low expected reuse) or the
+// fill completes past the task deadline set by SetDeadline. Every
+// examination is metered at checkPJ under energy.CatPolicy.
+func (x *L1X) EnableBypassFilter(threshold int, checkPJ float64) {
+	x.filterOn = true
+	x.bypassThreshold = threshold
+	x.bypassPJ = checkPJ
+	x.touches = flat.New[uint32](4096)
+	x.cBypassAlloc = x.st.Counter(x.name + ".bypass_alloc")
+	x.cBypassDeadline = x.st.Counter(x.name + ".bypass_deadline")
+}
+
+// SetDeadline sets the absolute cycle after which the filter treats every
+// fill as deadline-critical (zero disables the deadline term).
+func (x *L1X) SetDeadline(d uint64) { x.deadline = d }
 
 // SetTracer attaches a protocol tracer (nil disables tracing).
 func (x *L1X) SetTracer(t ptrace.Tracer) { x.tracer = t }
@@ -213,6 +255,7 @@ func NewL1X(eng *sim.Engine, fabric *mesi.Fabric, agent mesi.AgentID,
 		waiting:     make([][]*TileMsg, arr.NumLines()),
 		holder:      holder,
 		meter:       meter,
+		st:          st,
 		cAccesses:   st.Counter(name + ".accesses"),
 		cStallWLock: st.Counter(name + ".stall_wlock"),
 		cStallGTime: st.Counter(name + ".stall_gtime"),
@@ -313,6 +356,17 @@ func (x *L1X) process(m *TileMsg) {
 func (x *L1X) lease(m *TileMsg) {
 	a := uint64(m.Addr.LineAddr())
 	x.access()
+
+	if x.filterOn {
+		// Demand tracking for the cacheability filter. Replayed waiters
+		// recount, but only after the allocate/bypass decision for their
+		// fetch was made, so the inflation never flips a decision.
+		if p := x.touches.Ptr(a); p != nil {
+			*p++
+		} else {
+			x.touches.Put(a, 1)
+		}
+	}
 
 	l := x.arr.LookupPID(a, m.PID)
 	if l == nil {
@@ -552,12 +606,10 @@ func (x *L1X) HandleMESI(m *mesi.Msg) {
 	case mesi.MsgFwdGetS, mesi.MsgFwdGetM:
 		x.hostForward(m)
 	case mesi.MsgInv:
-		// The tile is never a MESI sharer, but a DMA-write invalidation can
-		// target it in mixed configurations; ack and drop defensively.
-		ack := x.mesiPool.Get()
-		ack.Type, ack.Addr, ack.Src, ack.Dst = mesi.MsgInvAck, m.Addr, x.agent, m.Requester
-		x.fabric.Send(ack)
-		x.mesiPool.Put(m)
+		// A DMA write targeting a line the tile owns (mixed placements, see
+		// internal/systems ADAPTIVE): relinquish for real — the ack carries
+		// the dirty version back to the directory.
+		x.hostInvalidate(m)
 	case mesi.MsgPutAck:
 		if i := x.evictFind(m.Addr.LineAddr()); i >= 0 {
 			x.evictRemove(i)
@@ -616,6 +668,10 @@ func (x *L1X) maybeFill(t *l1txn) {
 	if !t.arrived || t.acksGot < t.acksNeeded {
 		return
 	}
+	if x.filterOn && x.bypassDecision(t) {
+		x.bypassFill(t)
+		return
+	}
 	l := x.install(t.va, t.pid, t.pa, t.ver)
 	if l == nil {
 		x.eng.Schedule(2, func(uint64) { x.maybeFill(t) })
@@ -630,6 +686,68 @@ func (x *L1X) maybeFill(t *l1txn) {
 	for _, w := range t.waiters {
 		x.scheduleProcess(1, w)
 	}
+	x.freeTxns = append(x.freeTxns, t)
+}
+
+// bypassDecision reports whether the completed fetch t should skip
+// allocation. Only pure-load fetches are eligible — a waiting store needs
+// a write epoch, which only an installed line can host. The deadline term
+// wins over the reuse term so deadline bypasses are attributed to it.
+func (x *L1X) bypassDecision(t *l1txn) bool {
+	if len(t.waiters) == 0 {
+		return false
+	}
+	for _, w := range t.waiters {
+		if w.Type != MsgGetL {
+			return false
+		}
+	}
+	if x.meter != nil {
+		x.meter.Add(energy.CatPolicy, x.bypassPJ)
+	}
+	if x.deadline != 0 && x.eng.Now() >= x.deadline &&
+		(x.mut == nil || !x.mut.IgnoreDeadline) {
+		x.cBypassDeadline.Inc()
+		return true
+	}
+	if n, _ := x.touches.Get(t.va); int(n) < x.bypassThreshold {
+		x.cBypassAlloc.Inc()
+		return true
+	}
+	return false
+}
+
+// bypassFill completes a filtered fetch without allocating: every waiting
+// load receives the fetched data one-shot (MsgLease with NoAlloc set and a
+// zero lease), the directory transaction is unblocked, and ownership is
+// relinquished immediately — the clean line never enters the array. The
+// eviction buffer holds the data until PutAck so a racing host forward is
+// still served.
+func (x *L1X) bypassFill(t *l1txn) {
+	for _, w := range t.waiters {
+		var link *interconnect.Link
+		if int(w.Src) < len(x.toL0X) {
+			link = x.toL0X[w.Src]
+		}
+		if link == nil {
+			sim.Failf(x.name, x.eng.Now(), x.DumpState(), "no downlink to axc %d", w.Src)
+		}
+		g := x.tilePool.Get()
+		g.Type, g.Addr, g.PID, g.Src = MsgLease, w.Addr, w.PID, -1
+		g.Ver, g.NoAlloc = t.ver, true
+		link.Send(g)
+		x.tilePool.Put(w)
+	}
+	x.txns[x.mshr.Free(t.va)] = nil
+	x.eng.Progress() // host fetch resolved: heartbeat
+	unb := x.mesiPool.Get()
+	unb.Type, unb.Addr, unb.Src, unb.Dst, unb.Excl =
+		mesi.MsgUnblock, t.pa, x.agent, mesi.DirID, true
+	x.fabric.Send(unb)
+	x.evictPut(t.pa, evictBuf{ver: t.ver})
+	put := x.mesiPool.Get()
+	put.Type, put.Addr, put.Src, put.Dst = mesi.MsgPutE, t.pa, x.agent, mesi.DirID
+	x.fabric.Send(put)
 	x.freeTxns = append(x.freeTxns, t)
 }
 
@@ -706,6 +824,75 @@ func (x *L1X) evictNoNotice(v *cache.Line) {
 	x.rmap.Remove(v.PAddr)
 	x.holder[x.arr.SlotOf(v.Addr, v)] = holderAbsent
 	*v = cache.Line{}
+}
+
+// hostInvalidate answers a directory invalidation (a DMA write to a line
+// the tile may own). Like a host forward, the response waits until every
+// L0X lease has lapsed and any write epoch has drained; the line is then
+// dropped and the InvAck returns its version so the directory can merge
+// the tile's stores before committing the DMA data. Consumes m.
+func (x *L1X) hostInvalidate(m *mesi.Msg) {
+	pa := m.Addr.LineAddr()
+	ptr, ok := x.rmap.Lookup(pa)
+	if !ok {
+		// Not resident: either never cached here, or an eviction is in
+		// flight — the buffered copy still carries the version the
+		// directory must not lose.
+		var buf evictBuf
+		if i := x.evictFind(pa); i >= 0 {
+			buf = x.evict[i].evictBuf
+		}
+		x.invAckHost(m, buf.ver, buf.dirty)
+		return
+	}
+	x.tryInvalidate(m, ptr, true)
+}
+
+// tryInvalidate drops an invalidated line once its leases have lapsed
+// (the Inv counterpart of tryRelinquish).
+func (x *L1X) tryInvalidate(m *mesi.Msg, ptr ReversePointer, first bool) {
+	pa := m.Addr.LineAddr()
+	va := uint64(ptr.VAddr.LineAddr())
+	l := x.arr.LookupPID(va, ptr.PID)
+	if l == nil {
+		var buf evictBuf
+		if i := x.evictFind(pa); i >= 0 {
+			buf = x.evict[i].evictBuf
+		}
+		x.invAckHost(m, buf.ver, buf.dirty)
+		return
+	}
+	now := x.eng.Now()
+	if l.GTime > now || l.WLock {
+		if first {
+			x.cFwdStalled.Inc()
+			if x.tracer != nil {
+				x.emit(ptrace.FwdParked, va, fmt.Sprintf("inv until GTIME %d", l.GTime))
+			}
+		}
+		wake := l.GTime + x.cfg.LeaseSlack
+		if wake <= now {
+			wake = now + x.cfg.LeaseSlack
+		}
+		x.eng.ScheduleAt(wake, func(uint64) { x.tryInvalidate(m, ptr, false) })
+		return
+	}
+	x.access()
+	ver, dirty := l.Ver, l.Dirty
+	x.rmap.Remove(pa)
+	x.holder[x.arr.SlotOf(va, l)] = holderAbsent
+	*l = cache.Line{}
+	x.invAckHost(m, ver, dirty)
+}
+
+// invAckHost sends the invalidation ack (with the dropped line's version,
+// if any) and releases the consumed Inv request.
+func (x *L1X) invAckHost(m *mesi.Msg, ver uint64, dirty bool) {
+	ack := x.mesiPool.Get()
+	ack.Type, ack.Addr, ack.Src, ack.Dst = mesi.MsgInvAck, m.Addr, x.agent, m.Requester
+	ack.Dirty, ack.Ver = dirty, ver
+	x.fabric.Send(ack)
+	x.mesiPool.Put(m)
 }
 
 // hostForward answers a MESI Fwd from the host directory. The AX-RMAP

@@ -78,6 +78,11 @@ type TileMsg struct {
 	// Through marks a write-through store's WB: it updates the L1X data but
 	// leaves the write epoch open (the final drain WB closes it).
 	Through bool
+	// NoAlloc marks a MsgLease that carries data but no lease at all
+	// (Lease is zero): the HYDRA cacheability filter bypassed L1X
+	// allocation, so the L0X must serve its waiting loads one-shot and
+	// install nothing. Pending stores re-request a real write epoch.
+	NoAlloc bool
 
 	// pooled marks a message sitting in a TileMsgPool free list; the pool's
 	// double-release guard checks it.

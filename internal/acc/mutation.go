@@ -23,4 +23,10 @@ type Mutations struct {
 	// LostStore drops the version increment of every L0X store hit: the
 	// store retires but its write never lands in the modeled payload.
 	LostStore bool
+
+	// IgnoreDeadline makes the HYDRA cacheability filter skip its deadline
+	// term: fills requested after the task deadline allocate normally
+	// instead of bypassing. The deadline-bypass litmus case's counter
+	// floor kills it.
+	IgnoreDeadline bool
 }

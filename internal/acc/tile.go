@@ -195,9 +195,10 @@ func (t *Tile) SetObserver(o obs.Observer) {
 	}
 }
 
-// SetMutations arms test-only protocol mutations on every L0X in the tile
-// (nil disables them; see Mutations).
+// SetMutations arms test-only protocol mutations on every controller in
+// the tile (nil disables them; see Mutations).
 func (t *Tile) SetMutations(m *Mutations) {
+	t.L1X.SetMutations(m)
 	for _, l0 := range t.L0Xs {
 		l0.SetMutations(m)
 	}

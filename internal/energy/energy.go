@@ -59,6 +59,12 @@ type Model struct {
 	// Datapath activity.
 	IntOp float64 // integer ALU op
 	FPOp  float64 // floating-point op
+
+	// PolicyCheck is one placement/cacheability decision: an ADAPTIVE
+	// per-task policy evaluation or a HYDRA per-fill filter check — a
+	// counter compare against a small table, far cheaper than a cache
+	// access.
+	PolicyCheck float64
 }
 
 // Default returns the calibrated model described in the package comment.
@@ -84,6 +90,8 @@ func Default() Model {
 		// (registers/muxes), not just the bare ALU (~0.5 pJ [2]).
 		IntOp: 2.0,
 		FPOp:  8.0,
+		// A handful of counter compares and a table read.
+		PolicyCheck: 0.5,
 	}
 }
 
@@ -111,6 +119,7 @@ const (
 	CatLinkMem             // L2<->DRAM
 	CatVM                  // AX-TLB + AX-RMAP
 	CatCompute             // accelerator datapath ops
+	CatPolicy              // ADAPTIVE placement / HYDRA cacheability decisions
 	numCats
 )
 
@@ -128,6 +137,7 @@ var catNames = [numCats]string{
 	CatLinkMem:  "link.mem",
 	CatVM:       "vm",
 	CatCompute:  "compute",
+	CatPolicy:   "policy",
 }
 
 // String returns the category's report name.

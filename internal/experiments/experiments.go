@@ -445,6 +445,50 @@ func (r *Runner) Figure6d() ([]Fig6dRow, error) {
 	return rows, nil
 }
 
+// ---------------------------------------------------------------- Figure 6e
+
+// Fig6eRow extends the Figure 6a/6b comparison to every registered system,
+// ADAPTIVE and HYDRA included: one benchmark x system, with cycles and
+// on-chip energy normalized to the benchmark's SCRATCH run.
+type Fig6eRow struct {
+	Benchmark  string
+	System     string
+	Cycles     uint64
+	EnergyPJ   float64
+	CycleNorm  float64
+	EnergyNorm float64
+}
+
+// Figure6e computes the all-systems comparison. Unlike Figures 6a-6c
+// (which keep the paper's three-system layout), this artifact derives its
+// column set from the systems registry, so a newly registered Kind shows
+// up as a column automatically.
+func (r *Runner) Figure6e() ([]Fig6eRow, error) {
+	var rows []Fig6eRow
+	for _, name := range workloads.Names() {
+		base, err := r.Run(name, systems.DefaultConfig(systems.Scratch))
+		if err != nil {
+			return nil, err
+		}
+		baseCycles, basePJ := float64(base.Cycles), base.OnChipPJ()
+		for _, kind := range systems.Kinds() {
+			res, err := r.Run(name, systems.DefaultConfig(kind))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig6eRow{
+				Benchmark:  name,
+				System:     kind.String(),
+				Cycles:     res.Cycles,
+				EnergyPJ:   res.OnChipPJ(),
+				CycleNorm:  float64(res.Cycles) / baseCycles,
+				EnergyNorm: res.OnChipPJ() / basePJ,
+			})
+		}
+	}
+	return rows, nil
+}
+
 // ------------------------------------------------------------------ Table 4
 
 // Table4Row compares write-through and writeback L0X bandwidth (Table 4).

@@ -30,6 +30,8 @@ func (r *Runner) Data(name string) (any, error) {
 		return r.Figure6c()
 	case "fig6d":
 		return r.Figure6d()
+	case "fig6e":
+		return r.Figure6e()
 	case "table4":
 		return r.Table4()
 	case "table5":

@@ -82,6 +82,38 @@ func TestParallelPrintByteIdentical(t *testing.T) {
 	}
 }
 
+// TestFig6eParallelByteIdentical renders the all-systems artifact (the one
+// whose column set derives from the systems registry) with 1 worker and
+// with 8 and requires byte-identical reports, with the ADAPTIVE and HYDRA
+// columns present in both.
+func TestFig6eParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6e sweeps every workload x system")
+	}
+	render := func(workers int) string {
+		r := NewRunner()
+		r.SetWorkers(workers)
+		var buf bytes.Buffer
+		if err := r.Print(&buf, "fig6e"); err != nil {
+			t.Fatalf("-j %d: %v", workers, err)
+		}
+		if err := r.PrintJSON(&buf, "fig6e"); err != nil {
+			t.Fatalf("-j %d json: %v", workers, err)
+		}
+		return buf.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("fig6e differs between -j 1 and -j 8:\n-- sequential --\n%s\n-- parallel --\n%s", seq, par)
+	}
+	for _, kind := range systems.Kinds() {
+		if !strings.Contains(seq, kind.String()) {
+			t.Errorf("fig6e omits the %s column", kind)
+		}
+	}
+}
+
 // TestConcurrentSweepsShareOneRunner drives one Runner from several
 // goroutines at once — overlapping Prefetch sweeps plus direct Run calls
 // on the same cells — and asserts singleflight did its job: every caller

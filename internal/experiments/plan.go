@@ -51,6 +51,14 @@ func requirements(exp string) []Req {
 			reqs = append(reqs, Req{n, systems.DefaultConfig(systems.Scratch)})
 		}
 		return reqs
+	case "fig6e":
+		var reqs []Req
+		for _, n := range workloads.Names() {
+			for _, kind := range systems.Kinds() {
+				reqs = append(reqs, Req{n, systems.DefaultConfig(kind)})
+			}
+		}
+		return reqs
 	case "table4":
 		var reqs []Req
 		for _, n := range workloads.Names() {

@@ -116,6 +116,23 @@ func (r *Runner) PrintFigure6d(w io.Writer) error {
 	return nil
 }
 
+// PrintFigure6e renders the all-systems comparison.
+func (r *Runner) PrintFigure6e(w io.Writer) error {
+	rows, err := r.Figure6e()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 6e: All systems — cycles and on-chip energy vs SCRATCH")
+	fmt.Fprintf(w, "%-7s %-9s %12s %14s %8s %8s\n",
+		"Bench", "System", "Cycles", "Energy(pJ)", "CycNorm", "EnNorm")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-7s %-9s %12d %14.0f %8.3f %8.3f\n",
+			row.Benchmark, row.System, row.Cycles, row.EnergyPJ,
+			row.CycleNorm, row.EnergyNorm)
+	}
+	return nil
+}
+
 // PrintTable4 renders the write-policy bandwidth table.
 func (r *Runner) PrintTable4(w io.Writer) error {
 	rows, err := r.Table4()
@@ -190,6 +207,7 @@ func (r *Runner) All() []struct {
 		{"fig6b", r.PrintFigure6b},
 		{"fig6c", r.PrintFigure6c},
 		{"fig6d", r.PrintFigure6d},
+		{"fig6e", r.PrintFigure6e},
 		{"table4", r.PrintTable4},
 		{"table5", r.PrintTable5},
 		{"fig7", r.PrintFigure7},
@@ -226,5 +244,5 @@ func (r *Runner) Print(w io.Writer, name string) error {
 			return e.Print(w)
 		}
 	}
-	return fmt.Errorf("unknown experiment %q (try: table1 table3 fig6a fig6b fig6c fig6d table4 table5 fig7 table6 ablate-lease ablate-dma ablate-tiles, or all)", name)
+	return fmt.Errorf("unknown experiment %q (try: table1 table3 fig6a fig6b fig6c fig6d fig6e table4 table5 fig7 table6 ablate-lease ablate-dma ablate-tiles, or all)", name)
 }

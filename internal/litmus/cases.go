@@ -29,10 +29,13 @@ type Case struct {
 	Check func(kind systems.Kind, res *systems.Result) error
 }
 
-var allSystems = []systems.Kind{systems.Scratch, systems.Shared,
-	systems.Fusion, systems.FusionDx}
+// allSystems derives from the systems registry: a new Kind joins every
+// generic directed case automatically.
+var allSystems = systems.Kinds()
 
-var fusionSystems = []systems.Kind{systems.Fusion, systems.FusionDx}
+// fusionSystems are the lease-hierarchy variants (HYDRA is FUSION plus the
+// cacheability filter; the lease protocol underneath is identical).
+var fusionSystems = []systems.Kind{systems.Fusion, systems.FusionDx, systems.Hydra}
 
 // Region layout mirrors workloads.build: page-aligned regions from 1 MiB
 // with a guard page between them.
@@ -225,6 +228,56 @@ func regressionDeadGrantBench() *workloads.Benchmark {
 	return b
 }
 
+// placementMigrationBench drives ADAPTIVE through all three placements for
+// the same data classes a real pipeline mixes: a streaming store pass (low
+// reuse -> uncached), a host-produced region read repeatedly (shared ->
+// L0X), and a private multi-pass region that fits the scratchpad. A line's
+// placement migrates between phases; every handoff must still observe the
+// latest globally-ordered write, and the counter floors prove each
+// placement actually ran.
+func placementMigrationBench() *workloads.Benchmark {
+	stream := litmusRegion(0, 8)
+	shared := litmusRegion(1, 8)
+	priv := litmusRegion(2, 8)
+	all := append(append(append([]mem.VAddr(nil), stream...), shared...), priv...)
+	prog := &trace.Program{Name: "litmus-placement-migration", Phases: []trace.Phase{
+		accelPhase("stream", 0, 600, false, sweep(stream, false, true, 1, 4)),
+		hostPhase("produce", sweep(shared, false, true, 1, 4)),
+		accelPhase("consume", 0, 600, false, sweep(shared, true, false, 3, 4)),
+		accelPhase("private", 0, 600, false, sweep(priv, true, true, 3, 4)),
+		hostPhase("verify", sweep(all, true, false, 1, 4)),
+	}}
+	b := &workloads.Benchmark{
+		Program:    prog,
+		InputLines: append([]mem.VAddr(nil), stream...),
+		LeaseTimes: map[string]uint64{"stream": 600, "consume": 600, "private": 600},
+		MLP:        map[string]int{"stream": 2, "consume": 2, "private": 2},
+	}
+	workloads.ComputeForwards(b)
+	return b
+}
+
+// deadlineBypassBench exercises the HYDRA deadline term: with a one-cycle
+// deadline every fill completes past it, so every pure-load fetch must
+// bypass allocation — served one-shot, strictly checked — and the
+// bypass_deadline floor proves the term fired (the ignore-deadline mutant
+// re-attributes every bypass to the reuse term and dies on the floor).
+func deadlineBypassBench() *workloads.Benchmark {
+	data := litmusRegion(0, 8)
+	prog := &trace.Program{Name: "litmus-deadline-bypass", Phases: []trace.Phase{
+		accelPhase("scan", 0, 600, false, sweep(data, true, false, 2, 4)),
+		hostPhase("verify", sweep(data, true, false, 1, 4)),
+	}}
+	b := &workloads.Benchmark{
+		Program:    prog,
+		InputLines: append([]mem.VAddr(nil), data...),
+		LeaseTimes: map[string]uint64{"scan": 600},
+		MLP:        map[string]int{"scan": 2},
+	}
+	workloads.ComputeForwards(b)
+	return b
+}
+
 // regressionFaultPlan is the deterministic perturbation that kills grants
 // and forwards in transit: jitter beyond the 48-cycle lease plus full-
 // probability stall windows.
@@ -274,7 +327,15 @@ func cases() []*Case {
 			Systems: fusionSystems,
 			Build:   leaseExpiryBench,
 			Check: func(kind systems.Kind, res *systems.Result) error {
-				return counterFloor(res, 1, "l0x.0.self_invalidations")
+				if err := counterFloor(res, 1, "l0x.0.self_invalidations"); err != nil {
+					return err
+				}
+				if kind == systems.Hydra {
+					// First-touch loads are low-reuse: the filter must have
+					// bypassed allocation for them.
+					return counterFloor(res, 1, "l1x.bypass_alloc")
+				}
+				return nil
 			},
 		},
 		{
@@ -293,6 +354,42 @@ func cases() []*Case {
 				return counterFloor(res, 1,
 					"l0x.0.dead_grants", "l0x.1.dead_grants",
 					"l0x.0.dead_forwards", "l0x.1.dead_forwards")
+			},
+		},
+		{
+			Name: "placement-migration",
+			About: "ADAPTIVE placement migration: streaming stores go " +
+				"uncached, a host-produced region reread thrice goes L0X, a " +
+				"private multi-pass region goes scratchpad — every placement " +
+				"handoff must observe the latest write, and each placement " +
+				"must actually fire",
+			Systems: []systems.Kind{systems.Adaptive},
+			Build:   placementMigrationBench,
+			Check: func(kind systems.Kind, res *systems.Result) error {
+				for _, c := range []string{
+					"adaptive.place_uncached",
+					"adaptive.place_l0x",
+					"adaptive.place_scratch",
+				} {
+					if err := counterFloor(res, 1, c); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "deadline-bypass",
+			About: "HYDRA deadline term: with a one-cycle task deadline every " +
+				"pure-load fetch must bypass L1X allocation via the deadline " +
+				"term, served one-shot and strictly checked",
+			Systems: []systems.Kind{systems.Hydra},
+			Build:   deadlineBypassBench,
+			Tune: func(cfg *systems.Config) {
+				cfg.DeadlineCycles = 1
+			},
+			Check: func(kind systems.Kind, res *systems.Result) error {
+				return counterFloor(res, 1, "l1x.bypass_deadline")
 			},
 		},
 	}

@@ -36,10 +36,11 @@ func TestDirectedSuite(t *testing.T) {
 }
 
 // TestMutationKill proves the harness detects every deliberate protocol
-// break: each mutant's designated run must produce at least one violation
-// naming the agent, line, cycle, and expected write — and the same
-// (case, system) pair unmutated must be clean, so the kill is attributable
-// to the mutation alone.
+// break: each mutant's designated run must fail — by checker violations
+// naming the agent, line, cycle, and expected write, or (for ScenarioKill
+// mutants) by the case's scenario assertions — and the same (case, system)
+// pair unmutated must be clean, so the kill is attributable to the
+// mutation alone.
 func TestMutationKill(t *testing.T) {
 	for _, m := range Mutations() {
 		t.Run(m.Name, func(t *testing.T) {
@@ -60,6 +61,14 @@ func TestMutationKill(t *testing.T) {
 			mutated, err := RunCase(c, m.System, m.Apply)
 			if err != nil {
 				t.Fatal(err)
+			}
+			if m.ScenarioKill {
+				if mutated.ScenarioErr == nil {
+					t.Fatalf("mutant %s survived: %s on %s passed every "+
+						"scenario assertion", m.Name, m.Case, m.System)
+				}
+				t.Logf("killed by scenario: %v", mutated.ScenarioErr)
+				return
 			}
 			if len(mutated.Violations) == 0 {
 				t.Fatalf("mutant %s survived: %s on %s recorded %d observations, "+
@@ -86,6 +95,49 @@ func TestMutationKill(t *testing.T) {
 	}
 }
 
+// TestMutationCoverage is the kill-coverage report: every system in the
+// registry must have at least one mutant whose designated run detects it,
+// and no mutant may survive. A system without mutation-kill coverage has
+// an unproven harness — the suite would certify its bugs as correct.
+func TestMutationCoverage(t *testing.T) {
+	killed := map[systems.Kind][]string{}
+	for _, m := range Mutations() {
+		c := caseByName(m.Case)
+		if c == nil {
+			t.Errorf("mutant %s references unknown case %q", m.Name, m.Case)
+			continue
+		}
+		inSystems := false
+		for _, k := range c.Systems {
+			if k == m.System {
+				inSystems = true
+			}
+		}
+		if !inSystems {
+			t.Errorf("mutant %s targets %s, but case %s does not run on it",
+				m.Name, m.System, m.Case)
+			continue
+		}
+		rep, err := RunCase(c, m.System, m.Apply)
+		if err != nil {
+			t.Errorf("mutant %s: %v", m.Name, err)
+			continue
+		}
+		if !rep.Failed() {
+			t.Errorf("mutant %s SURVIVED on %s/%s", m.Name, m.Case, m.System)
+			continue
+		}
+		killed[m.System] = append(killed[m.System], m.Name)
+	}
+	for _, kind := range systems.Kinds() {
+		if len(killed[kind]) == 0 {
+			t.Errorf("system %s has no killed mutants — harness unproven", kind)
+			continue
+		}
+		t.Logf("%-8s killed: %s", kind, strings.Join(killed[kind], ", "))
+	}
+}
+
 // TestMutationByName exercises the lookup used by cmd/fusionsim.
 func TestMutationByName(t *testing.T) {
 	if m := mutationByName("stale-forward"); m == nil || m.Case != "dx-forward" {
@@ -96,13 +148,11 @@ func TestMutationByName(t *testing.T) {
 	}
 }
 
-// TestRandomSuite drives randomized workloads through all four systems
-// with the checker attached.
+// TestRandomSuite drives randomized workloads through every registered
+// system with the checker attached.
 func TestRandomSuite(t *testing.T) {
-	kinds := []systems.Kind{systems.Scratch, systems.Shared,
-		systems.Fusion, systems.FusionDx}
 	for seed := int64(1); seed <= 5; seed++ {
-		for _, kind := range kinds {
+		for _, kind := range systems.Kinds() {
 			rep, err := RunRandom(seed, kind)
 			if err != nil {
 				t.Fatal(err)
@@ -149,15 +199,14 @@ func TestRunNamed(t *testing.T) {
 }
 
 // FuzzLitmusRandom fuzzes the randomized litmus layer: any seed must
-// produce a violation-free trace and a golden final image on every system.
+// produce a violation-free trace and a golden final image on every
+// registered system, ADAPTIVE and HYDRA included.
 func FuzzLitmusRandom(f *testing.F) {
 	f.Add(int64(1))
 	f.Add(int64(42))
 	f.Add(int64(-7))
-	kinds := []systems.Kind{systems.Scratch, systems.Shared,
-		systems.Fusion, systems.FusionDx}
 	f.Fuzz(func(t *testing.T, seed int64) {
-		for _, kind := range kinds {
+		for _, kind := range systems.Kinds() {
 			rep, err := RunRandom(seed, kind)
 			if err != nil {
 				t.Fatal(err)

@@ -3,6 +3,7 @@ package litmus
 import (
 	"fusion/internal/acc"
 	"fusion/internal/mesi"
+	"fusion/internal/scratchpad"
 	"fusion/internal/systems"
 )
 
@@ -19,6 +20,11 @@ type Mutation struct {
 	System systems.Kind
 	// Apply arms the bug on the run configuration.
 	Apply func(*systems.Config)
+	// ScenarioKill marks mutants detected by the case's scenario
+	// assertions (counter floors) rather than by checker violations:
+	// the bug changes which protocol path fires, not the values
+	// observed, so the kill is a ScenarioErr.
+	ScenarioKill bool
 }
 
 // Mutations returns the mutation-kill suite. Each entry pairs a deliberate
@@ -67,6 +73,41 @@ func Mutations() []Mutation {
 			System: systems.Fusion,
 			Apply: func(cfg *systems.Config) {
 				cfg.AccMutations = &acc.Mutations{LostStore: true}
+			},
+		},
+		{
+			Name: "stale-fill",
+			About: "scratchpad DMA-ins install one version behind the " +
+				"coherent copy — the accelerator computes an entire task on " +
+				"data the host already overwrote",
+			Case:   "mp",
+			System: systems.Scratch,
+			Apply: func(cfg *systems.Config) {
+				cfg.PadMutations = &scratchpad.Mutations{StaleFill: true}
+			},
+		},
+		{
+			Name: "sticky-placement",
+			About: "ADAPTIVE latches the first placement decision forever — " +
+				"profiling still runs but migration never happens, so the " +
+				"L0X and scratchpad placements the case requires never fire",
+			Case:         "placement-migration",
+			System:       systems.Adaptive,
+			ScenarioKill: true,
+			Apply: func(cfg *systems.Config) {
+				cfg.PolicyMutations = &systems.PolicyMutations{StickyPlacement: true}
+			},
+		},
+		{
+			Name: "ignore-deadline",
+			About: "HYDRA's bypass filter drops the deadline term — " +
+				"deadline-critical fetches are only bypassed when the reuse " +
+				"term happens to agree, so the deadline floor reads zero",
+			Case:         "deadline-bypass",
+			System:       systems.Hydra,
+			ScenarioKill: true,
+			Apply: func(cfg *systems.Config) {
+				cfg.AccMutations = &acc.Mutations{IgnoreDeadline: true}
 			},
 		},
 	}

@@ -309,20 +309,29 @@ func (c *Client) Handle(m *Msg) {
 		c.maybeComplete(t)
 
 	case MsgInv:
-		// Invalidate a shared copy (it may already be gone: S lines drop
-		// silently). Ack whoever the directory says is waiting.
+		// Invalidate a cached copy (it may already be gone: S lines drop
+		// silently). Ack whoever the directory says is waiting. A DMA write
+		// can invalidate a Modified owner; its version rides the ack so the
+		// directory merges the stores before committing the DMA data.
+		ack := c.pool.Get()
+		ack.Type, ack.Addr, ack.Src, ack.Dst = MsgInvAck, m.Addr, c.id, m.Requester
 		if l := c.arr.Peek(a); l != nil {
+			if l.State == cache.Modified {
+				ack.Dirty, ack.Ver = true, l.Ver
+			}
 			*l = cache.Line{}
 			c.access()
-		}
-		// An eviction racing with an invalidation: the buffered data is
-		// superseded, drop it. The in-flight PutM will be stale-acked.
-		if i := c.evictFind(a); i >= 0 {
+		} else if i := c.evictFind(a); i >= 0 {
+			// An eviction racing with an invalidation: the buffered data is
+			// superseded, but its version must still reach the directory —
+			// the in-flight PutM will be stale-acked.
+			ev := c.evicting[i].evicting
+			if ev.dirty {
+				ack.Dirty, ack.Ver = true, ev.ver
+			}
 			c.evictRemove(i)
 		}
 		c.cInvals.Inc()
-		ack := c.pool.Get()
-		ack.Type, ack.Addr, ack.Src, ack.Dst = MsgInvAck, m.Addr, c.id, m.Requester
 		c.fabric.Send(ack)
 
 	case MsgFwdGetS:

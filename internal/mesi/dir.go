@@ -518,12 +518,19 @@ func (dir *Directory) unblock(m *Msg) {
 	dir.maybeFinish(e)
 }
 
-// invAck is a directory-collected invalidation ack (DMA writes only).
+// invAck is a directory-collected invalidation ack (DMA writes only). An
+// invalidated owner (the accelerator tile) returns its dirty version on the
+// ack; it must merge before the pending DMA write commits, or a delta write
+// would accumulate on top of a stale base.
 func (dir *Directory) invAck(m *Msg) {
 	a := uint64(m.Addr.LineAddr())
 	e := dir.entry(a)
 	if e.waitInvAcks <= 0 {
 		sim.Failf("dir", dir.fabric.Now(), dir.DumpState(), "unexpected InvAck %s", m)
+	}
+	if m.Dirty && m.Ver >= dir.verOf(a) {
+		dir.ver.Put(a, m.Ver)
+		dir.fillLLC(a, true)
 	}
 	e.waitInvAcks--
 	if e.waitInvAcks == 0 && e.pendingDMA != nil {

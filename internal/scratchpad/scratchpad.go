@@ -40,6 +40,16 @@ type padLine struct {
 	dirty     bool
 }
 
+// Mutations arm deliberate, test-only scratchpad bugs for the litmus
+// mutation-kill validator (see internal/litmus). All fields must be false
+// in real runs.
+type Mutations struct {
+	// StaleFill installs DMA'd-in lines one version behind the coherent
+	// data the DMA delivered — a torn oracle transfer. The value checker
+	// flags the fill itself and every load served from it.
+	StaleFill bool
+}
+
 // Scratchpad is a software-managed RAM implementing accel.MemPort. Every
 // access hits: the oracle DMA guarantees residency.
 type Scratchpad struct {
@@ -49,9 +59,13 @@ type Scratchpad struct {
 	lines *flat.Map[padLine]
 	meter *energy.Meter
 	obsv  obs.Observer
+	mut   *Mutations
 
 	cAccesses *stats.Counter
 }
+
+// SetMutations arms test-only scratchpad bugs (nil disarms).
+func (s *Scratchpad) SetMutations(m *Mutations) { s.mut = m }
 
 // SetObserver attaches a litmus observer (nil disables observation). The
 // scratchpad is a strict agent within a window: fills must install the
@@ -81,6 +95,9 @@ func (s *Scratchpad) Fill(va mem.VAddr, ver uint64) {
 	if s.lines.Len() >= s.CapacityLines() && s.lines.Ptr(a) == nil {
 		sim.Failf(s.name, s.eng.Now(), "",
 			"overfilled beyond %d lines", s.CapacityLines())
+	}
+	if s.mut != nil && s.mut.StaleFill && ver > 0 {
+		ver--
 	}
 	s.lines.Put(a, padLine{base: ver, baseKnown: true})
 	if s.obsv != nil {

@@ -19,7 +19,7 @@ func FuzzRandomWorkloadGolden(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64) {
 		b := workloads.Random(seed, workloads.DefaultRandomParams())
 		want := ExpectedVersions(b)
-		for _, kind := range []Kind{Scratch, Shared, Fusion, FusionDx} {
+		for _, kind := range Kinds() {
 			res, err := Run(b, DefaultConfig(kind))
 			if err != nil {
 				t.Fatalf("seed %d %v: %v", seed, kind, err)

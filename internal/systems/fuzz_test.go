@@ -21,7 +21,7 @@ func TestFuzzAllSystemsGolden(t *testing.T) {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			b := workloads.Random(seed, workloads.DefaultRandomParams())
 			want := ExpectedVersions(b)
-			for _, kind := range []Kind{Scratch, Shared, Fusion, FusionDx} {
+			for _, kind := range Kinds() {
 				res, err := Run(b, DefaultConfig(kind))
 				if err != nil {
 					t.Fatalf("%v: %v", kind, err)

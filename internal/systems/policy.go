@@ -1,0 +1,257 @@
+package systems
+
+// The ADAPTIVE system's placement machinery: a per-task profile computed
+// from reuse/sharing counters over a bounded decision window, and a small
+// Policy interface mapping profiles to placements so a heuristic table and
+// a learned variant are interchangeable (Cohmeleon's design, PAPERS.md).
+//
+// Profiles are computed from the already-known dynamic trace before the
+// task starts — the oracle style this repository uses for the SCRATCH DMA —
+// so the decision adds no per-access work to the simulated hot path.
+
+import (
+	"fmt"
+
+	"fusion/internal/mem"
+	"fusion/internal/trace"
+)
+
+// Placement is where ADAPTIVE runs one accelerator task's data.
+type Placement int
+
+const (
+	// PlaceL0X runs the task through the FUSION lease hierarchy
+	// (private L0X over the shared L1X).
+	PlaceL0X Placement = iota
+	// PlaceScratch runs the task from a software-managed scratchpad with
+	// oracle-windowed DMA, like the SCRATCH baseline.
+	PlaceScratch
+	// PlaceUncached runs every access uncached at the LLC: no on-tile
+	// allocation, one coherent round trip per line touch.
+	PlaceUncached
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceL0X:
+		return "l0x"
+	case PlaceScratch:
+		return "scratch"
+	case PlaceUncached:
+		return "uncached"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// DefaultDecisionWindow is how many leading iterations the profiler folds
+// into the reuse/sharing counters when Config.DecisionWindow is zero.
+const DefaultDecisionWindow = 64
+
+// TaskProfile summarizes one task (accelerator phase) for a Policy: the
+// reuse and sharing counters of the decision window plus the whole-task
+// footprint the scratchpad-fit check needs.
+type TaskProfile struct {
+	Function   string
+	AXC        int
+	Iterations int
+
+	// Window counters (first DecisionWindow iterations).
+	Accesses int
+	Loads    int
+	Stores   int
+	// ReuseMilli is the window's accesses-per-distinct-line ratio x1000:
+	// 1000 means every line is touched exactly once (pure streaming).
+	ReuseMilli int64
+	// SharingMilli is the fraction (x1000) of the window's distinct lines
+	// last touched by a different agent (another AXC or the host).
+	SharingMilli int64
+
+	// FootprintLines is the whole task's distinct-line footprint — the
+	// scratchpad-fit check must be sound, not sampled.
+	FootprintLines int
+	// ScratchCapacity is the scratchpad size available to this task, in
+	// lines.
+	ScratchCapacity int
+}
+
+// hostToucher marks a line last touched by the host in the sharing map.
+const hostToucher = -1
+
+// profileTask computes a task's profile. lastToucher maps each line to the
+// agent (AXC id, or hostToucher) that last wrote or read it in an earlier
+// phase; lines never touched before count as private.
+func profileTask(inv *trace.Invocation, window, scratchCapacity int,
+	lastToucher map[mem.VAddr]int) TaskProfile {
+	if window <= 0 {
+		window = DefaultDecisionWindow
+	}
+	p := TaskProfile{
+		Function:        inv.Function,
+		AXC:             inv.AXC,
+		Iterations:      len(inv.Iterations),
+		ScratchCapacity: scratchCapacity,
+	}
+	seen := make(map[mem.VAddr]bool)
+	shared := 0
+	touch := func(a mem.VAddr, inWindow bool) {
+		la := a.LineAddr()
+		if !seen[la] {
+			seen[la] = true
+			if inWindow {
+				if t, ok := lastToucher[la]; ok && t != inv.AXC {
+					shared++
+				}
+			}
+		}
+	}
+	windowLines := 0
+	for i := range inv.Iterations {
+		it := &inv.Iterations[i]
+		inWindow := i < window
+		for _, a := range it.Loads {
+			touch(a, inWindow)
+		}
+		for _, a := range it.Stores {
+			touch(a, inWindow)
+		}
+		if inWindow {
+			p.Loads += len(it.Loads)
+			p.Stores += len(it.Stores)
+			windowLines = len(seen)
+		}
+	}
+	p.Accesses = p.Loads + p.Stores
+	p.FootprintLines = len(seen)
+	if windowLines > 0 {
+		p.ReuseMilli = int64(p.Accesses) * 1000 / int64(windowLines)
+		p.SharingMilli = int64(shared) * 1000 / int64(windowLines)
+	}
+	return p
+}
+
+// Policy maps task profiles to placements. Implementations must be
+// deterministic: the same profile sequence must yield the same placement
+// sequence (the simulator's byte-identical replay depends on it).
+type Policy interface {
+	// Name identifies the policy ("heuristic", "learned").
+	Name() string
+	// Place decides where the task described by p runs.
+	Place(p TaskProfile) Placement
+	// Observe feeds back the task's measured cost after it ran — the
+	// learned variant's training signal. cycles is the task's end-to-end
+	// cycle count.
+	Observe(p TaskProfile, chosen Placement, cycles uint64)
+}
+
+// PolicyMutations arm deliberate, test-only policy bugs for the litmus
+// mutation-kill validator (see internal/litmus). Must be nil in real runs.
+type PolicyMutations struct {
+	// StickyPlacement pins every task to the first placement the policy
+	// ever chose, suppressing migration. The placement-migration litmus
+	// case's counter floors kill it.
+	StickyPlacement bool
+}
+
+// newPolicy resolves a Config.Policy name. "" means heuristic.
+func newPolicy(name string) (Policy, error) {
+	switch name {
+	case "", "heuristic":
+		return &heuristicPolicy{}, nil
+	case "learned":
+		return newLearnedPolicy(), nil
+	}
+	return nil, fmt.Errorf("unknown adaptive policy %q (valid: heuristic, learned)", name)
+}
+
+// heuristicPolicy is the fixed decision table:
+//
+//  1. a streaming window (reuse < ~1.25 accesses/line) caches nothing —
+//     run uncached at the LLC;
+//  2. a mostly-shared window (>= half the lines produced elsewhere) wants
+//     coherent caching — run through the L0X lease hierarchy;
+//  3. a private task whose whole footprint fits the scratchpad runs from
+//     the scratchpad (oracle DMA, no coherence traffic);
+//  4. everything else runs through the L0X.
+type heuristicPolicy struct{}
+
+const (
+	streamReuseMilli = 1250
+	sharedFloorMilli = 500
+)
+
+func (heuristicPolicy) Name() string { return "heuristic" }
+
+func (heuristicPolicy) Place(p TaskProfile) Placement {
+	if p.ReuseMilli < streamReuseMilli {
+		return PlaceUncached
+	}
+	if p.SharingMilli >= sharedFloorMilli {
+		return PlaceL0X
+	}
+	if p.SharingMilli == 0 && p.FootprintLines <= p.ScratchCapacity {
+		return PlaceScratch
+	}
+	return PlaceL0X
+}
+
+func (heuristicPolicy) Observe(TaskProfile, Placement, uint64) {}
+
+// learnedPolicy explores placements per function round-robin — each
+// eligible placement once — then exploits the one with the lowest observed
+// cycles-per-access. Exploration order and tie-breaking are fixed, so the
+// policy is deterministic.
+type learnedPolicy struct {
+	state map[string]*learnedState
+}
+
+type learnedState struct {
+	tried [3]bool
+	cost  [3]float64 // cycles per access, valid where tried
+}
+
+func newLearnedPolicy() *learnedPolicy {
+	return &learnedPolicy{state: make(map[string]*learnedState)}
+}
+
+func (*learnedPolicy) Name() string { return "learned" }
+
+// eligible reports whether a placement can run this task at all.
+func eligible(p TaskProfile, c Placement) bool {
+	return c != PlaceScratch || p.FootprintLines <= p.ScratchCapacity
+}
+
+func (l *learnedPolicy) Place(p TaskProfile) Placement {
+	s := l.state[p.Function]
+	if s == nil {
+		s = &learnedState{}
+		l.state[p.Function] = s
+	}
+	// Explore: first eligible untried placement, in enum order.
+	for c := PlaceL0X; c <= PlaceUncached; c++ {
+		if !s.tried[c] && eligible(p, c) {
+			return c
+		}
+	}
+	// Exploit: argmin observed cost, ties to the lower enum value.
+	best, bestCost := PlaceL0X, -1.0
+	for c := PlaceL0X; c <= PlaceUncached; c++ {
+		if s.tried[c] && eligible(p, c) && (bestCost < 0 || s.cost[c] < bestCost) {
+			best, bestCost = c, s.cost[c]
+		}
+	}
+	return best
+}
+
+func (l *learnedPolicy) Observe(p TaskProfile, chosen Placement, cycles uint64) {
+	s := l.state[p.Function]
+	if s == nil {
+		s = &learnedState{}
+		l.state[p.Function] = s
+	}
+	per := float64(cycles)
+	if n := p.Loads + p.Stores; n > 0 {
+		per = float64(cycles) / float64(n)
+	}
+	s.tried[chosen] = true
+	s.cost[chosen] = per
+}

@@ -1,0 +1,136 @@
+package systems
+
+// ADAPTIVE placement-policy tests: the heuristic decision table, the
+// learned policy's explore/exploit discipline, name resolution, and the
+// learned variant run end-to-end against the sequential golden image.
+
+import (
+	"testing"
+
+	"fusion/internal/workloads"
+)
+
+func TestPlacementString(t *testing.T) {
+	want := map[Placement]string{
+		PlaceL0X:      "l0x",
+		PlaceScratch:  "scratch",
+		PlaceUncached: "uncached",
+		Placement(9):  "Placement(9)",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+}
+
+func TestNewPolicy(t *testing.T) {
+	for _, name := range []string{"", "heuristic"} {
+		p, err := newPolicy(name)
+		if err != nil || p.Name() != "heuristic" {
+			t.Fatalf("newPolicy(%q) = %v, %v", name, p, err)
+		}
+	}
+	p, err := newPolicy("learned")
+	if err != nil || p.Name() != "learned" {
+		t.Fatalf("newPolicy(learned) = %v, %v", p, err)
+	}
+	if _, err := newPolicy("bogus"); err == nil {
+		t.Fatal("newPolicy(bogus) did not error")
+	}
+}
+
+func TestHeuristicPolicyRules(t *testing.T) {
+	var h heuristicPolicy
+	cases := []struct {
+		name string
+		prof TaskProfile
+		want Placement
+	}{
+		{"streaming goes uncached",
+			TaskProfile{ReuseMilli: 1000, SharingMilli: 1000}, PlaceUncached},
+		{"shared reuse goes L0X",
+			TaskProfile{ReuseMilli: 2000, SharingMilli: 600}, PlaceL0X},
+		{"private fit goes scratchpad",
+			TaskProfile{ReuseMilli: 2000, FootprintLines: 8, ScratchCapacity: 64},
+			PlaceScratch},
+		{"private overflow goes L0X",
+			TaskProfile{ReuseMilli: 2000, FootprintLines: 100, ScratchCapacity: 64},
+			PlaceL0X},
+		{"lightly shared goes L0X, not scratchpad",
+			TaskProfile{ReuseMilli: 2000, SharingMilli: 100,
+				FootprintLines: 8, ScratchCapacity: 64}, PlaceL0X},
+	}
+	for _, c := range cases {
+		if got := h.Place(c.prof); got != c.want {
+			t.Errorf("%s: Place = %v, want %v", c.name, got, c.want)
+		}
+	}
+	h.Observe(TaskProfile{}, PlaceL0X, 1) // no-op, must not panic
+}
+
+func TestLearnedPolicyExploreExploit(t *testing.T) {
+	l := newLearnedPolicy()
+	fits := TaskProfile{Function: "f", Loads: 10,
+		FootprintLines: 8, ScratchCapacity: 64}
+
+	// Exploration: each eligible placement once, in enum order.
+	for _, want := range []Placement{PlaceL0X, PlaceScratch, PlaceUncached} {
+		got := l.Place(fits)
+		if got != want {
+			t.Fatalf("exploration chose %v, want %v", got, want)
+		}
+		cost := uint64(100)
+		if got == PlaceScratch {
+			cost = 10
+		}
+		l.Observe(fits, got, cost)
+	}
+	// Exploitation: argmin observed cycles-per-access.
+	if got := l.Place(fits); got != PlaceScratch {
+		t.Fatalf("exploitation chose %v, want PlaceScratch", got)
+	}
+
+	// A footprint that does not fit skips the scratchpad entirely.
+	big := TaskProfile{Function: "g", Loads: 10,
+		FootprintLines: 1000, ScratchCapacity: 64}
+	if got := l.Place(big); got != PlaceL0X {
+		t.Fatalf("big exploration chose %v, want PlaceL0X", got)
+	}
+	l.Observe(big, PlaceL0X, 50)
+	if got := l.Place(big); got != PlaceUncached {
+		t.Fatalf("big exploration chose %v, want PlaceUncached", got)
+	}
+	l.Observe(big, PlaceUncached, 5)
+	if got := l.Place(big); got != PlaceUncached {
+		t.Fatalf("big exploitation chose %v, want PlaceUncached", got)
+	}
+
+	// Observe with an empty window records raw cycles without dividing.
+	l.Observe(TaskProfile{Function: "z"}, PlaceL0X, 7)
+}
+
+func TestAdaptiveLearnedPolicyGolden(t *testing.T) {
+	b := workloads.Random(4, workloads.DefaultRandomParams())
+	want := ExpectedVersions(b)
+	cfg := DefaultConfig(Adaptive)
+	cfg.Policy = "learned"
+	res, err := Run(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for va, wv := range want {
+		if res.FinalVersions[va] != wv {
+			t.Fatalf("line %#x v%d, golden v%d", uint64(va), res.FinalVersions[va], wv)
+		}
+	}
+}
+
+func TestAdaptiveUnknownPolicyErrors(t *testing.T) {
+	b := workloads.Random(1, workloads.DefaultRandomParams())
+	cfg := DefaultConfig(Adaptive)
+	cfg.Policy = "bogus"
+	if _, err := Run(b, cfg); err == nil {
+		t.Fatal("unknown policy did not error")
+	}
+}

@@ -24,7 +24,7 @@ import (
 type SoakConfig struct {
 	// Benchmarks to run; empty defaults to a small representative pair.
 	Benchmarks []string
-	// Systems to run; empty defaults to all four.
+	// Systems to run; empty defaults to every registered Kind (Kinds()).
 	Systems []Kind
 	// Seeds generates one randomized fault plan per entry.
 	Seeds []uint64
@@ -70,7 +70,7 @@ func Soak(sc SoakConfig) SoakResult {
 		sc.Benchmarks = []string{"adpcm", "fft"}
 	}
 	if len(sc.Systems) == 0 {
-		sc.Systems = []Kind{Scratch, Shared, Fusion, FusionDx}
+		sc.Systems = Kinds()
 	}
 	if sc.WatchdogCycles == 0 {
 		sc.WatchdogCycles = 2_000_000

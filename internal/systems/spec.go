@@ -41,11 +41,15 @@ type Spec struct {
 	WatchdogCycles uint64       `json:"watchdog_cycles,omitempty"`
 	NoIdleSkip     bool         `json:"no_idle_skip,omitempty"`
 	Scheduler      string       `json:"scheduler,omitempty"`
+	Policy         string       `json:"policy,omitempty"`
+	DecisionWindow int          `json:"decision_window,omitempty"`
+	DeadlineCycles uint64       `json:"deadline_cycles,omitempty"`
 	Faults         *faults.Plan `json:"faults,omitempty"`
 }
 
 // ParseKind resolves a system name ("scratch", "shared", "fusion",
-// "fusion-dx"; case-insensitive, "fusiondx"/"dx" accepted) to its Kind.
+// "fusion-dx", "adaptive", "hydra"; case-insensitive, "fusiondx"/"dx"
+// accepted) to its Kind.
 func ParseKind(name string) (Kind, bool) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "scratch":
@@ -56,6 +60,10 @@ func ParseKind(name string) (Kind, bool) {
 		return Fusion, true
 	case "fusion-dx", "fusiondx", "dx":
 		return FusionDx, true
+	case "adaptive":
+		return Adaptive, true
+	case "hydra":
+		return Hydra, true
 	}
 	return 0, false
 }
@@ -78,6 +86,9 @@ func SpecOf(bench string, cfg Config) Spec {
 		WatchdogCycles: cfg.WatchdogCycles,
 		NoIdleSkip:     cfg.NoIdleSkip,
 		Scheduler:      cfg.Scheduler,
+		Policy:         cfg.Policy,
+		DecisionWindow: cfg.DecisionWindow,
+		DeadlineCycles: cfg.DeadlineCycles,
 	}
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		plan := *cfg.Faults
@@ -116,6 +127,11 @@ func (s Spec) Normalized() Spec {
 	// implicit ("" rather than "wheel") and pre-knob spec hashes remain
 	// valid cache keys.
 	out.Scheduler = strings.ToLower(strings.TrimSpace(out.Scheduler))
+	// The adaptive/hydra knobs likewise stay implicit when defaulted
+	// ("" rather than "heuristic", 0 rather than DefaultDecisionWindow):
+	// their defaults are applied at the use site, so pre-knob spec hashes
+	// of the other systems remain valid cache keys.
+	out.Policy = strings.ToLower(strings.TrimSpace(out.Policy))
 	if out.Faults != nil {
 		if !out.Faults.Enabled() {
 			out.Faults = nil
@@ -127,17 +143,23 @@ func (s Spec) Normalized() Spec {
 	return out
 }
 
-// Validate reports whether the spec names a known benchmark, system, and
-// scheduler.
+// Validate reports whether the spec names a known benchmark, system,
+// scheduler, and policy.
 func (s Spec) Validate() error {
 	if _, ok := ParseKind(s.System); !ok {
-		return fmt.Errorf("spec: unknown system %q (valid: scratch, shared, fusion, fusion-dx)", s.System)
+		return fmt.Errorf("spec: unknown system %q (valid: %s)",
+			s.System, strings.Join(KindNames(), ", "))
 	}
 	switch strings.ToLower(strings.TrimSpace(s.Scheduler)) {
 	case "", sim.SchedulerHeap, sim.SchedulerWheel:
 	default:
 		return fmt.Errorf("spec: unknown scheduler %q (valid: %s, %s)",
 			s.Scheduler, sim.SchedulerHeap, sim.SchedulerWheel)
+	}
+	switch strings.ToLower(strings.TrimSpace(s.Policy)) {
+	case "", "heuristic", "learned":
+	default:
+		return fmt.Errorf("spec: unknown adaptive policy %q (valid: heuristic, learned)", s.Policy)
 	}
 	bench := strings.ToLower(strings.TrimSpace(s.Bench))
 	for _, n := range workloads.Names() {
@@ -170,6 +192,9 @@ func (s Spec) Config() (Config, error) {
 		WatchdogCycles: n.WatchdogCycles,
 		NoIdleSkip:     n.NoIdleSkip,
 		Scheduler:      n.Scheduler,
+		Policy:         n.Policy,
+		DecisionWindow: n.DecisionWindow,
+		DeadlineCycles: n.DeadlineCycles,
 	}
 	if n.Faults != nil {
 		plan := *n.Faults

@@ -9,6 +9,15 @@
 //     AX-TLB on the L1X miss path, MEI integration with host MESI;
 //   - FUSION-Dx: FUSION plus direct producer->consumer write forwarding.
 //
+// Two post-paper systems make the placement choice dynamic (ROADMAP item 3):
+//
+//   - ADAPTIVE: Cohmeleon-style per-task placement — each accelerator task
+//     runs from a scratchpad, an L0X, or uncached at the LLC, chosen by a
+//     pluggable Policy from reuse/sharing counters (see policy.go);
+//   - HYDRA: FUSION plus a deadline- and reuse-aware cacheability filter on
+//     the L1X allocation path that bypasses allocation for low-reuse or
+//     deadline-critical streams.
+//
 // Run executes a generated benchmark on one system and returns cycle,
 // energy, and traffic measurements — the raw material for every table and
 // figure in the evaluation.
@@ -19,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"fusion/internal/acc"
 	"fusion/internal/accel"
@@ -47,6 +57,8 @@ const (
 	Shared
 	Fusion
 	FusionDx
+	Adaptive
+	Hydra
 )
 
 func (k Kind) String() string {
@@ -59,8 +71,32 @@ func (k Kind) String() string {
 		return "FUSION"
 	case FusionDx:
 		return "FUSION-Dx"
+	case Adaptive:
+		return "ADAPTIVE"
+	case Hydra:
+		return "HYDRA"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds is the system registry: every Kind the package can run, in enum
+// order. Anything that enumerates systems — the soak sweep's default
+// matrix, the CLI's "-system all", the litmus random suite, the
+// mutation-coverage report — derives its list from here, so a new Kind
+// cannot be silently skipped.
+func Kinds() []Kind {
+	return []Kind{Scratch, Shared, Fusion, FusionDx, Adaptive, Hydra}
+}
+
+// KindNames returns the canonical lower-case spec name of every registered
+// Kind, in enum order — the names ParseKind accepts.
+func KindNames() []string {
+	ks := Kinds()
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = strings.ToLower(k.String())
+	}
+	return out
 }
 
 // dmaControllerGap is the DMA engine's per-transfer state-machine occupancy
@@ -68,6 +104,13 @@ func (k Kind) String() string {
 // LLC costs. The paper models "the complete state machine of the DMA
 // controller"; transfers are serial.
 const dmaControllerGap = 20
+
+// hydraBypassThreshold is HYDRA's allocate-on-Nth-touch reuse bar: a line
+// whose fill completes while the L1X has seen fewer than this many requests
+// for it is served without allocating (a low-reuse stream). The second
+// touch re-misses, crosses the bar, and allocates normally — the filter is
+// self-limiting.
+const hydraBypassThreshold = 2
 
 // Agent IDs on the host fabric.
 const (
@@ -134,17 +177,33 @@ type Config struct {
 	// knob exists for that A/B check and for benchmarking the wheel itself.
 	// Empty means the default.
 	Scheduler string
+	// Policy selects the ADAPTIVE placement policy: "heuristic" (the
+	// default, also selected by "") or "learned". Other systems ignore it.
+	Policy string
+	// DecisionWindow bounds how many leading iterations of a task the
+	// ADAPTIVE profiler folds into its reuse/sharing counters (the
+	// decision window of the Cohmeleon-style policy). Zero means
+	// DefaultDecisionWindow. Other systems ignore it.
+	DecisionWindow int
+	// DeadlineCycles arms HYDRA's per-task deadline: each accelerator
+	// task's deadline is its start cycle plus this budget, and once the
+	// deadline passes the L1X bypasses allocation for the task's fills
+	// (deadline-critical streaming). Zero leaves the deadline term of the
+	// filter unarmed. Other systems ignore it.
+	DeadlineCycles uint64
 	// Observer, when set, receives a (cycle, agent, address, value, epoch)
 	// observation for every load and store any agent performs, plus epoch
 	// marks at phase boundaries — the litmus harness's value-checking feed
 	// (see internal/obs and internal/litmus). Nil costs the hot path only a
 	// nil check.
 	Observer obs.Observer
-	// AccMutations and DirMutations arm deliberate, test-only protocol
-	// bugs for the litmus mutation-kill validator. They must be nil in all
-	// real runs.
-	AccMutations *acc.Mutations
-	DirMutations *mesi.DirMutations
+	// AccMutations, DirMutations, PadMutations, and PolicyMutations arm
+	// deliberate, test-only protocol/policy bugs for the litmus
+	// mutation-kill validator. They must be nil in all real runs.
+	AccMutations    *acc.Mutations
+	DirMutations    *mesi.DirMutations
+	PadMutations    *scratchpad.Mutations
+	PolicyMutations *PolicyMutations
 }
 
 // DefaultConfig returns the paper's baseline settings for a system.
@@ -423,8 +482,10 @@ func RunCtx(ctx context.Context, b *workloads.Benchmark, cfg Config) (*Result, e
 		err = runScratch(m, b, cfg, res)
 	case Shared:
 		err = runShared(m, b, cfg, res)
-	case Fusion, FusionDx:
+	case Fusion, FusionDx, Hydra:
 		err = runFusion(m, b, cfg, res)
+	case Adaptive:
+		err = runAdaptive(m, b, cfg, res)
 	default:
 		err = fmt.Errorf("unknown system %v", cfg.Kind)
 	}
@@ -562,6 +623,9 @@ func runScratch(m *machine, b *workloads.Benchmark, cfg Config, res *Result) err
 		if cfg.Observer != nil {
 			pads[axc].SetObserver(cfg.Observer)
 		}
+		if cfg.PadMutations != nil {
+			pads[axc].SetMutations(cfg.PadMutations)
+		}
 	}
 
 	// live tracks lines holding earlier-produced data: the oracle must
@@ -588,51 +652,11 @@ func runScratch(m *machine, b *workloads.Benchmark, cfg Config, res *Result) err
 		}
 		ax := axcs[ph.Inv.AXC]
 		pad := pads[ph.Inv.AXC]
-		windows := scratchpad.Windows(&ph.Inv, pad.CapacityLines(), live)
 		phaseStart := m.eng.Now()
 		e0 := m.mt.Total()
-		var dmaCycles uint64
-
-		for _, w := range windows {
-			// DMA-in: push the window's read set into the scratchpad.
-			t0 := m.eng.Now()
-			remaining := len(w.ReadSet)
-			for _, va := range w.ReadSet {
-				va := va
-				dma.ReadLine(m.translate(va), func(ver uint64) {
-					pad.Fill(va, ver)
-					remaining--
-				})
-			}
-			if err := m.run(cfg.MaxCycles, func() bool { return remaining == 0 }); err != nil {
-				return fmt.Errorf("%s window DMA-in: %w", ph.Inv.Function, err)
-			}
-			dmaCycles += m.eng.Now() - t0
-
-			// Execute the window.
-			sub := trace.Invocation{
-				Function:   ph.Inv.Function,
-				AXC:        ph.Inv.AXC,
-				Iterations: ph.Inv.Iterations[w.Start:w.End],
-			}
-			fired := false
-			ax.Start(&sub, pad, func(uint64) { fired = true })
-			if err := m.run(cfg.MaxCycles, func() bool { return fired }); err != nil {
-				return fmt.Errorf("%s window exec: %w", ph.Inv.Function, err)
-			}
-
-			// DMA-out: drain dirty lines back to the LLC.
-			t0 = m.eng.Now()
-			dirty := pad.DirtyLines()
-			pendingWB := len(dirty)
-			for _, dl := range dirty {
-				dma.WriteLine(m.translate(dl.Addr), dl.Ver, dl.Delta, func(uint64) { pendingWB-- })
-			}
-			if err := m.run(cfg.MaxCycles, func() bool { return pendingWB == 0 }); err != nil {
-				return fmt.Errorf("%s window DMA-out: %w", ph.Inv.Function, err)
-			}
-			dmaCycles += m.eng.Now() - t0
-			pad.Clear()
+		dmaCycles, err := runScratchWindows(m, cfg, ax, pad, dma, &ph.Inv, live)
+		if err != nil {
+			return err
 		}
 		_, w := ph.Inv.Lines()
 		for la := range w {
@@ -644,6 +668,59 @@ func runScratch(m *machine, b *workloads.Benchmark, cfg Config, res *Result) err
 	// Host L1 may cache output lines it wrote; flush so FinalVersions see
 	// everything.
 	return drainHost(m, cfg)
+}
+
+// runScratchWindows executes one invocation through a scratchpad in
+// oracle-windowed style — DMA-in the window's read set, run the window's
+// iterations, DMA-out the dirty lines — and returns the cycles serialized
+// behind DMA. Shared by SCRATCH and by ADAPTIVE's scratchpad placement.
+func runScratchWindows(m *machine, cfg Config, ax *accel.Accelerator,
+	pad *scratchpad.Scratchpad, dma *scratchpad.DMA, inv *trace.Invocation,
+	live map[mem.VAddr]bool) (uint64, error) {
+	windows := scratchpad.Windows(inv, pad.CapacityLines(), live)
+	var dmaCycles uint64
+	for _, w := range windows {
+		// DMA-in: push the window's read set into the scratchpad.
+		t0 := m.eng.Now()
+		remaining := len(w.ReadSet)
+		for _, va := range w.ReadSet {
+			va := va
+			dma.ReadLine(m.translate(va), func(ver uint64) {
+				pad.Fill(va, ver)
+				remaining--
+			})
+		}
+		if err := m.run(cfg.MaxCycles, func() bool { return remaining == 0 }); err != nil {
+			return dmaCycles, fmt.Errorf("%s window DMA-in: %w", inv.Function, err)
+		}
+		dmaCycles += m.eng.Now() - t0
+
+		// Execute the window.
+		sub := trace.Invocation{
+			Function:   inv.Function,
+			AXC:        inv.AXC,
+			Iterations: inv.Iterations[w.Start:w.End],
+		}
+		fired := false
+		ax.Start(&sub, pad, func(uint64) { fired = true })
+		if err := m.run(cfg.MaxCycles, func() bool { return fired }); err != nil {
+			return dmaCycles, fmt.Errorf("%s window exec: %w", inv.Function, err)
+		}
+
+		// DMA-out: drain dirty lines back to the LLC.
+		t0 = m.eng.Now()
+		dirty := pad.DirtyLines()
+		pendingWB := len(dirty)
+		for _, dl := range dirty {
+			dma.WriteLine(m.translate(dl.Addr), dl.Ver, dl.Delta, func(uint64) { pendingWB-- })
+		}
+		if err := m.run(cfg.MaxCycles, func() bool { return pendingWB == 0 }); err != nil {
+			return dmaCycles, fmt.Errorf("%s window DMA-out: %w", inv.Function, err)
+		}
+		dmaCycles += m.eng.Now() - t0
+		pad.Clear()
+	}
+	return dmaCycles, nil
 }
 
 // ---------------------------------------------------------------- SHARED
@@ -791,6 +868,9 @@ func runFusion(m *machine, b *workloads.Benchmark, cfg Config, res *Result) erro
 			m.addTileRoutes(tcfg.Agent, fmt.Sprintf("hostlink.tile%d", t))
 		}
 		tiles[t] = acc.NewTile(m.eng, m.fab, m.pt, tcfg, m.model, m.mt, m.st)
+		if cfg.Kind == Hydra {
+			tiles[t].L1X.EnableBypassFilter(hydraBypassThreshold, m.model.PolicyCheck)
+		}
 		if cfg.Tracer != nil {
 			tiles[t].SetTracer(cfg.Tracer)
 		}
@@ -827,6 +907,12 @@ func runFusion(m *machine, b *workloads.Benchmark, cfg Config, res *Result) erro
 		tile := tiles[tileOf(ph.Inv.AXC)]
 		l0 := tile.L0Xs[localOf(ph.Inv.AXC)]
 		l0.SetLeaseTime(scaleLease(ph.Inv.LeaseTime, cfg.LeaseScale))
+
+		// HYDRA: arm the task deadline. Fills requested after it passes
+		// bypass L1X allocation (the deadline term of the filter).
+		if cfg.Kind == Hydra && cfg.DeadlineCycles > 0 {
+			tile.L1X.SetDeadline(m.eng.Now() + cfg.DeadlineCycles)
+		}
 
 		// FUSION-Dx: install the trace-derived forwarding table for this
 		// producer phase (Section 3.2). Forwarding links exist only within
